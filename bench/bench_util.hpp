@@ -1,0 +1,39 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Environment knobs (all optional):
+//   ESG_BENCH_HORIZON_MS — arrival-window length per run (default 10000)
+//   ESG_BENCH_SEEDS      — replicas per scenario (default 1)
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace esg::bench {
+
+/// Arrival horizon from the environment (default 10 s of simulated traffic).
+[[nodiscard]] TimeMs horizon_ms();
+
+/// Replica seeds from the environment (default {42}).
+[[nodiscard]] std::vector<std::uint64_t> seeds();
+
+/// A paper scenario: scheduler x (SLO, load) combo with the bench horizon.
+[[nodiscard]] exp::Scenario make_scenario(exp::SchedulerKind kind,
+                                          const exp::SettingCombo& combo);
+
+/// Runs every scenario (each over all seeds) using a thread pool; outputs
+/// are ordered like the inputs and each entry aggregates its seeds.
+struct GridResult {
+  exp::Aggregate aggregate;
+  std::vector<exp::RunOutput> replicas;
+};
+
+[[nodiscard]] std::vector<GridResult> run_grid(std::span<const exp::Scenario> grid);
+
+/// Prints the standard bench banner.
+void print_banner(const std::string& id, const std::string& paper_claim);
+
+}  // namespace esg::bench

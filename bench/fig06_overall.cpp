@@ -1,0 +1,36 @@
+// Figure 6: average SLO hit rate and total cost (normalised to ESG) for the
+// five schedulers under strict-light, moderate-normal and relaxed-heavy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Figure 6: overall SLO hit rate and normalised cost",
+      "ESG has the highest hit rate everywhere (up to +61% vs "
+      "INFless/FaST-GShare, +80% vs Orion/BO in strict-light) at the lowest "
+      "or near-lowest cost; INFless costs the most");
+
+  for (const auto& combo : exp::paper_combos()) {
+    std::vector<exp::Scenario> grid;
+    for (const auto kind : exp::all_schedulers()) {
+      grid.push_back(bench::make_scenario(kind, combo));
+    }
+    const auto results = bench::run_grid(grid);
+
+    const double esg_cost = results.front().aggregate.total_cost;
+    AsciiTable table({"scheduler", "SLO hit rate", "cost (ESG=1)", "requests"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& agg = results[i].aggregate;
+      table.add_row({std::string(exp::to_string(grid[i].scheduler)),
+                     AsciiTable::pct(agg.slo_hit_rate),
+                     AsciiTable::num(esg_cost > 0 ? agg.total_cost / esg_cost : 0, 2),
+                     std::to_string(agg.requests)});
+    }
+    std::printf("--- %s ---\n%s\n", exp::combo_name(combo).c_str(),
+                table.render().c_str());
+  }
+  return 0;
+}

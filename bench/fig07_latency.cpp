@@ -1,0 +1,55 @@
+// Figure 7: end-to-end latency of each application in the relaxed-heavy
+// setting, per scheduler. The paper plots time series; the shape statement
+// is that ESG stays below-but-close-to the SLO while FaST-GShare/INFless
+// overshoot on the long pipeline and Orion/BO are erratic.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/applications.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Figure 7: per-application end-to-end latency, relaxed-heavy",
+      "ESG runs below but close to the SLO; FaST-GShare and INFless yield "
+      "the largest latency on expanded_image_classification");
+
+  const exp::SettingCombo combo = exp::paper_combos()[2];  // relaxed-heavy
+  std::vector<exp::Scenario> grid;
+  for (const auto kind : exp::all_schedulers()) {
+    grid.push_back(bench::make_scenario(kind, combo));
+  }
+  const auto results = bench::run_grid(grid);
+
+  const auto apps = workload::builtin_applications();
+  const auto profiles = profile::ProfileSet::builtin();
+  for (const auto& app : apps) {
+    const TimeMs slo =
+        workload::slo_latency_ms(app, profiles, combo.slo);
+    AsciiTable table({"scheduler", "mean (ms)", "p50 (ms)", "p95 (ms)",
+                      "max (ms)", "SLO (ms)", "hit rate"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::vector<double> lat;
+      double hits = 0.0;
+      double n = 0.0;
+      for (const auto& run : results[i].replicas) {
+        for (const auto& rec : run.metrics.completions) {
+          if (rec.app != app.id()) continue;
+          lat.push_back(rec.latency_ms);
+          hits += rec.hit ? 1.0 : 0.0;
+          n += 1.0;
+        }
+      }
+      const Summary s = summarize(lat);
+      table.add_row({std::string(exp::to_string(grid[i].scheduler)),
+                     AsciiTable::num(s.mean, 0), AsciiTable::num(s.median, 0),
+                     AsciiTable::num(s.p95, 0), AsciiTable::num(s.max, 0),
+                     AsciiTable::num(slo, 0),
+                     AsciiTable::pct(n > 0 ? hits / n : 0.0)});
+    }
+    std::printf("--- %s ---\n%s\n", app.name().c_str(), table.render().c_str());
+  }
+  return 0;
+}

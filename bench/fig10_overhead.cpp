@@ -1,0 +1,43 @@
+// Figure 10: distribution of ESG's scheduling overhead in the three
+// settings (function group size 3). The paper reports box plots with all
+// averages below 10 ms, growing as the SLO relaxes (less pruning).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Figure 10: ESG scheduling-overhead distribution (group size 3)",
+      "overhead < 10 ms on average; grows with more relaxed SLO settings");
+
+  std::vector<exp::Scenario> grid;
+  for (const auto& combo : exp::paper_combos()) {
+    grid.push_back(bench::make_scenario(exp::SchedulerKind::kEsg, combo));
+  }
+  const auto results = bench::run_grid(grid);
+
+  AsciiTable table({"setting", "min", "p25", "median", "p75", "p95", "max",
+                    "mean", "wall-clock mean"});
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    std::vector<double> charged;
+    RunningStats wall;
+    for (const auto& run : results[c].replicas) {
+      charged.insert(charged.end(), run.metrics.plan_overhead_ms.begin(),
+                     run.metrics.plan_overhead_ms.end());
+      for (double w : run.metrics.plan_wall_clock_ms) wall.add(w);
+    }
+    const Summary s = summarize(charged);
+    table.add_row({exp::combo_name(exp::paper_combos()[c]),
+                   AsciiTable::num(s.min, 2), AsciiTable::num(s.p25, 2),
+                   AsciiTable::num(s.median, 2), AsciiTable::num(s.p75, 2),
+                   AsciiTable::num(s.p95, 2), AsciiTable::num(s.max, 2),
+                   AsciiTable::num(s.mean, 2), AsciiTable::num(wall.mean(), 3)});
+  }
+  std::printf("(charged overhead in ms, from the deterministic node-cost "
+              "model; wall-clock measured)\n%s\n",
+              table.render().c_str());
+  return 0;
+}

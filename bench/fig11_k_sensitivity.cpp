@@ -1,0 +1,93 @@
+// Figure 11: sensitivity to K, the number of solutions kept in the
+// configuration priority queue (strict-light; cost normalised to K=5).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/esg_1q.hpp"
+#include "workload/applications.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Figure 11: sensitivity to K (strict-light, cost normalised to K=5)",
+      "K 1->80 raises mean search overhead ~3->8 ms; latency stays similar; "
+      "cost decreases slightly");
+
+  const exp::SettingCombo combo = exp::paper_combos()[0];
+  const std::size_t ks[] = {1, 5, 20, 40, 80};
+
+  // The paper's sensitivity study uses ~256 configurations per function; a
+  // denser space than the default keeps the search large enough for K (which
+  // weakens the cost blade of the pruning) to show in the overhead.
+  profile::ConfigSpaceOptions dense;
+  dense.batches = {1, 2, 3, 4, 6, 8, 12, 16};
+  dense.vcpus = {1, 2, 4, 8};
+  dense.vgpus = {1, 2, 3, 4, 5, 6, 7};
+
+  std::vector<exp::Scenario> grid;
+  for (const std::size_t k : ks) {
+    exp::Scenario s = bench::make_scenario(exp::SchedulerKind::kEsg, combo);
+    s.esg.k = k;
+    s.config_space = dense;
+    grid.push_back(s);
+  }
+  const auto results = bench::run_grid(grid);
+
+  // Cost normalised to K = 5 (second row).
+  const double k5_cost = results[1].aggregate.total_cost;
+
+  AsciiTable table({"K", "mean overhead (ms)", "mean latency (ms)",
+                    "cost (K=5 -> 1)", "hit rate"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    RunningStats overhead;
+    RunningStats latency;
+    for (const auto& run : results[i].replicas) {
+      for (double o : run.metrics.plan_overhead_ms) overhead.add(o);
+      for (const auto& rec : run.metrics.completions) latency.add(rec.latency_ms);
+    }
+    table.add_row({std::to_string(ks[i]), AsciiTable::num(overhead.mean(), 2),
+                   AsciiTable::num(latency.mean(), 0),
+                   AsciiTable::num(k5_cost > 0
+                                       ? results[i].aggregate.total_cost / k5_cost
+                                       : 0.0,
+                                   3),
+                   AsciiTable::pct(results[i].aggregate.slo_hit_rate)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Isolated search cost vs K: under the strict end-to-end setting the time
+  // blade prunes so hard that K barely registers, so the paper's observed
+  // overhead growth is reproduced on a relaxed target where the cost blade
+  // (whose tightness K controls) does the work.
+  const auto profiles = profile::ProfileSet::builtin(dense);
+  const auto apps = workload::builtin_applications();
+  std::vector<core::StageInput> stages;
+  TimeMs base = 0.0;
+  for (const auto& node : apps[3].nodes()) {  // first 3 stages of the 5-stage app
+    if (stages.size() == 3) break;
+    const auto& tbl = profiles.table(node.function);
+    stages.push_back(core::StageInput{&tbl, 0});
+    base += tbl.min_config_entry().latency_ms;
+  }
+  const core::OverheadModel model;
+  AsciiTable search_table({"K", "nodes expanded", "cost-pruned", "configPQ",
+                           "modeled overhead (ms)"});
+  for (const std::size_t k : ks) {
+    core::SearchOptions opts;
+    opts.k = k;
+    const auto result = core::esg_1q(stages, 1.1 * base, opts);
+    search_table.add_row(
+        {std::to_string(k), std::to_string(result.stats.nodes_expanded),
+         std::to_string(result.stats.pruned_cost),
+         std::to_string(result.config_pq.size()),
+         AsciiTable::num(model.overhead_ms(result.stats.nodes_expanded), 2)});
+  }
+  std::printf("--- isolated ESG_1Q cost vs K (group of 3, 1.1x base target) ---\n%s",
+              search_table.render().c_str());
+  std::printf("(deviation from the paper: with these profiles the time blade "
+              "dominates, so K's\n effect on the examined-node count — and "
+              "thus the overhead — is negligible.)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 12: ablation of the GPU-sharing and batching strategies under the
+// relaxed-heavy setting (the heavy load underlines the batching effect).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Figure 12: GPU-sharing / batching ablation (relaxed-heavy)",
+      "removing GPU sharing greatly prolongs waiting (jobs queue for whole "
+      "GPUs) and hurts hit rate + cost; removing batching keeps hit rates "
+      "but raises cost");
+
+  for (const exp::SettingCombo& combo :
+       {exp::paper_combos()[2], exp::paper_combos()[1]}) {
+    exp::Scenario full = bench::make_scenario(exp::SchedulerKind::kEsg, combo);
+    exp::Scenario no_share = full;
+    no_share.controller.enable_gpu_sharing = false;
+    exp::Scenario no_batch = full;
+    no_batch.controller.enable_batching = false;
+
+    const exp::Scenario grid[] = {full, no_share, no_batch};
+    const auto results = bench::run_grid(grid);
+
+    const char* labels[] = {"ESG", "ESG w/o GPU-sharing", "ESG w/o batching"};
+    const double esg_cost = results[0].aggregate.total_cost;
+
+    AsciiTable table({"variant", "hit rate", "cost (ESG=1)",
+                      "mean job wait (ms)"});
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto& agg = results[i].aggregate;
+      table.add_row({labels[i], AsciiTable::pct(agg.slo_hit_rate),
+                     AsciiTable::num(esg_cost > 0 ? agg.total_cost / esg_cost : 0, 2),
+                     AsciiTable::num(agg.mean_job_wait_ms, 1)});
+    }
+    std::printf("--- %s ---\n%s\n", exp::combo_name(combo).c_str(),
+                table.render().c_str());
+  }
+  return 0;
+}

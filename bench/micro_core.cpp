@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the scheduling core: ESG_1Q at several
+// group sizes and K values, dominator-tree construction, SLO distribution,
+// placement, profile lookup, and raw simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/dominator.hpp"
+#include "core/esg_1q.hpp"
+#include "core/slo_distribution.hpp"
+#include "platform/scheduler.hpp"
+#include "profile/function_spec.hpp"
+#include "sim/simulator.hpp"
+#include "workload/applications.hpp"
+
+namespace {
+
+using namespace esg;
+
+const profile::ProfileSet& profiles() {
+  static const profile::ProfileSet set = profile::ProfileSet::builtin();
+  return set;
+}
+
+const std::vector<workload::AppDag>& apps() {
+  static const std::vector<workload::AppDag> a = workload::builtin_applications();
+  return a;
+}
+
+std::vector<core::StageInput> stages_of(std::size_t group) {
+  static const profile::Function fns[] = {
+      profile::Function::kDeblur, profile::Function::kSuperResolution,
+      profile::Function::kBackgroundRemoval, profile::Function::kSegmentation};
+  std::vector<core::StageInput> stages;
+  for (std::size_t i = 0; i < group; ++i) {
+    stages.push_back(core::StageInput{&profiles().table(profile::id_of(fns[i])), 0});
+  }
+  return stages;
+}
+
+void BM_Esg1q(benchmark::State& state) {
+  const auto stages = stages_of(static_cast<std::size_t>(state.range(0)));
+  core::SearchOptions opts;
+  opts.k = static_cast<std::size_t>(state.range(1));
+  TimeMs base = 0.0;
+  for (const auto& s : stages) base += s.table->min_config_entry().latency_ms;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const auto result = core::esg_1q(stages, 1.1 * base, opts);
+    nodes += result.stats.nodes_expanded;
+    benchmark::DoNotOptimize(result.config_pq.data());
+  }
+  state.counters["nodes/iter"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Esg1q)
+    ->Args({1, 5})
+    ->Args({2, 5})
+    ->Args({3, 1})
+    ->Args({3, 5})
+    ->Args({3, 80})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DominatorTree(benchmark::State& state) {
+  const auto& app = apps()[3];  // 5-stage pipeline
+  for (auto _ : state) {
+    core::DominatorTree dom(app);
+    benchmark::DoNotOptimize(dom.idom(app.size() - 1));
+  }
+}
+BENCHMARK(BM_DominatorTree)->Unit(benchmark::kMicrosecond);
+
+void BM_SloDistribution(benchmark::State& state) {
+  const auto& app = apps()[3];
+  for (auto _ : state) {
+    core::SloDistribution dist(app, profiles(), 3);
+    benchmark::DoNotOptimize(dist.groups().data());
+  }
+}
+BENCHMARK(BM_SloDistribution)->Unit(benchmark::kMicrosecond);
+
+void BM_LocalityPlacement(benchmark::State& state) {
+  cluster::Cluster cluster(16);
+  platform::PlacementContext ctx;
+  ctx.function = FunctionId(0);
+  ctx.config = profile::Config{4, 2, 2};
+  ctx.home_invoker = InvokerId(5);
+  for (auto _ : state) {
+    auto chosen = platform::locality_first_place(ctx, cluster);
+    benchmark::DoNotOptimize(chosen);
+  }
+}
+BENCHMARK(BM_LocalityPlacement);
+
+void BM_ProfileLookup(benchmark::State& state) {
+  const auto& table = profiles().table(FunctionId(0));
+  const profile::Config c{4, 2, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&table.at(c));
+  }
+}
+BENCHMARK(BM_ProfileLookup);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_in(static_cast<double>(i % 17), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

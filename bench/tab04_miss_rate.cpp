@@ -1,0 +1,32 @@
+// Table 4: pre-planned scheduling miss rate — how often the configurations
+// fixed up-front by Orion (best-first search) and Aquatope (BO) fail to
+// apply because the planned batch exceeds the jobs actually queued.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Table 4: pre-planned configuration miss rate",
+      "Orion: 9.6% (strict-light) rising to 27-52% under change; "
+      "Aquatope/BO: 59-86%");
+
+  std::vector<exp::Scenario> grid;
+  for (const auto& combo : exp::paper_combos()) {
+    grid.push_back(bench::make_scenario(exp::SchedulerKind::kOrion, combo));
+    grid.push_back(bench::make_scenario(exp::SchedulerKind::kAquatope, combo));
+  }
+  const auto results = bench::run_grid(grid);
+
+  AsciiTable table({"system setting", "best-first search (Orion)",
+                    "BO (Aquatope)"});
+  for (std::size_t c = 0; c < exp::paper_combos().size(); ++c) {
+    table.add_row({exp::combo_name(exp::paper_combos()[c]),
+                   AsciiTable::pct(results[2 * c].aggregate.config_miss_rate),
+                   AsciiTable::pct(results[2 * c + 1].aggregate.config_miss_rate)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Drives the platform with a bursty arrival process (calm light phases with
+// heavy bursts) instead of the paper's stationary settings, and shows how
+// ESG's per-stage re-planning absorbs the bursts compared to the static
+// plan-once Aquatope.
+#include <cstdio>
+
+#include "baselines/aquatope.hpp"
+#include "common/table.hpp"
+#include "core/esg_scheduler.hpp"
+#include "platform/controller.hpp"
+#include "sim/simulator.hpp"
+#include "workload/bursty_arrivals.hpp"
+
+namespace {
+
+esg::metrics::RunMetrics run_with(bool use_esg) {
+  using namespace esg;
+  const RngFactory rng(77);
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = workload::builtin_applications();
+
+  sim::Simulator sim;
+  cluster::Cluster cluster(16);
+  core::EsgScheduler esg_sched(apps, profiles);
+  baselines::AquatopeScheduler bo_sched(apps, profiles,
+                                        workload::SloSetting::kModerate, rng);
+  platform::Scheduler& sched =
+      use_esg ? static_cast<platform::Scheduler&>(esg_sched)
+              : static_cast<platform::Scheduler&>(bo_sched);
+
+  platform::ControllerOptions opts;
+  opts.metrics_warmup_ms = 20'000.0;
+  platform::Controller controller(sim, cluster, profiles, apps,
+                                  workload::SloSetting::kModerate, sched, rng,
+                                  opts);
+
+  std::vector<AppId> ids;
+  for (const auto& app : apps) ids.push_back(app.id());
+  workload::BurstyArrivalGenerator gen({}, ids, rng.stream("bursty"));
+  controller.inject(gen.generate_until(60'000.0));
+  controller.run_to_completion();
+  return controller.metrics();
+}
+
+}  // namespace
+
+int main() {
+  using namespace esg;
+  std::printf("60 s of bursty traffic (light baseline, heavy bursts), "
+              "moderate SLOs, measured after 20 s warm-up:\n\n");
+
+  AsciiTable table({"scheduler", "requests", "SLO hit rate", "cost ($)",
+                    "mean wait (ms)", "plan misses"});
+  for (const bool use_esg : {true, false}) {
+    const auto m = run_with(use_esg);
+    table.add_row({use_esg ? "ESG" : "Aquatope", std::to_string(m.requests()),
+                   AsciiTable::pct(m.slo_hit_rate()),
+                   AsciiTable::num(m.total_cost, 4),
+                   AsciiTable::num(m.mean_job_wait_ms(), 1),
+                   std::to_string(m.plan_misses)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("ESG re-plans every stage against the live queue state, so "
+              "bursts cost it latency headroom it had already reserved; the "
+              "offline-trained plan cannot react at all (its plan misses "
+              "count the times its configuration no longer applied).\n");
+  return 0;
+}

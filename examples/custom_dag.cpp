@@ -1,0 +1,86 @@
+// Builds a custom split/join application DAG (not one of the paper's four
+// pipelines), prints its dominator tree and dominator-based SLO
+// distribution, and runs it through the full simulated platform under ESG.
+//
+// This exercises the general DAG path of the machinery: the paper's own
+// workloads are linear pipelines, but the algorithms are defined for any
+// hierarchically reducible DAG (Section 3.3, Figure 4).
+#include <cstdio>
+
+#include "core/dominator.hpp"
+#include "core/esg_scheduler.hpp"
+#include "core/slo_distribution.hpp"
+#include "platform/controller.hpp"
+#include "profile/function_spec.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace esg;
+  using profile::Function;
+
+  // A diamond: deblur fans out to super-resolution and segmentation in
+  // parallel; classification joins on both outputs.
+  workload::AppDag dag(AppId(0), "parallel_enhance_classify");
+  const auto deblur = dag.add_node(profile::id_of(Function::kDeblur));
+  const auto sr = dag.add_node(profile::id_of(Function::kSuperResolution));
+  const auto seg = dag.add_node(profile::id_of(Function::kSegmentation));
+  const auto cls = dag.add_node(profile::id_of(Function::kClassification));
+  dag.add_edge(deblur, sr);
+  dag.add_edge(deblur, seg);
+  dag.add_edge(sr, cls);
+  dag.add_edge(seg, cls);
+  dag.validate();
+
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto name_of = [&](workload::NodeIndex n) {
+    return profiles.table(dag.node(n).function).spec().name.c_str();
+  };
+
+  std::printf("== Dominator tree ==\n");
+  const core::DominatorTree dom(dag);
+  for (workload::NodeIndex n = 0; n < dag.size(); ++n) {
+    std::printf("  idom(%s) = %s\n", name_of(n), name_of(dom.idom(n)));
+  }
+
+  std::printf("\n== Dominator-based SLO distribution (group size 3) ==\n");
+  const core::SloDistribution dist(dag, profiles, 3);
+  for (const auto& group : dist.groups()) {
+    std::printf("  group { ");
+    for (const auto n : group.nodes) std::printf("%s ", name_of(n));
+    std::printf("} <- %.1f%% of the SLO\n", 100.0 * group.fraction);
+  }
+  std::printf("  (parallel branches each receive their reduced node's full "
+              "share)\n");
+
+  const TimeMs baseline = workload::baseline_latency_ms(dag, profiles);
+  const TimeMs slo =
+      workload::slo_latency_ms(dag, profiles, workload::SloSetting::kModerate);
+  std::printf("\ncritical-path baseline L = %.0f ms, moderate SLO = %.0f ms\n",
+              baseline, slo);
+
+  // Run 20 requests through the platform under ESG.
+  std::vector<workload::AppDag> apps;
+  apps.push_back(dag);
+  sim::Simulator sim;
+  cluster::Cluster cluster(4);
+  const RngFactory rng(21);
+  core::EsgScheduler scheduler(apps, profiles);
+  platform::Controller controller(sim, cluster, profiles, apps,
+                                  workload::SloSetting::kModerate, scheduler,
+                                  rng);
+  std::vector<workload::Arrival> arrivals;
+  for (int i = 0; i < 20; ++i) {
+    arrivals.push_back({100.0 * i, dag.id()});
+  }
+  controller.inject(arrivals);
+  controller.run_to_completion();
+
+  const auto& m = controller.metrics();
+  std::printf("\n== 20 requests through the simulated platform ==\n");
+  std::printf("completed: %zu   hit rate: %.0f%%   tasks: %zu   "
+              "cost: $%.4f\n",
+              m.requests(), 100.0 * m.slo_hit_rate(), m.tasks, m.total_cost);
+  std::printf("(the first requests pay cold starts; once containers are "
+              "warm, the diamond's branches run concurrently)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Demonstrates the property that separates ESG from plan-once schedulers
+// (Orion, Aquatope): it re-plans before every stage dispatch, so a request
+// whose early stages ran slow gets faster configurations for its remaining
+// stages — and one that ran fast is allowed to relax into cheaper ones.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/esg_scheduler.hpp"
+#include "exp/scenario.hpp"
+#include "workload/applications.hpp"
+
+int main() {
+  using namespace esg;
+
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = workload::builtin_applications();
+  const auto& app = apps[3];  // expanded_image_classification (5 stages)
+  core::EsgScheduler scheduler(apps, profiles);
+
+  platform::QueueView view;
+  view.app = app.id();
+  view.stage = 3;  // segmentation, late in the pipeline
+  view.function = app.node(3).function;
+  view.dag = &app;
+  view.profiles = &profiles;
+  view.queue_length = 4;
+  view.head_wait_ms = 1e9;  // decided to dispatch now
+  view.slo_ms =
+      workload::slo_latency_ms(app, profiles, workload::SloSetting::kModerate);
+
+  std::printf("Planning stage 4/5 (%s) of %s, SLO %.0f ms, at different "
+              "amounts of already-consumed budget:\n\n",
+              profiles.table(view.function).spec().name.c_str(),
+              app.name().c_str(), view.slo_ms);
+
+  AsciiTable table({"budget consumed", "chosen config", "expected latency (ms)",
+                    "per-job cost ($)"});
+  for (const double consumed : {0.0, 0.3, 0.6, 0.8}) {
+    view.oldest_elapsed_ms = consumed * view.slo_ms;
+    const auto plan = scheduler.plan(view);
+    const auto& entry =
+        profiles.table(view.function).at(plan.candidates.front());
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f%%", 100.0 * consumed);
+    table.add_row({label, to_string(entry.config),
+                   AsciiTable::num(entry.latency_ms, 0),
+                   AsciiTable::num(entry.per_job_cost, 6)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The tighter the remaining budget, the faster (and costlier) "
+              "the configuration ESG picks — a plan-once scheduler would "
+              "keep the 0%% row regardless.\n\n");
+
+  // The same effect end-to-end: with heavy execution noise, adaptive ESG
+  // still lands most requests under the SLO.
+  exp::Scenario s;
+  s.scheduler = exp::SchedulerKind::kEsg;
+  s.load = workload::LoadSetting::kNormal;
+  s.slo = workload::SloSetting::kModerate;
+  s.horizon_ms = 5'000.0;
+  s.controller.noise_cv = 0.15;  // 2.5x the default performance variation
+  const auto out = exp::run_scenario(s);
+  std::printf("Under 15%% execution-time noise: %zu requests, %.1f%% SLO "
+              "hits, $%.4f total cost.\n",
+              out.metrics.requests(), 100.0 * out.metrics.slo_hit_rate(),
+              out.metrics.total_cost);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end tour of the library.
+//
+//  1. Build the performance profiles for the six Table 3 DNN functions.
+//  2. Look at one configuration space.
+//  3. Ask ESG_1Q for the cheapest configuration path of a pipeline under an
+//     SLO target.
+//  4. Run a short simulated workload under the full ESG scheduler and print
+//     the headline metrics.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/esg_1q.hpp"
+#include "exp/scenario.hpp"
+#include "profile/function_spec.hpp"
+#include "workload/applications.hpp"
+
+int main() {
+  using namespace esg;
+
+  // 1. Profiles: expected latency + cost for every (batch, vCPU, vGPU).
+  const auto profiles = profile::ProfileSet::builtin();
+  std::printf("== The six DNN serverless functions (Table 3) ==\n");
+  AsciiTable specs({"function", "model", "base (ms)", "cold start (ms)",
+                    "input (MB)", "configs"});
+  for (const auto& spec : profile::builtin_specs()) {
+    specs.add_row({spec.name, spec.model, AsciiTable::num(spec.base_latency_ms, 0),
+                   AsciiTable::num(spec.cold_start_ms, 0),
+                   AsciiTable::num(spec.input_mb, 2),
+                   std::to_string(profiles.table(spec.id).entries().size())});
+  }
+  std::printf("%s\n", specs.render().c_str());
+
+  // 2. A few profile entries of one function.
+  const auto& deblur = profiles.table(profile::id_of(profile::Function::kDeblur));
+  std::printf("== Fastest / cheapest deblur configurations ==\n");
+  std::printf("fastest:  %s -> %.0f ms, $%.6f per job\n",
+              to_string(deblur.fastest().config).c_str(),
+              deblur.fastest().latency_ms, deblur.fastest().per_job_cost);
+  const auto cheapest = *std::min_element(
+      deblur.entries().begin(), deblur.entries().end(),
+      [](const auto& a, const auto& b) { return a.per_job_cost < b.per_job_cost; });
+  std::printf("cheapest: %s -> %.0f ms, $%.6f per job\n\n",
+              to_string(cheapest.config).c_str(), cheapest.latency_ms,
+              cheapest.per_job_cost);
+
+  // 3. ESG_1Q on the image-classification pipeline.
+  const auto apps = workload::builtin_applications();
+  const auto& app = apps[0];
+  const TimeMs slo =
+      workload::slo_latency_ms(app, profiles, workload::SloSetting::kModerate);
+  std::vector<core::StageInput> stages;
+  for (const auto& node : app.nodes()) {
+    stages.push_back(core::StageInput{&profiles.table(node.function), 0});
+  }
+  const auto search = core::esg_1q(stages, slo, {.k = 3});
+  std::printf("== ESG_1Q on %s (SLO %.0f ms) ==\n", app.name().c_str(), slo);
+  std::printf("examined %zu configurations; %zu paths in the configPQ\n",
+              search.stats.nodes_expanded, search.config_pq.size());
+  for (const auto& path : search.config_pq) {
+    std::printf("  path: ");
+    for (const auto& e : path.entries) {
+      std::printf("%s ", to_string(e.config).c_str());
+    }
+    std::printf("-> %.0f ms, $%.6f per job\n", path.total_latency_ms,
+                path.total_per_job_cost);
+  }
+
+  // 4. A short simulated workload under the full scheduler.
+  exp::Scenario scenario;
+  scenario.scheduler = exp::SchedulerKind::kEsg;
+  scenario.load = workload::LoadSetting::kLight;
+  scenario.slo = workload::SloSetting::kModerate;
+  scenario.horizon_ms = 5'000.0;
+  const auto out = exp::run_scenario(scenario);
+  std::printf("\n== 5 s of light traffic on 16 simulated invokers ==\n");
+  std::printf("requests: %zu   SLO hit rate: %.1f%%   cost: $%.4f   "
+              "cold starts: %zu   warm starts: %zu\n",
+              out.metrics.requests(), 100.0 * out.metrics.slo_hit_rate(),
+              out.metrics.total_cost, out.metrics.cold_starts,
+              out.metrics.warm_starts);
+  return 0;
+}

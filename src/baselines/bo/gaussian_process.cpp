@@ -1,0 +1,126 @@
+#include "baselines/bo/gaussian_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace esg::baselines::bo {
+
+std::vector<double> cholesky(const std::vector<double>& a, std::size_t n) {
+  if (a.size() != n * n) throw std::invalid_argument("cholesky: bad dimensions");
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::invalid_argument("cholesky: matrix not positive definite");
+        }
+        l[i * n + j] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                   const std::vector<double>& b) {
+  if (l.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: bad dimensions");
+  }
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+    y[i] = sum / l[i * n + i];
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  return x;
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return hp_.signal_variance *
+         std::exp(-sq / (2.0 * hp_.length_scale * hp_.length_scale));
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("GaussianProcess::fit: bad training data");
+  }
+  const std::size_t n = x.size();
+  x_ = x;
+
+  // Standardise the targets for numerical stability.
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y) var += (v - y_mean_) * (v - y_mean_);
+  y_std_ = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 1.0;
+  if (y_std_ <= 1e-12) y_std_ = 1.0;
+
+  std::vector<double> k(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(x_[i], x_[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += hp_.noise_variance;
+  }
+  chol_ = cholesky(k, n);
+
+  std::vector<double> target(n);
+  for (std::size_t i = 0; i < n; ++i) target[i] = (y[i] - y_mean_) / y_std_;
+  alpha_ = cholesky_solve(chol_, n, target);
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(
+    const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("GaussianProcess::predict before fit");
+  const std::size_t n = x_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(x, x_[i]);
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += kstar[i] * alpha_[i];
+
+  // Predictive variance: k(x,x) - k*^T K^{-1} k*.
+  const std::vector<double> v = cholesky_solve(chol_, n, kstar);
+  double reduction = 0.0;
+  for (std::size_t i = 0; i < n; ++i) reduction += kstar[i] * v[i];
+  const double variance =
+      std::max(0.0, kernel(x, x) + hp_.noise_variance - reduction);
+
+  return Prediction{y_mean_ + y_std_ * mean, y_std_ * y_std_ * variance};
+}
+
+double GaussianProcess::expected_improvement(const std::vector<double>& x,
+                                             double best_y) const {
+  const Prediction p = predict(x);
+  const double sigma = std::sqrt(p.variance);
+  if (sigma < 1e-12) return std::max(0.0, best_y - p.mean);
+  const double z = (best_y - p.mean) / sigma;
+  const double phi =
+      std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+  const double cdf = 0.5 * std::erfc(-z / std::numbers::sqrt2);
+  return (best_y - p.mean) * cdf + sigma * phi;
+}
+
+}  // namespace esg::baselines::bo

@@ -1,0 +1,101 @@
+#include "baselines/fast_gshare.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace esg::baselines {
+
+FastGshareScheduler::FastGshareScheduler(
+    const std::vector<workload::AppDag>& apps,
+    const profile::ProfileSet& profiles, Options options)
+    : options_(options) {
+  for (const auto& app : apps) {
+    splits_.emplace(app.id(), ServiceTimeSplit(app, profiles));
+  }
+}
+
+platform::PlanResult FastGshareScheduler::plan(const platform::QueueView& view) {
+  platform::PlanResult plan;
+  const auto& split = splits_.at(view.app);
+  const TimeMs slice = std::max(
+      1.0, view.slo_ms * split.node_fraction(view.stage) - view.head_wait_ms);
+
+  const auto& table = view.profiles->table(view.function);
+
+  // Among configurations meeting the static slice, prefer the highest
+  // throughput per resource dollar — FaST-GShare's spatio-temporal GPU
+  // efficiency metric. This lands on frugal configurations that barely make
+  // the slice.
+  std::vector<const profile::ProfileEntry*> fitting;
+  for (const auto& e : table.entries()) {
+    if (e.latency_ms <= slice) fitting.push_back(&e);
+  }
+  std::sort(fitting.begin(), fitting.end(),
+            [](const profile::ProfileEntry* a, const profile::ProfileEntry* b) {
+              if (a->per_job_cost != b->per_job_cost) {
+                return a->per_job_cost < b->per_job_cost;
+              }
+              return a->latency_ms < b->latency_ms;
+            });
+
+  if (fitting.empty()) {
+    // Nothing meets the slice: stay true to the frugal metric and drain
+    // with the cheapest per-job configurations the queue can fill.
+    std::vector<const profile::ProfileEntry*> all;
+    for (const auto& e : table.entries()) {
+      if (e.config.batch <= view.queue_length) all.push_back(&e);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const profile::ProfileEntry* a, const profile::ProfileEntry* b) {
+                if (a->per_job_cost != b->per_job_cost) {
+                  return a->per_job_cost < b->per_job_cost;
+                }
+                return a->latency_ms < b->latency_ms;
+              });
+    for (const auto* e : all) {
+      plan.candidates.push_back(e->config);
+      if (plan.candidates.size() >= options_.candidates) break;
+    }
+    if (plan.candidates.empty()) plan.candidates.push_back(profile::kMinConfig);
+    return plan;
+  }
+
+  const std::uint16_t desired = fitting.front()->config.batch;
+  if (desired > view.queue_length) {
+    const TimeMs slack = std::max(0.0, slice - fitting.front()->latency_ms);
+    if (view.head_wait_ms < options_.defer_safety * slack) {
+      plan.defer = true;
+      return plan;
+    }
+  }
+
+  for (const auto* e : fitting) {
+    if (e->config.batch > view.queue_length) continue;
+    if (std::find(plan.candidates.begin(), plan.candidates.end(), e->config) ==
+        plan.candidates.end()) {
+      plan.candidates.push_back(e->config);
+      if (plan.candidates.size() >= options_.candidates) break;
+    }
+  }
+  return plan;
+}
+
+std::optional<InvokerId> FastGshareScheduler::place(
+    const platform::PlacementContext& ctx, const cluster::Cluster& cluster) {
+  // GPU-fragmentation-minimising: choose the node whose free vGPU count,
+  // after placement, is smallest (pack slices tightly); ignore locality.
+  std::optional<InvokerId> best;
+  int best_score = std::numeric_limits<int>::max();
+  for (const auto& inv : cluster.invokers()) {
+    if (!inv.can_fit(ctx.config.vcpus, ctx.config.vgpus)) continue;
+    const int leftover_gpu = inv.free_vgpus() - ctx.config.vgpus;
+    const int score = leftover_gpu * 64 + (inv.free_vcpus() - ctx.config.vcpus);
+    if (score < best_score) {
+      best_score = score;
+      best = inv.id();
+    }
+  }
+  return best;
+}
+
+}  // namespace esg::baselines

@@ -1,0 +1,44 @@
+// FaST-GShare baseline (Gu et al. 2023) as characterised in Section 4.2:
+// enumeration-based configuration selection driven by throughput-per-
+// resource metrics over the statically split SLO, with node selection that
+// minimises GPU fragmentation. It spends as little GPU as the static slice
+// allows — which is why the paper observes it "always yields the largest
+// latency" with frequent SLO strikes when early stages are delayed.
+#pragma once
+
+#include <unordered_map>
+
+#include "baselines/service_time_split.hpp"
+#include "platform/scheduler.hpp"
+
+namespace esg::baselines {
+
+class FastGshareScheduler : public platform::Scheduler {
+ public:
+  struct Options {
+    std::size_t candidates = 3;
+    double defer_safety = 0.5;
+  };
+
+  FastGshareScheduler(const std::vector<workload::AppDag>& apps,
+                      const profile::ProfileSet& profiles, Options options);
+  FastGshareScheduler(const std::vector<workload::AppDag>& apps,
+                      const profile::ProfileSet& profiles)
+      : FastGshareScheduler(apps, profiles, Options{}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "FaST-GShare"; }
+
+  platform::PlanResult plan(const platform::QueueView& view) override;
+
+  /// Minimises GPU fragmentation: tightest vGPU fit wins, vCPUs break ties.
+  std::optional<InvokerId> place(const platform::PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override;
+
+  [[nodiscard]] bool prefers_locality() const override { return false; }
+
+ private:
+  Options options_;
+  std::unordered_map<AppId, ServiceTimeSplit> splits_;
+};
+
+}  // namespace esg::baselines

@@ -1,0 +1,100 @@
+#include "baselines/infless.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace esg::baselines {
+
+InflessScheduler::InflessScheduler(const std::vector<workload::AppDag>& apps,
+                                   const profile::ProfileSet& profiles,
+                                   Options options)
+    : options_(options) {
+  for (const auto& app : apps) {
+    splits_.emplace(app.id(), ServiceTimeSplit(app, profiles));
+  }
+}
+
+platform::PlanResult InflessScheduler::plan(const platform::QueueView& view) {
+  platform::PlanResult plan;
+  const auto& split = splits_.at(view.app);
+  // Static slice: no renormalisation against the elapsed time (the defining
+  // limitation the paper calls out). Only the local queueing delay is
+  // subtracted — the stage knows how long its own jobs waited.
+  const TimeMs slice = std::max(
+      1.0, view.slo_ms * split.node_fraction(view.stage) - view.head_wait_ms);
+
+  const auto& table = view.profiles->table(view.function);
+
+  // Enumerate: among configurations meeting the slice, rank by throughput
+  // (jobs per second) — INFless's efficiency metric favours big batches on
+  // many vGPU slices.
+  std::vector<const profile::ProfileEntry*> fitting;
+  for (const auto& e : table.entries()) {
+    if (e.latency_ms <= slice) fitting.push_back(&e);
+  }
+  auto by_throughput = [](const profile::ProfileEntry* a,
+                          const profile::ProfileEntry* b) {
+    const double ta = static_cast<double>(a->config.batch) / a->latency_ms;
+    const double tb = static_cast<double>(b->config.batch) / b->latency_ms;
+    if (ta != tb) return ta > tb;
+    return a->latency_ms < b->latency_ms;
+  };
+  std::sort(fitting.begin(), fitting.end(), by_throughput);
+
+  if (fitting.empty()) {
+    // Nothing meets the slice: fall back to INFless's own metric without
+    // the latency constraint — the highest-throughput configuration that
+    // the queue can fill (racing the absolute fastest config would hog
+    // vCPUs for a job that misses its slice regardless).
+    std::vector<const profile::ProfileEntry*> all;
+    for (const auto& e : table.entries()) {
+      if (e.config.batch <= view.queue_length) all.push_back(&e);
+    }
+    std::sort(all.begin(), all.end(), by_throughput);
+    for (const auto* e : all) {
+      plan.candidates.push_back(e->config);
+      if (plan.candidates.size() >= options_.candidates) break;
+    }
+    if (plan.candidates.empty()) plan.candidates.push_back(profile::kMinConfig);
+    return plan;
+  }
+
+  const std::uint16_t desired = fitting.front()->config.batch;
+  if (desired > view.queue_length) {
+    const TimeMs slack = std::max(0.0, slice - fitting.front()->latency_ms);
+    if (view.head_wait_ms < options_.defer_safety * slack) {
+      plan.defer = true;
+      return plan;
+    }
+  }
+
+  for (const auto* e : fitting) {
+    if (e->config.batch > view.queue_length) continue;
+    if (std::find(plan.candidates.begin(), plan.candidates.end(), e->config) ==
+        plan.candidates.end()) {
+      plan.candidates.push_back(e->config);
+      if (plan.candidates.size() >= options_.candidates) break;
+    }
+  }
+  return plan;
+}
+
+std::optional<InvokerId> InflessScheduler::place(
+    const platform::PlacementContext& ctx, const cluster::Cluster& cluster) {
+  // Best-fit packing: tightest node that still fits, minimising leftover
+  // fragments (vGPUs weighted as the scarce resource).
+  std::optional<InvokerId> best;
+  int best_score = std::numeric_limits<int>::max();
+  for (const auto& inv : cluster.invokers()) {
+    if (!inv.can_fit(ctx.config.vcpus, ctx.config.vgpus)) continue;
+    const int leftover = (inv.free_vgpus() - ctx.config.vgpus) * 64 +
+                         (inv.free_vcpus() - ctx.config.vcpus);
+    if (leftover < best_score) {
+      best_score = leftover;
+      best = inv.id();
+    }
+  }
+  return best;
+}
+
+}  // namespace esg::baselines

@@ -1,0 +1,47 @@
+// INFless baseline (Yang et al., ASPLOS'22) as characterised in Section 4.2:
+// per-function configuration enumeration with no inter-function awareness —
+// the end-to-end SLO is split statically by average service time — and a
+// resource-efficiency node-selection metric that packs work to minimise
+// fragmentation and maximise throughput. The enumeration picks the
+// highest-throughput configuration that fits the static per-stage slice,
+// which yields the paper's observed behaviour: low per-stage latencies at
+// the highest resource cost.
+#pragma once
+
+#include <unordered_map>
+
+#include "baselines/service_time_split.hpp"
+#include "platform/scheduler.hpp"
+
+namespace esg::baselines {
+
+class InflessScheduler : public platform::Scheduler {
+ public:
+  struct Options {
+    std::size_t candidates = 3;  ///< configurations offered per plan
+    double defer_safety = 0.5;   ///< batching wait, same policy as ESG's
+  };
+
+  InflessScheduler(const std::vector<workload::AppDag>& apps,
+                   const profile::ProfileSet& profiles, Options options);
+  InflessScheduler(const std::vector<workload::AppDag>& apps,
+                   const profile::ProfileSet& profiles)
+      : InflessScheduler(apps, profiles, Options{}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "INFless"; }
+
+  platform::PlanResult plan(const platform::QueueView& view) override;
+
+  /// Best-fit: the invoker with the least free capacity that still fits —
+  /// INFless's anti-fragmentation packing.
+  std::optional<InvokerId> place(const platform::PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override;
+
+  [[nodiscard]] bool prefers_locality() const override { return false; }
+
+ private:
+  Options options_;
+  std::unordered_map<AppId, ServiceTimeSplit> splits_;
+};
+
+}  // namespace esg::baselines

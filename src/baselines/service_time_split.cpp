@@ -1,0 +1,21 @@
+#include "baselines/service_time_split.hpp"
+
+namespace esg::baselines {
+
+ServiceTimeSplit::ServiceTimeSplit(const workload::AppDag& dag,
+                                   const profile::ProfileSet& profiles) {
+  const std::size_t n = dag.size();
+  std::vector<double> mean(n, 0.0);
+  double total = 0.0;
+  for (workload::NodeIndex i = 0; i < n; ++i) {
+    const auto entries = profiles.table(dag.node(i).function).entries();
+    double sum = 0.0;
+    for (const auto& e : entries) sum += e.latency_ms;
+    mean[i] = sum / static_cast<double>(entries.size());
+    total += mean[i];
+  }
+  fraction_.resize(n);
+  for (workload::NodeIndex i = 0; i < n; ++i) fraction_[i] = mean[i] / total;
+}
+
+}  // namespace esg::baselines

@@ -1,0 +1,32 @@
+// Static SLO distribution by average service time, following GrandSLAm [36]:
+// each function receives a share of the end-to-end SLO proportional to its
+// mean profiled latency. The paper applies this split to INFless and
+// FaST-GShare, which "provide no method for distributing an application's
+// SLO to its functions" (Section 4.2). Unlike ESG's distribution it is never
+// re-normalised at runtime — late stages do not learn about early delays.
+#pragma once
+
+#include <vector>
+
+#include "profile/profile_table.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::baselines {
+
+class ServiceTimeSplit {
+ public:
+  ServiceTimeSplit(const workload::AppDag& dag,
+                   const profile::ProfileSet& profiles);
+
+  /// Share of the end-to-end SLO owned by `node` (mean-latency weighted;
+  /// shares along any root-to-sink path sum to <= 1, parallel branches
+  /// weighted by their own latency).
+  [[nodiscard]] double node_fraction(workload::NodeIndex node) const {
+    return fraction_.at(node);
+  }
+
+ private:
+  std::vector<double> fraction_;
+};
+
+}  // namespace esg::baselines

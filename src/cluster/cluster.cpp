@@ -1,0 +1,63 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace esg::cluster {
+
+Cluster::Cluster(std::size_t node_count, NodeCapacity capacity) {
+  if (node_count == 0) {
+    throw std::invalid_argument("Cluster: need at least one invoker");
+  }
+  invokers_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    invokers_.emplace_back(InvokerId(static_cast<std::uint32_t>(i)), capacity);
+  }
+}
+
+Cluster::Cluster(const std::vector<NodeCapacity>& capacities) {
+  if (capacities.empty()) {
+    throw std::invalid_argument("Cluster: need at least one invoker");
+  }
+  invokers_.reserve(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    invokers_.emplace_back(InvokerId(static_cast<std::uint32_t>(i)),
+                           capacities[i]);
+  }
+}
+
+Invoker& Cluster::invoker(InvokerId id) {
+  if (id.get() >= invokers_.size()) {
+    throw std::out_of_range("Cluster::invoker: bad id");
+  }
+  return invokers_[id.get()];
+}
+
+const Invoker& Cluster::invoker(InvokerId id) const {
+  if (id.get() >= invokers_.size()) {
+    throw std::out_of_range("Cluster::invoker: bad id");
+  }
+  return invokers_[id.get()];
+}
+
+InvokerId Cluster::home_invoker(AppId app, FunctionId function) const {
+  // Splitmix-style avalanche of the (app, function) pair; stable across runs.
+  std::uint64_t h = (std::uint64_t{app.get()} << 32) | function.get();
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return InvokerId(static_cast<std::uint32_t>(h % invokers_.size()));
+}
+
+std::size_t Cluster::total_free_vcpus() const {
+  std::size_t total = 0;
+  for (const auto& inv : invokers_) total += inv.free_vcpus();
+  return total;
+}
+
+std::size_t Cluster::total_free_vgpus() const {
+  std::size_t total = 0;
+  for (const auto& inv : invokers_) total += inv.free_vgpus();
+  return total;
+}
+
+}  // namespace esg::cluster

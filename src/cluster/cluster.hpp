@@ -1,0 +1,47 @@
+// The simulated cluster: a fixed set of homogeneous invokers plus the
+// OpenWhisk-style home-invoker hash (Section 2: the controller picks an
+// invoker from a hash of the function's namespace and action so future
+// instances land on the same node and hit warm containers).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/data_transfer.hpp"
+#include "cluster/invoker.hpp"
+#include "common/types.hpp"
+
+namespace esg::cluster {
+
+class Cluster {
+ public:
+  /// Builds `node_count` identical invokers.
+  Cluster(std::size_t node_count, NodeCapacity capacity = {});
+
+  /// Heterogeneous fleet: one invoker per capacity entry (Appendix A notes
+  /// the scheduling algorithms work unchanged on heterogeneous hardware).
+  explicit Cluster(const std::vector<NodeCapacity>& capacities);
+
+  [[nodiscard]] std::size_t size() const { return invokers_.size(); }
+  [[nodiscard]] Invoker& invoker(InvokerId id);
+  [[nodiscard]] const Invoker& invoker(InvokerId id) const;
+  [[nodiscard]] std::vector<Invoker>& invokers() { return invokers_; }
+  [[nodiscard]] const std::vector<Invoker>& invokers() const { return invokers_; }
+
+  /// Deterministic home invoker for (app, function), mimicking OpenWhisk's
+  /// namespace/action hash.
+  [[nodiscard]] InvokerId home_invoker(AppId app, FunctionId function) const;
+
+  /// Total free resources across the cluster.
+  [[nodiscard]] std::size_t total_free_vcpus() const;
+  [[nodiscard]] std::size_t total_free_vgpus() const;
+
+  [[nodiscard]] const DataTransferModel& transfer_model() const { return transfer_; }
+  void set_transfer_model(const DataTransferModel& m) { transfer_ = m; }
+
+ private:
+  std::vector<Invoker> invokers_;
+  DataTransferModel transfer_;
+};
+
+}  // namespace esg::cluster

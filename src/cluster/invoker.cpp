@@ -1,0 +1,61 @@
+#include "cluster/invoker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esg::cluster {
+
+void Invoker::allocate(std::uint16_t vcpus, std::uint16_t vgpus) {
+  check(can_fit(vcpus, vgpus), "Invoker::allocate over-commits the node");
+  used_vcpus_ = static_cast<std::uint16_t>(used_vcpus_ + vcpus);
+  used_vgpus_ = static_cast<std::uint16_t>(used_vgpus_ + vgpus);
+}
+
+void Invoker::release(std::uint16_t vcpus, std::uint16_t vgpus) {
+  check(vcpus <= used_vcpus_ && vgpus <= used_vgpus_,
+        "Invoker::release returns more than allocated");
+  used_vcpus_ = static_cast<std::uint16_t>(used_vcpus_ - vcpus);
+  used_vgpus_ = static_cast<std::uint16_t>(used_vgpus_ - vgpus);
+}
+
+void Invoker::prune_expired(FunctionId function, TimeMs now) const {
+  auto it = warm_.find(function);
+  if (it == warm_.end()) return;
+  auto& expiries = it->second;
+  std::erase_if(expiries, [now](TimeMs expiry) { return expiry <= now; });
+  if (expiries.empty()) warm_.erase(it);
+}
+
+std::size_t Invoker::warm_count(FunctionId function, TimeMs now) const {
+  prune_expired(function, now);
+  auto it = warm_.find(function);
+  return it == warm_.end() ? 0 : it->second.size();
+}
+
+bool Invoker::acquire_warm(FunctionId function, TimeMs now) {
+  prune_expired(function, now);
+  auto it = warm_.find(function);
+  if (it == warm_.end()) return false;
+  auto& expiries = it->second;
+  auto soonest = std::min_element(expiries.begin(), expiries.end());
+  expiries.erase(soonest);
+  if (expiries.empty()) warm_.erase(it);
+  return true;
+}
+
+void Invoker::add_warm(FunctionId function, TimeMs now, TimeMs keep_alive) {
+  warm_[function].push_back(now + keep_alive);
+}
+
+std::size_t Invoker::total_warm(TimeMs now) const {
+  std::size_t total = 0;
+  // Collect keys first: prune_expired may erase map entries while iterating.
+  std::vector<FunctionId> functions;
+  functions.reserve(warm_.size());
+  for (const auto& [fn, _] : warm_) functions.push_back(fn);
+  for (FunctionId fn : functions) total += warm_count(fn, now);
+  return total;
+}
+
+}  // namespace esg::cluster

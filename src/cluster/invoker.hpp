@@ -1,0 +1,81 @@
+// One worker node ("Invoker" in OpenWhisk terms): a pool of vCPUs and vGPU
+// slices plus a keep-alive pool of warm containers.
+//
+// Resource accounting: active tasks hold vCPUs/vGPUs for their whole
+// occupancy (cold start + data transfer + execution). Idle warm containers
+// hold no vCPU/vGPU — they are paused, keeping only the loaded model, which
+// is what makes a subsequent start "warm". Warm entries expire after the
+// keep-alive window (OpenWhisk's fixed 10 minutes, Section 2); expiry is
+// evaluated lazily against the caller-provided current time, so this module
+// has no dependency on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esg::cluster {
+
+struct NodeCapacity {
+  std::uint16_t vcpus = 16;  ///< testbed: 16 vCPUs per node (Section 4)
+  std::uint16_t vgpus = 7;   ///< one A100 split into 7 MIG slices
+};
+
+inline constexpr TimeMs kKeepAliveMs = 10.0 * 60.0 * 1000.0;  // 10 minutes
+
+class Invoker {
+ public:
+  Invoker(InvokerId id, NodeCapacity capacity)
+      : id_(id), capacity_(capacity) {}
+
+  [[nodiscard]] InvokerId id() const { return id_; }
+  [[nodiscard]] NodeCapacity capacity() const { return capacity_; }
+  [[nodiscard]] std::uint16_t free_vcpus() const {
+    return static_cast<std::uint16_t>(capacity_.vcpus - used_vcpus_);
+  }
+  [[nodiscard]] std::uint16_t free_vgpus() const {
+    return static_cast<std::uint16_t>(capacity_.vgpus - used_vgpus_);
+  }
+  [[nodiscard]] std::uint16_t used_vcpus() const { return used_vcpus_; }
+  [[nodiscard]] std::uint16_t used_vgpus() const { return used_vgpus_; }
+
+  [[nodiscard]] bool can_fit(std::uint16_t vcpus, std::uint16_t vgpus) const {
+    return vcpus <= free_vcpus() && vgpus <= free_vgpus();
+  }
+
+  /// Reserves resources for a task. Throws std::logic_error on over-commit.
+  void allocate(std::uint16_t vcpus, std::uint16_t vgpus);
+  /// Returns resources. Throws std::logic_error on under-flow.
+  void release(std::uint16_t vcpus, std::uint16_t vgpus);
+
+  /// Number of unexpired idle warm containers for `function` at `now`.
+  [[nodiscard]] std::size_t warm_count(FunctionId function, TimeMs now) const;
+  [[nodiscard]] bool has_warm(FunctionId function, TimeMs now) const {
+    return warm_count(function, now) > 0;
+  }
+
+  /// Consumes one warm container (the one expiring soonest). Returns false
+  /// if none is available — the caller then pays a cold start.
+  bool acquire_warm(FunctionId function, TimeMs now);
+
+  /// Parks a warm container that stays usable until now + keep_alive.
+  void add_warm(FunctionId function, TimeMs now, TimeMs keep_alive = kKeepAliveMs);
+
+  /// Total unexpired warm containers across functions (for reporting).
+  [[nodiscard]] std::size_t total_warm(TimeMs now) const;
+
+ private:
+  InvokerId id_;
+  NodeCapacity capacity_;
+  std::uint16_t used_vcpus_ = 0;
+  std::uint16_t used_vgpus_ = 0;
+  // function -> expiry times of idle warm containers (unsorted, tiny lists).
+  // Mutable: const queries prune expired entries lazily.
+  mutable std::unordered_map<FunctionId, std::vector<TimeMs>> warm_;
+
+  void prune_expired(FunctionId function, TimeMs now) const;
+};
+
+}  // namespace esg::cluster

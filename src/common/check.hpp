@@ -1,0 +1,24 @@
+// Error-checking helpers. Invariant violations throw std::logic_error with a
+// location-tagged message; precondition failures on user input throw
+// std::invalid_argument at the call sites directly.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace esg {
+
+/// Throws std::logic_error if `condition` is false. Used for internal
+/// invariants; never for recoverable user errors.
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::logic_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": invariant failed: " +
+                           std::string(message));
+  }
+}
+
+}  // namespace esg

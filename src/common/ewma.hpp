@@ -1,0 +1,38 @@
+// Exponentially weighted moving average, used by the pre-warming predictor
+// (Section 4: "uses EWMA to predict the invocation intervals of functions").
+#pragma once
+
+#include <stdexcept>
+
+namespace esg {
+
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (!(alpha > 0.0) || alpha > 1.0) {
+      throw std::invalid_argument("Ewma: alpha must be in (0, 1]");
+    }
+  }
+
+  void observe(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  /// Current estimate; 0 until the first observation.
+  [[nodiscard]] double value() const { return initialized_ ? value_ : 0.0; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace esg

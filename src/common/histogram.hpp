@@ -1,0 +1,37 @@
+// Fixed-bin histogram with ASCII rendering, used by the Figure 5 bench and
+// by latency distribution reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace esg {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped into the
+  /// first/last bin so no sample is dropped silently.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_at(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of samples in the bin; 0 if the histogram is empty.
+  [[nodiscard]] double fraction_at(std::size_t bin) const;
+
+  /// Multi-line bar rendering: one row per bin with counts and a bar.
+  [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace esg

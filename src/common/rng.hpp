@@ -1,0 +1,90 @@
+// Deterministic random-number infrastructure.
+//
+// Every experiment draws all randomness from a single master seed through
+// SplitMix64-derived sub-streams, so runs are bit-reproducible regardless of
+// the order in which components are constructed. Xoshiro256** is used for
+// the streams themselves (fast, high quality, trivially copyable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace esg {
+
+/// SplitMix64: used to seed sub-streams; also a fine tiny PRNG on its own.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the authors.
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+  result_type next();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// A named random stream: uniform / Gaussian / range helpers on Xoshiro256.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+  /// Standard normal via Marsaglia polar method.
+  double gaussian();
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+  /// Bernoulli(p).
+  bool chance(double p);
+
+  Xoshiro256& generator() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Derives independent sub-streams from one master seed, keyed by label.
+/// Identical (seed, label, index) always yields the same stream.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  /// Stream for a named component (e.g. "arrivals", "noise").
+  [[nodiscard]] RngStream stream(std::string_view label, std::uint64_t index = 0) const;
+
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace esg

@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the metric collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace esg {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation on a copy of the data; q in [0, 1].
+/// Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Five-number + mean summary, handy for box-plot style reporting (Fig. 10).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+}  // namespace esg

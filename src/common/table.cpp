@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace esg {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("AsciiTable: no headers");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace esg

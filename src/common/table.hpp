@@ -1,0 +1,31 @@
+// Minimal ASCII table printer used by the bench harness to emit the rows of
+// each paper table/figure in a uniform, diffable format.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace esg {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.613 -> "61.3%".
+  static std::string pct(double ratio, int precision = 1);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace esg

@@ -1,0 +1,75 @@
+// Fundamental vocabulary types shared by every module.
+//
+// Times are simulated milliseconds stored as double (the paper quotes all
+// latencies in ms); money is USD as double. Entity identifiers are small
+// strong types so that a JobId cannot be silently passed where an InvokerId
+// is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace esg {
+
+/// Simulated time in milliseconds.
+using TimeMs = double;
+
+/// Cost in US dollars.
+using Usd = double;
+
+/// Sentinel for "no time" / "not yet happened".
+inline constexpr TimeMs kNoTime = std::numeric_limits<TimeMs>::infinity();
+
+namespace detail {
+
+/// CRTP-free strong integer id. Tag makes each instantiation distinct.
+template <class Tag>
+struct StrongId {
+  std::uint32_t value{kInvalid};
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t get() const { return value; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+}  // namespace detail
+
+struct FunctionTag;
+struct AppTag;
+struct RequestTag;
+struct InvokerTag;
+struct JobTag;
+struct TaskTag;
+struct QueueTag;
+
+/// One DNN serverless function (e.g. "deblur").
+using FunctionId = detail::StrongId<FunctionTag>;
+/// One application, i.e. a DAG of functions with an end-to-end SLO.
+using AppId = detail::StrongId<AppTag>;
+/// One end-to-end invocation of an application.
+using RequestId = detail::StrongId<RequestTag>;
+/// One worker node.
+using InvokerId = detail::StrongId<InvokerTag>;
+/// One inference request for one function ("job" in the paper).
+using JobId = detail::StrongId<JobTag>;
+/// A batch of jobs dispatched as one function invocation ("task").
+using TaskId = detail::StrongId<TaskTag>;
+/// One application-function-wise (AFW) queue.
+using QueueId = detail::StrongId<QueueTag>;
+
+}  // namespace esg
+
+template <class Tag>
+struct std::hash<esg::detail::StrongId<Tag>> {
+  std::size_t operator()(const esg::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,26 @@
+// Textbook A* over the configuration-path graph, used as an independent
+// cross-check of ESG_1Q's optimality (same contract, completely different
+// search discipline). Nodes are (stage, accumulated cost/latency) states;
+// the admissible heuristic is the suffix minimum per-job cost, exactly the
+// quantity ESG_1Q's rscLow blade uses as a bound.
+//
+// This is intentionally the "obvious" implementation — priority queue over
+// f = g + h, no dual-blade pruning — so a disagreement between the two
+// searches localises bugs quickly. It returns the single cheapest feasible
+// path (K = 1 semantics).
+#pragma once
+
+#include <span>
+
+#include "core/esg_1q.hpp"
+
+namespace esg::core {
+
+/// A*: cheapest configuration path with total latency < g_slo_ms.
+/// Returns met_slo = false (and an empty config_pq) when nothing fits —
+/// unlike esg_1q it performs no fastest-path fallback, keeping it a pure
+/// reference for the feasible case.
+[[nodiscard]] SearchResult astar_reference(std::span<const StageInput> stages,
+                                           TimeMs g_slo_ms);
+
+}  // namespace esg::core

@@ -1,0 +1,19 @@
+// Exhaustive reference search: enumerates the full Cartesian configuration
+// space. Used (i) by tests to verify that ESG_1Q's pruning never sacrifices
+// optimality, and (ii) by the Section 5.3/5.4 bench that reproduces the
+// paper's brute-force-vs-pruned overhead comparison.
+#pragma once
+
+#include <span>
+
+#include "core/esg_1q.hpp"
+
+namespace esg::core {
+
+/// Same contract as esg_1q (K cheapest feasible paths, fastest-path fallback),
+/// implemented by full enumeration. stats.nodes_expanded counts every path.
+[[nodiscard]] SearchResult brute_force_search(std::span<const StageInput> stages,
+                                              TimeMs g_slo_ms,
+                                              const SearchOptions& options = {});
+
+}  // namespace esg::core

@@ -1,0 +1,95 @@
+#include "core/dominator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace esg::core {
+
+using workload::NodeIndex;
+
+DominatorTree::DominatorTree(const workload::AppDag& dag) {
+  dag.validate();
+  const std::size_t n = dag.size();
+
+  // Reverse post-order from the entry.
+  std::vector<NodeIndex> post;
+  post.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<std::pair<NodeIndex, std::size_t>> stack;  // (node, child cursor)
+  stack.emplace_back(dag.entry(), 0);
+  visited[dag.entry()] = 1;
+  while (!stack.empty()) {
+    auto& [u, cursor] = stack.back();
+    const auto& succ = dag.node(u).successors;
+    if (cursor < succ.size()) {
+      const NodeIndex v = succ[cursor++];
+      if (!visited[v]) {
+        visited[v] = 1;
+        stack.emplace_back(v, 0);
+      }
+    } else {
+      post.push_back(u);
+      stack.pop_back();
+    }
+  }
+  check(post.size() == n, "DominatorTree: DAG not fully reachable");
+
+  std::vector<NodeIndex> rpo(post.rbegin(), post.rend());
+  rpo_number_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) rpo_number_[rpo[i]] = i;
+
+  constexpr NodeIndex kUndefined = static_cast<NodeIndex>(-1);
+  idom_.assign(n, kUndefined);
+  idom_[dag.entry()] = dag.entry();
+
+  auto intersect = [&](NodeIndex a, NodeIndex b) {
+    while (a != b) {
+      while (rpo_number_[a] > rpo_number_[b]) a = idom_[a];
+      while (rpo_number_[b] > rpo_number_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeIndex u : rpo) {
+      if (u == dag.entry()) continue;
+      NodeIndex new_idom = kUndefined;
+      for (NodeIndex p : dag.node(u).predecessors) {
+        if (idom_[p] == kUndefined) continue;
+        new_idom = (new_idom == kUndefined) ? p : intersect(p, new_idom);
+      }
+      check(new_idom != kUndefined, "DominatorTree: node with no processed pred");
+      if (idom_[u] != new_idom) {
+        idom_[u] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  children_.assign(n, {});
+  for (NodeIndex u = 0; u < n; ++u) {
+    if (u == dag.entry()) continue;
+    children_[idom_[u]].push_back(u);
+  }
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
+}
+
+bool DominatorTree::dominates(NodeIndex a, NodeIndex b) const {
+  if (a >= size() || b >= size()) {
+    throw std::out_of_range("DominatorTree::dominates: node out of range");
+  }
+  // Walk b's dominator chain up to the entry.
+  NodeIndex cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    const NodeIndex up = idom_[cur];
+    if (up == cur) return false;  // reached the entry
+    cur = up;
+  }
+}
+
+}  // namespace esg::core

@@ -1,0 +1,39 @@
+// Dominator tree of a single-source DAG, built with the iterative
+// Cooper–Harvey–Kennedy algorithm over a reverse post-order. This is the
+// "traditional compiler-based code analysis" step (Section 3.3) that the
+// dominator-based SLO distribution builds on.
+#pragma once
+
+#include <vector>
+
+#include "workload/dag.hpp"
+
+namespace esg::core {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const workload::AppDag& dag);
+
+  /// Immediate dominator; idom(entry) == entry.
+  [[nodiscard]] workload::NodeIndex idom(workload::NodeIndex n) const {
+    return idom_.at(n);
+  }
+
+  /// Children of `n` in the dominator tree (entry is not its own child).
+  [[nodiscard]] const std::vector<workload::NodeIndex>& children(
+      workload::NodeIndex n) const {
+    return children_.at(n);
+  }
+
+  /// True if `a` dominates `b` (every node dominates itself).
+  [[nodiscard]] bool dominates(workload::NodeIndex a, workload::NodeIndex b) const;
+
+  [[nodiscard]] std::size_t size() const { return idom_.size(); }
+
+ private:
+  std::vector<workload::NodeIndex> idom_;
+  std::vector<std::vector<workload::NodeIndex>> children_;
+  std::vector<std::size_t> rpo_number_;  // reverse post-order index
+};
+
+}  // namespace esg::core

@@ -1,0 +1,183 @@
+#include "core/esg_1q.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace esg::core {
+
+namespace {
+
+using profile::ProfileEntry;
+
+/// Sorted (ascending) list of at most K values; used as minRSC.
+class KBest {
+ public:
+  explicit KBest(std::size_t k) : k_(k) {}
+
+  [[nodiscard]] bool full() const { return values_.size() == k_; }
+  [[nodiscard]] Usd worst() const { return values_.back(); }
+
+  /// True if a candidate with optimistic cost `rsc_low` can still matter.
+  [[nodiscard]] bool admits(Usd rsc_low) const {
+    return !full() || rsc_low < worst();
+  }
+
+  void insert(Usd rsc_fastest) {
+    auto pos = std::upper_bound(values_.begin(), values_.end(), rsc_fastest);
+    values_.insert(pos, rsc_fastest);
+    if (values_.size() > k_) values_.pop_back();
+  }
+
+  void reset() { values_.clear(); }
+
+ private:
+  std::size_t k_;
+  std::vector<Usd> values_;
+};
+
+struct Partial {
+  std::vector<const ProfileEntry*> entries;
+  TimeMs latency_ms = 0.0;
+  Usd cost = 0.0;
+};
+
+SearchPath to_search_path(const Partial& p) {
+  SearchPath out;
+  out.entries.reserve(p.entries.size());
+  for (const ProfileEntry* e : p.entries) out.entries.push_back(*e);
+  out.total_latency_ms = p.latency_ms;
+  out.total_per_job_cost = p.cost;
+  return out;
+}
+
+}  // namespace
+
+SearchResult esg_1q(std::span<const StageInput> stages, TimeMs g_slo_ms,
+                    const SearchOptions& options) {
+  if (stages.empty()) throw std::invalid_argument("esg_1q: no stages");
+  if (options.k == 0) throw std::invalid_argument("esg_1q: k must be > 0");
+  const std::size_t n = stages.size();
+
+  // Per-stage config lists (latency-ascending), restricted by batch caps.
+  std::vector<std::vector<ProfileEntry>> lists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    check(stages[i].table != nullptr, "esg_1q: null profile table");
+    if (stages[i].batch_cap == 0) {
+      const auto span = stages[i].table->entries();
+      lists[i].assign(span.begin(), span.end());
+    } else {
+      lists[i] = stages[i].table->entries_with_batch_at_most(stages[i].batch_cap);
+    }
+    if (lists[i].empty()) {
+      throw std::invalid_argument("esg_1q: a stage has no admissible config");
+    }
+  }
+
+  // Suffix bounds over stages i..n-1.
+  std::vector<TimeMs> suf_min_lat(n + 1, 0.0);
+  std::vector<Usd> suf_min_cost(n + 1, 0.0);
+  std::vector<Usd> suf_fast_cost(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    TimeMs min_lat = std::numeric_limits<TimeMs>::infinity();
+    Usd min_cost = std::numeric_limits<Usd>::infinity();
+    TimeMs fastest_lat = std::numeric_limits<TimeMs>::infinity();
+    Usd fastest_cost = 0.0;
+    for (const auto& e : lists[i]) {
+      min_lat = std::min(min_lat, e.latency_ms);
+      min_cost = std::min(min_cost, e.per_job_cost);
+      if (e.latency_ms < fastest_lat) {
+        fastest_lat = e.latency_ms;
+        fastest_cost = e.per_job_cost;
+      }
+    }
+    suf_min_lat[i] = min_lat + suf_min_lat[i + 1];
+    suf_min_cost[i] = min_cost + suf_min_cost[i + 1];
+    suf_fast_cost[i] = fastest_cost + suf_fast_cost[i + 1];
+  }
+
+  SearchResult result;
+  SearchStats& stats = result.stats;
+  KBest min_rsc(options.k);
+
+  std::vector<Partial> paths;
+  paths.push_back(Partial{});  // the empty prefix
+
+  for (std::size_t i = 0; i < n; ++i) {
+    min_rsc.reset();
+    std::vector<Partial> next;
+    // Best-first: cheaper prefixes first tighten minRSC sooner.
+    std::sort(paths.begin(), paths.end(),
+              [](const Partial& a, const Partial& b) { return a.cost < b.cost; });
+    for (const Partial& path : paths) {
+      for (const ProfileEntry& e : lists[i]) {
+        ++stats.nodes_expanded;
+        const TimeMs t_low = path.latency_ms + e.latency_ms + suf_min_lat[i + 1];
+        if (t_low >= g_slo_ms) {
+          ++stats.pruned_time;
+          break;  // the list is latency-sorted: everything after is worse
+        }
+        const Usd rsc_low = path.cost + e.per_job_cost + suf_min_cost[i + 1];
+        if (!min_rsc.admits(rsc_low)) {
+          ++stats.pruned_cost;
+          continue;
+        }
+        const Usd rsc_fastest = path.cost + e.per_job_cost + suf_fast_cost[i + 1];
+        min_rsc.insert(rsc_fastest);
+
+        Partial extended;
+        extended.entries = path.entries;
+        extended.entries.push_back(&lists[i][&e - lists[i].data()]);
+        extended.latency_ms = path.latency_ms + e.latency_ms;
+        extended.cost = path.cost + e.per_job_cost;
+        next.push_back(std::move(extended));
+      }
+    }
+    if (next.size() > options.max_paths) {
+      std::nth_element(next.begin(), next.begin() + options.max_paths, next.end(),
+                       [](const Partial& a, const Partial& b) {
+                         return a.cost < b.cost;
+                       });
+      next.resize(options.max_paths);
+    }
+    stats.paths_kept = std::max(stats.paths_kept, next.size());
+    paths = std::move(next);
+    if (paths.empty()) break;  // nothing feasible
+  }
+
+  if (!paths.empty()) {
+    std::sort(paths.begin(), paths.end(), [](const Partial& a, const Partial& b) {
+      if (a.cost != b.cost) return a.cost < b.cost;
+      return a.latency_ms < b.latency_ms;
+    });
+    const std::size_t keep = std::min(options.k, paths.size());
+    result.config_pq.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      result.config_pq.push_back(to_search_path(paths[i]));
+    }
+    result.met_slo = true;
+    return result;
+  }
+
+  // Nothing meets the target: fall back to the fastest path so the caller
+  // can still make best-effort progress.
+  SearchPath fastest;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto best = std::min_element(
+        lists[i].begin(), lists[i].end(),
+        [](const ProfileEntry& a, const ProfileEntry& b) {
+          if (a.latency_ms != b.latency_ms) return a.latency_ms < b.latency_ms;
+          return a.per_job_cost < b.per_job_cost;
+        });
+    fastest.entries.push_back(*best);
+    fastest.total_latency_ms += best->latency_ms;
+    fastest.total_per_job_cost += best->per_job_cost;
+  }
+  result.config_pq.push_back(std::move(fastest));
+  result.met_slo = false;
+  return result;
+}
+
+}  // namespace esg::core

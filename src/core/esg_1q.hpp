@@ -1,0 +1,80 @@
+// ESG_1Q (Section 3.3, Algorithm 1): finds the K cheapest configuration
+// paths through a linear sequence of functions that complete within a target
+// latency. Best-first, stage-ordered search with dual-blade pruning:
+//
+//   tLow       — optimistic completion time of every path prefixed by the
+//                partial path; since each stage's configurations are sorted
+//                by latency, tLow >= G_SLO prunes the rest of the stage.
+//   rscLow     — optimistic per-job cost of every extension; pruned against
+//                the K-th best known optimistic completion (minRSC[K-1]).
+//   rscFastest — the partial path's cost plus the cost of finishing as fast
+//                as possible; feeds minRSC, tightening the cost blade.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profile/profile_table.hpp"
+
+namespace esg::core {
+
+/// One stage of the searched sequence.
+struct StageInput {
+  const profile::ProfileTable* table = nullptr;
+  /// Largest admissible batch for this stage (jobs actually queued);
+  /// 0 = unconstrained.
+  std::uint16_t batch_cap = 0;
+};
+
+/// A full configuration path: one profile entry per stage.
+struct SearchPath {
+  std::vector<profile::ProfileEntry> entries;
+  TimeMs total_latency_ms = 0.0;
+  Usd total_per_job_cost = 0.0;
+};
+
+struct SearchStats {
+  std::size_t nodes_expanded = 0;   ///< configurations examined
+  std::size_t pruned_time = 0;      ///< stage break-offs via tLow
+  std::size_t pruned_cost = 0;      ///< skips via rscLow
+  std::size_t paths_kept = 0;       ///< surviving partial paths (max over stages)
+};
+
+struct SearchResult {
+  /// Up to K full paths meeting the target, cheapest (per-job cost) first —
+  /// the configuration priority queue of Section 3.1.
+  std::vector<SearchPath> config_pq;
+  /// False when no path meets the target; config_pq then holds the single
+  /// fastest path as a best-effort fallback.
+  bool met_slo = false;
+  SearchStats stats;
+};
+
+struct SearchOptions {
+  std::size_t k = 5;  ///< solutions kept (paper default, Section 5.4)
+  /// Hard cap on surviving partial paths per stage (memory guard; the
+  /// dual-blade pruning keeps real workloads far below it). Excess paths —
+  /// the costliest ones — are dropped.
+  std::size_t max_paths = 200'000;
+};
+
+/// Runs ESG_1Q over `stages` with target latency `g_slo_ms`.
+[[nodiscard]] SearchResult esg_1q(std::span<const StageInput> stages,
+                                  TimeMs g_slo_ms, const SearchOptions& options = {});
+
+/// Deterministic model of the scheduling latency a search of `nodes_expanded`
+/// configurations costs (DESIGN.md, substitutions): wall-clock charging would
+/// break replay determinism, so simulated runs charge this instead.
+struct OverheadModel {
+  TimeMs base_ms = 0.2;      ///< fixed per-invocation bookkeeping
+  double per_node_us = 0.43; ///< per examined configuration (calibrated to
+                             ///< the paper's 7258 ms brute force over 256^3)
+
+  [[nodiscard]] TimeMs overhead_ms(std::size_t nodes_expanded) const {
+    return base_ms + static_cast<double>(nodes_expanded) * per_node_us / 1000.0;
+  }
+};
+
+}  // namespace esg::core

@@ -1,0 +1,193 @@
+#include "core/esg_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace esg::core {
+
+namespace {
+
+/// Floor for the remaining budget so a late request still gets a sane
+/// (fastest-path) search instead of a degenerate zero target.
+constexpr TimeMs kMinBudgetMs = 1.0;
+
+}  // namespace
+
+EsgScheduler::EsgScheduler(const std::vector<workload::AppDag>& apps,
+                           const profile::ProfileSet& profiles, Options options)
+    : profiles_(profiles), options_(options) {
+  if (options_.k == 0) throw std::invalid_argument("EsgScheduler: k must be > 0");
+  for (const auto& app : apps) {
+    dags_.emplace(app.id(), &app);
+    distributions_.emplace(
+        app.id(), SloDistribution(app, profiles, options_.max_group_size));
+  }
+}
+
+const SloDistribution& EsgScheduler::distribution(AppId app) const {
+  auto it = distributions_.find(app);
+  if (it == distributions_.end()) {
+    throw std::out_of_range("EsgScheduler: unknown app");
+  }
+  return it->second;
+}
+
+std::vector<workload::NodeIndex> EsgScheduler::remaining_group_stages(
+    const platform::QueueView& view) const {
+  const SloDistribution& dist = distribution(view.app);
+  const auto& group = dist.groups()[dist.group_of(view.stage)];
+  const auto pos = std::find(group.nodes.begin(), group.nodes.end(), view.stage);
+  check(pos != group.nodes.end(), "stage missing from its own group");
+  return {pos, group.nodes.end()};
+}
+
+platform::PlanResult EsgScheduler::plan(const platform::QueueView& view) {
+  check(view.dag != nullptr && view.profiles != nullptr, "plan: null view");
+  const SloDistribution& dist = distribution(view.app);
+  const auto stages_idx = remaining_group_stages(view);
+
+  // Budget renormalisation (the adaptive step): whatever is left of the
+  // end-to-end SLO is split between this group's remaining stages and the
+  // rest of the workflow in proportion to their distributed shares.
+  const TimeMs budget =
+      std::max(kMinBudgetMs, view.slo_ms - view.oldest_elapsed_ms);
+  double group_share = 0.0;
+  TimeMs transfer_est = 0.0;
+  for (workload::NodeIndex s : stages_idx) {
+    group_share += dist.node_fraction(s);
+    const auto& spec = profiles_.table(view.dag->node(s).function).spec();
+    // Entry stage fetches from the ingress store; later stages should hit
+    // the local file system under ESG_Dispatch's locality policy.
+    transfer_est +=
+        options_.transfer.transfer_ms(spec.input_mb, s != view.dag->entry());
+  }
+  const double remaining_share = dist.remaining_fraction(view.stage);
+  check(remaining_share > 0.0, "plan: zero remaining share");
+  const TimeMs raw_target =
+      budget * std::min(1.0, group_share / remaining_share) - transfer_est;
+  const TimeMs margined_target = raw_target * (1.0 - options_.noise_margin);
+
+  // Three regimes: optimise with full safety margin when it is affordable;
+  // drop the noise margin and race when only the raw budget fits (a noisy
+  // run may still land under the SLO); nothing else can meet the SLO.
+  TimeMs fastest_sum = 0.0;
+  for (workload::NodeIndex s : stages_idx) {
+    fastest_sum += profiles_.table(view.dag->node(s).function).min_latency();
+  }
+  // (If even the raw target is below the fastest sum, the search comes back
+  // empty and the drain fallback below takes over.)
+  const TimeMs g_slo = margined_target > fastest_sum
+                           ? margined_target
+                           : std::max(kMinBudgetMs, raw_target);
+
+  std::vector<StageInput> stages;
+  stages.reserve(stages_idx.size());
+  for (workload::NodeIndex s : stages_idx) {
+    StageInput in;
+    in.table = &profiles_.table(view.dag->node(s).function);
+    in.batch_cap = 0;  // first pass: unconstrained (would waiting pay off?)
+    stages.push_back(in);
+  }
+
+  SearchOptions search_options;
+  search_options.k = options_.k;
+
+  // Pass 1 — unconstrained batch: reveals the batch the group *wants*.
+  SearchResult unconstrained = esg_1q(stages, g_slo, search_options);
+  std::size_t nodes = unconstrained.stats.nodes_expanded;
+
+  platform::PlanResult plan;
+  const auto& want = unconstrained.config_pq.front();
+  const std::uint16_t desired_batch = want.entries.front().config.batch;
+
+  if (unconstrained.met_slo && desired_batch > view.queue_length) {
+    // A larger batch would be cheaper and still meet the target. Wait for it
+    // while slack allows; the head-of-queue wait already consumed part of it.
+    const TimeMs slack = std::max(0.0, g_slo - want.total_latency_ms);
+    if (view.head_wait_ms < options_.defer_safety * slack) {
+      plan.defer = true;
+      plan.overhead_ms = options_.overhead.overhead_ms(nodes);
+      stats_.nodes_expanded += nodes;
+      return plan;
+    }
+  }
+
+  // Budget already blown (no path can meet the target): racing the fastest
+  // configuration would burn 8 vCPUs per task for a request that misses
+  // anyway and starve everyone else's placements. Drain cost-efficiently
+  // instead: the cheapest per-job configurations of the current stage.
+  if (!unconstrained.met_slo) {
+    const auto& table = profiles_.table(view.function);
+    // Batch cap 8: beyond that the marginal per-job saving is small while
+    // the task latency (which delays every successor stage) keeps growing.
+    std::vector<profile::ProfileEntry> drain = table.entries_with_batch_at_most(
+        static_cast<std::uint16_t>(std::min<std::size_t>(view.queue_length, 8)));
+    // Two drain flavours. A request that still has end-to-end budget and a
+    // shallow queue (the target was merely unreachable after margins, not a
+    // backlog symptom) races lean — cost x latency keeps it brisk and it
+    // may still land under the SLO. Under backlog, or once the request has
+    // missed anyway, maximise throughput per dollar so it stops taxing
+    // everyone else; those drains also stay CPU-lean (c <= 4), vCPUs being
+    // the cluster's scarcest aggregate resource under backlog.
+    const bool still_in_budget = view.oldest_elapsed_ms < view.slo_ms &&
+                                 view.head_wait_ms < 0.25 * view.slo_ms;
+    if (!still_in_budget) {
+      std::erase_if(drain, [](const profile::ProfileEntry& e) {
+        return e.config.vcpus > 4;
+      });
+    }
+    std::sort(drain.begin(), drain.end(),
+              [still_in_budget](const profile::ProfileEntry& a,
+                                const profile::ProfileEntry& b) {
+                const double pa =
+                    still_in_budget ? a.per_job_cost * a.latency_ms : a.per_job_cost;
+                const double pb =
+                    still_in_budget ? b.per_job_cost * b.latency_ms : b.per_job_cost;
+                if (pa != pb) return pa < pb;
+                return a.latency_ms < b.latency_ms;
+              });
+    for (const auto& e : drain) {
+      plan.candidates.push_back(e.config);
+      if (plan.candidates.size() >= options_.k) break;
+    }
+    plan.overhead_ms = options_.overhead.overhead_ms(nodes);
+    stats_.nodes_expanded += nodes;
+    return plan;
+  }
+
+  // Pass 2 — restrict the dispatching stage to the jobs actually queued.
+  SearchResult result;
+  if (desired_batch <= view.queue_length) {
+    result = std::move(unconstrained);
+  } else {
+    stages.front().batch_cap =
+        static_cast<std::uint16_t>(std::min<std::size_t>(view.queue_length, 0xffff));
+    result = esg_1q(stages, g_slo, search_options);
+    nodes += result.stats.nodes_expanded;
+  }
+
+  // The configPQ: the first-stage configuration of each of the K cheapest
+  // paths, deduplicated, cheapest path first.
+  for (const SearchPath& path : result.config_pq) {
+    const profile::Config c = path.entries.front().config;
+    if (c.batch > view.queue_length) continue;
+    if (std::find(plan.candidates.begin(), plan.candidates.end(), c) ==
+        plan.candidates.end()) {
+      plan.candidates.push_back(c);
+    }
+  }
+  plan.overhead_ms = options_.overhead.overhead_ms(nodes);
+  stats_.nodes_expanded += nodes;
+  stats_.pruned_time += result.stats.pruned_time;
+  stats_.pruned_cost += result.stats.pruned_cost;
+  return plan;
+}
+
+std::optional<InvokerId> EsgScheduler::place(const platform::PlacementContext& ctx,
+                                             const cluster::Cluster& cluster) {
+  return platform::locality_first_place(ctx, cluster);
+}
+
+}  // namespace esg::core

@@ -1,0 +1,77 @@
+// The ESG scheduling strategy (Section 3): optimality-guided adaptive
+// scheduling with sharable GPUs as a first-order factor.
+//
+//  - plan(): dominator-based SLO distribution assigns each function group a
+//    share of the end-to-end SLO; ESG_1Q searches the group's configuration
+//    space with dual-blade pruning under the *remaining* budget, so every
+//    stage dispatch re-plans against the current system state (the paper's
+//    key difference from Orion/Aquatope).
+//  - place(): ESG_Dispatch — predecessor/home invoker first for data
+//    locality, then warm invokers, then the emptiest cold invoker.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/esg_1q.hpp"
+#include "core/slo_distribution.hpp"
+#include "platform/scheduler.hpp"
+#include "profile/profile_table.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::core {
+
+class EsgScheduler : public platform::Scheduler {
+ public:
+  struct Options {
+    std::size_t k = 5;              ///< configPQ length (Section 5.4 default)
+    std::size_t max_group_size = 3; ///< function-group cap (Section 5.4 default)
+    OverheadModel overhead;
+    /// Fraction of a group's latency slack the scheduler is willing to spend
+    /// waiting for a larger (cheaper) batch to form.
+    double defer_safety = 0.5;
+    /// Data-passing model used to reserve budget for input staging (entry
+    /// stages fetch remotely; later stages are expected to be local thanks
+    /// to ESG_Dispatch).
+    cluster::DataTransferModel transfer;
+    /// Headroom reserved for execution-time variation: the search targets
+    /// (1 - noise_margin) of the distributed budget so that a noisy run
+    /// still lands under the SLO.
+    double noise_margin = 0.08;
+  };
+
+  /// `apps` and `profiles` must outlive the scheduler. The SLO distribution
+  /// of every app is computed once here (it depends only on the profiles).
+  EsgScheduler(const std::vector<workload::AppDag>& apps,
+               const profile::ProfileSet& profiles, Options options);
+  EsgScheduler(const std::vector<workload::AppDag>& apps,
+               const profile::ProfileSet& profiles)
+      : EsgScheduler(apps, profiles, Options{}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ESG"; }
+
+  platform::PlanResult plan(const platform::QueueView& view) override;
+
+  std::optional<InvokerId> place(const platform::PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override;
+
+  [[nodiscard]] const SloDistribution& distribution(AppId app) const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Cumulative search statistics (for the overhead analyses).
+  [[nodiscard]] const SearchStats& cumulative_stats() const { return stats_; }
+
+ private:
+  const profile::ProfileSet& profiles_;
+  Options options_;
+  std::unordered_map<AppId, SloDistribution> distributions_;
+  std::unordered_map<AppId, const workload::AppDag*> dags_;
+  SearchStats stats_;
+
+  /// The functions of `view`'s group from the current stage onward.
+  [[nodiscard]] std::vector<workload::NodeIndex> remaining_group_stages(
+      const platform::QueueView& view) const;
+};
+
+}  // namespace esg::core

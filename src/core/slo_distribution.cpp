@@ -1,0 +1,201 @@
+#include "core/slo_distribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "core/dominator.hpp"
+
+namespace esg::core {
+
+using workload::AppDag;
+using workload::NodeIndex;
+
+std::vector<double> average_normalized_lengths(
+    const AppDag& dag, const profile::ProfileSet& profiles) {
+  const std::size_t n = dag.size();
+  // Latency lists per node, sorted ascending (ProfileTable order).
+  std::vector<std::vector<TimeMs>> lat(n);
+  std::size_t max_ranks = 0;
+  for (NodeIndex i = 0; i < n; ++i) {
+    const auto entries = profiles.table(dag.node(i).function).entries();
+    lat[i].reserve(entries.size());
+    for (const auto& e : entries) lat[i].push_back(e.latency_ms);
+    max_ranks = std::max(max_ranks, lat[i].size());
+  }
+  check(max_ranks > 0, "average_normalized_lengths: empty profiles");
+
+  auto at_rank = [&](NodeIndex i, std::size_t r) {
+    return lat[i][std::min(r, lat[i].size() - 1)];
+  };
+
+  std::vector<double> anl(n, 0.0);
+  for (std::size_t r = 0; r < max_ranks; ++r) {
+    double total = 0.0;
+    for (NodeIndex i = 0; i < n; ++i) total += at_rank(i, r);
+    for (NodeIndex i = 0; i < n; ++i) anl[i] += at_rank(i, r) / total;
+  }
+  for (double& v : anl) v /= static_cast<double>(max_ranks);
+  return anl;
+}
+
+namespace {
+
+/// An item of a reduced chain: an original node, or a pseudo-node standing
+/// for a set of parallel branches.
+struct ChainItem {
+  bool reduced = false;
+  NodeIndex node = 0;                            // when !reduced
+  double anl = 0.0;                              // weight of this item
+  std::vector<std::vector<ChainItem>> branches;  // when reduced
+};
+
+double chain_weight(const std::vector<ChainItem>& chain) {
+  double total = 0.0;
+  for (const auto& item : chain) total += item.anl;
+  return total;
+}
+
+/// Recursively reduces the sub-DAG dominated by `x` into a linear chain.
+std::vector<ChainItem> reduce_chain(const AppDag& dag, const DominatorTree& dom,
+                                    const std::vector<double>& anl,
+                                    const std::vector<std::size_t>& topo_pos,
+                                    NodeIndex x) {
+  std::vector<ChainItem> chain;
+  chain.push_back(ChainItem{false, x, anl[x], {}});
+
+  const auto& kids = dom.children(x);
+  if (kids.empty()) return chain;
+  if (kids.size() == 1) {
+    auto rest = reduce_chain(dag, dom, anl, topo_pos, kids.front());
+    chain.insert(chain.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+    return chain;
+  }
+
+  // Multiple dominator children: branch heads have DAG in-degree 1 (they are
+  // direct forks of x); join nodes have in-degree >= 2 and continue the
+  // chain after the branches merge.
+  std::vector<NodeIndex> branch_heads;
+  std::vector<NodeIndex> joins;
+  for (NodeIndex k : kids) {
+    if (dag.node(k).predecessors.size() >= 2) {
+      joins.push_back(k);
+    } else {
+      branch_heads.push_back(k);
+    }
+  }
+  check(!branch_heads.empty(), "reduce_chain: split node without branches");
+
+  // reduce(x): combine the branches into one pseudo-node whose ANL is the
+  // maximum of the branch sums (Figure 4 (c)).
+  ChainItem reduced;
+  reduced.reduced = true;
+  reduced.anl = 0.0;
+  for (NodeIndex head : branch_heads) {
+    auto branch = reduce_chain(dag, dom, anl, topo_pos, head);
+    reduced.anl = std::max(reduced.anl, chain_weight(branch));
+    reduced.branches.push_back(std::move(branch));
+  }
+  chain.push_back(std::move(reduced));
+
+  // Continue with the join node(s), in topological order.
+  std::sort(joins.begin(), joins.end(), [&](NodeIndex a, NodeIndex b) {
+    return topo_pos[a] < topo_pos[b];
+  });
+  for (NodeIndex j : joins) {
+    auto rest = reduce_chain(dag, dom, anl, topo_pos, j);
+    chain.insert(chain.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+  }
+  return chain;
+}
+
+}  // namespace
+
+SloDistribution::SloDistribution(const AppDag& dag,
+                                 const profile::ProfileSet& profiles,
+                                 std::size_t max_group_size) {
+  if (max_group_size == 0) {
+    throw std::invalid_argument("SloDistribution: max_group_size must be > 0");
+  }
+  const std::size_t n = dag.size();
+  anl_ = average_normalized_lengths(dag, profiles);
+
+  const DominatorTree dom(dag);
+  std::vector<std::size_t> topo_pos(n);
+  {
+    const auto order = dag.topo_order();
+    for (std::size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+  }
+  const auto root_chain = reduce_chain(dag, dom, anl_, topo_pos, dag.entry());
+
+  group_index_.assign(n, 0);
+  node_fraction_.assign(n, 0.0);
+
+  // slo_group + slo_assign: walk a chain with an absolute budget share,
+  // partition it into groups of <= max_group_size consecutive real nodes
+  // (reduced pseudo-nodes stay alone) with shares proportional to ANL, and
+  // recurse into every branch of each reduced node with that node's share.
+  auto assign_chain = [&](auto&& self, const std::vector<ChainItem>& chain,
+                          double budget) -> void {
+    const double total = chain_weight(chain);
+    check(total > 0.0, "SloDistribution: zero-weight chain");
+
+    std::size_t i = 0;
+    while (i < chain.size()) {
+      if (chain[i].reduced) {
+        const double share = budget * chain[i].anl / total;
+        for (const auto& branch : chain[i].branches) {
+          if (!branch.empty()) self(self, branch, share);
+        }
+        ++i;
+        continue;
+      }
+      // A run of up to max_group_size consecutive real nodes.
+      Group group;
+      double weight = 0.0;
+      while (i < chain.size() && !chain[i].reduced &&
+             group.nodes.size() < max_group_size) {
+        group.nodes.push_back(chain[i].node);
+        weight += chain[i].anl;
+        ++i;
+      }
+      group.fraction = budget * weight / total;
+      const std::size_t gi = groups_.size();
+      for (NodeIndex node : group.nodes) {
+        group_index_[node] = gi;
+        node_fraction_[node] =
+            weight > 0.0 ? group.fraction * anl_[node] / weight : 0.0;
+      }
+      groups_.push_back(std::move(group));
+    }
+  };
+  assign_chain(assign_chain, root_chain, 1.0);
+
+  // Critical-path share from each node to the sinks (reverse topological).
+  remaining_fraction_.assign(n, 0.0);
+  const auto order = dag.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeIndex u = *it;
+    double best = 0.0;
+    for (NodeIndex s : dag.node(u).successors) {
+      best = std::max(best, remaining_fraction_[s]);
+    }
+    remaining_fraction_[u] = node_fraction_[u] + best;
+  }
+}
+
+std::size_t SloDistribution::group_of(NodeIndex node) const {
+  return group_index_.at(node);
+}
+
+double SloDistribution::node_fraction(NodeIndex node) const {
+  return node_fraction_.at(node);
+}
+
+double SloDistribution::remaining_fraction(NodeIndex node) const {
+  return remaining_fraction_.at(node);
+}
+
+}  // namespace esg::core

@@ -1,0 +1,66 @@
+// Dominator-based SLO distribution (Section 3.3).
+//
+// The reduction-based hierarchical method: build the dominator tree, label
+// every node with its average normalized length (ANL), reduce parallel
+// branches bottom-up into pseudo-nodes whose ANL is the maximum branch sum,
+// partition the resulting chains into groups of at most `max_group_size`
+// consecutive functions (reduced pseudo-nodes stay alone), and finally
+// distribute the end-to-end SLO to the groups proportionally to their ANL —
+// reversing the reduction so every branch of a reduced node receives that
+// node's full quota (branches run concurrently).
+//
+// ESG_1Q is then run per group instead of per whole application, which is
+// what keeps the scheduler scalable for long pipelines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "profile/profile_table.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::core {
+
+/// ANL of every node: for each latency rank r, the node's latency at rank r
+/// divided by the sum of all the app's function latencies at rank r,
+/// averaged over ranks (shorter config lists are padded with their last
+/// entry). This follows the paper's average_c( t_fi(c) / sum_j t_fj(c) )
+/// with configurations aligned by latency rank.
+[[nodiscard]] std::vector<double> average_normalized_lengths(
+    const workload::AppDag& dag, const profile::ProfileSet& profiles);
+
+class SloDistribution {
+ public:
+  struct Group {
+    /// Consecutive DAG stages forming a linear sub-pipeline, in execution
+    /// order. Each original node appears in exactly one group.
+    std::vector<workload::NodeIndex> nodes;
+    /// Share of the end-to-end SLO assigned to this group. Shares along any
+    /// root-to-sink path sum to 1; parallel branches each carry their
+    /// reduced node's full share.
+    double fraction = 0.0;
+  };
+
+  SloDistribution(const workload::AppDag& dag,
+                  const profile::ProfileSet& profiles,
+                  std::size_t max_group_size);
+
+  [[nodiscard]] std::span<const Group> groups() const { return groups_; }
+  [[nodiscard]] std::size_t group_of(workload::NodeIndex node) const;
+  /// The node's individual share: its group's fraction split by ANL.
+  [[nodiscard]] double node_fraction(workload::NodeIndex node) const;
+  /// Critical-path share from `node` (inclusive) to the sinks; used to
+  /// renormalise the remaining budget when re-planning mid-workflow.
+  [[nodiscard]] double remaining_fraction(workload::NodeIndex node) const;
+  [[nodiscard]] const std::vector<double>& anl() const { return anl_; }
+
+ private:
+  std::vector<Group> groups_;
+  std::vector<std::size_t> group_index_;     // node -> group
+  std::vector<double> node_fraction_;        // node -> share
+  std::vector<double> remaining_fraction_;   // node -> critical-path share
+  std::vector<double> anl_;
+};
+
+}  // namespace esg::core

@@ -1,0 +1,149 @@
+#include "exp/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string_view>
+
+namespace esg::exp {
+
+namespace {
+
+SchedulerKind parse_scheduler(std::string_view v) {
+  if (v == "esg") return SchedulerKind::kEsg;
+  if (v == "infless") return SchedulerKind::kInfless;
+  if (v == "fast-gshare" || v == "fastgshare") return SchedulerKind::kFastGshare;
+  if (v == "orion") return SchedulerKind::kOrion;
+  if (v == "aquatope") return SchedulerKind::kAquatope;
+  throw std::invalid_argument("unknown --scheduler '" + std::string(v) +
+                              "' (esg|infless|fast-gshare|orion|aquatope)");
+}
+
+workload::LoadSetting parse_load(std::string_view v) {
+  if (v == "light") return workload::LoadSetting::kLight;
+  if (v == "normal") return workload::LoadSetting::kNormal;
+  if (v == "heavy") return workload::LoadSetting::kHeavy;
+  throw std::invalid_argument("unknown --load '" + std::string(v) +
+                              "' (light|normal|heavy)");
+}
+
+workload::SloSetting parse_slo(std::string_view v) {
+  if (v == "strict") return workload::SloSetting::kStrict;
+  if (v == "moderate") return workload::SloSetting::kModerate;
+  if (v == "relaxed") return workload::SloSetting::kRelaxed;
+  throw std::invalid_argument("unknown --slo '" + std::string(v) +
+                              "' (strict|moderate|relaxed)");
+}
+
+double parse_number(std::string_view key, std::string_view v) {
+  double out = 0.0;
+  const auto* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("malformed value for " + std::string(key) +
+                                ": '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+std::uint64_t parse_unsigned(std::string_view key, std::string_view v) {
+  const double d = parse_number(key, v);
+  if (d < 0.0) {
+    throw std::invalid_argument(std::string(key) + " must be non-negative");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+bool parse_bool(std::string_view key, std::string_view v) {
+  if (v == "on" || v == "true" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "0") return false;
+  throw std::invalid_argument("malformed boolean for " + std::string(key) +
+                              ": '" + std::string(v) + "' (on|off)");
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return R"(esg_sim — run one simulated serverless scheduling scenario
+
+usage: esg_sim [flags]
+
+  --scheduler  esg|infless|fast-gshare|orion|aquatope   (default esg)
+  --load       light|normal|heavy                       (default light)
+  --slo        strict|moderate|relaxed                  (default strict)
+  --horizon-ms <ms>      arrival window                 (default 30000)
+  --warmup-ms  <ms>      steady-state measurement start (default 0)
+  --nodes      <n>       invoker count                  (default 16)
+  --seeds      <n>       replicas, seeds 42..42+n-1     (default 1)
+  --k          <n>       ESG configPQ length            (default 5)
+  --group-size <n>       ESG max function-group size    (default 3)
+  --gpu-sharing on|off   ablation switch                (default on)
+  --batching   on|off    ablation switch                (default on)
+  --prewarm    on|off    pre-warming                    (default on)
+  --noise-cv   <f>       execution-noise CV             (default 0.06)
+  --csv-dir    <path>    write completions/tasks/summary CSVs
+  --help
+)";
+}
+
+CliOptions parse_cli(std::span<const char* const> args) {
+  CliOptions opts;
+  std::size_t seed_count = 1;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view key = args[i];
+    if (key == "--help" || key == "-h") {
+      opts.help = true;
+      return opts;
+    }
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + std::string(key));
+    }
+    const std::string_view value = args[++i];
+
+    if (key == "--scheduler") {
+      opts.scenario.scheduler = parse_scheduler(value);
+    } else if (key == "--load") {
+      opts.scenario.load = parse_load(value);
+    } else if (key == "--slo") {
+      opts.scenario.slo = parse_slo(value);
+    } else if (key == "--horizon-ms") {
+      opts.scenario.horizon_ms = parse_number(key, value);
+    } else if (key == "--warmup-ms") {
+      opts.scenario.warmup_ms = parse_number(key, value);
+    } else if (key == "--nodes") {
+      opts.scenario.nodes = static_cast<std::size_t>(parse_unsigned(key, value));
+      if (opts.scenario.nodes == 0) {
+        throw std::invalid_argument("--nodes must be positive");
+      }
+    } else if (key == "--seeds") {
+      seed_count = static_cast<std::size_t>(parse_unsigned(key, value));
+      if (seed_count == 0) {
+        throw std::invalid_argument("--seeds must be positive");
+      }
+    } else if (key == "--k") {
+      opts.scenario.esg.k = static_cast<std::size_t>(parse_unsigned(key, value));
+    } else if (key == "--group-size") {
+      opts.scenario.esg.max_group_size =
+          static_cast<std::size_t>(parse_unsigned(key, value));
+    } else if (key == "--gpu-sharing") {
+      opts.scenario.controller.enable_gpu_sharing = parse_bool(key, value);
+    } else if (key == "--batching") {
+      opts.scenario.controller.enable_batching = parse_bool(key, value);
+    } else if (key == "--prewarm") {
+      opts.scenario.controller.enable_prewarm = parse_bool(key, value);
+    } else if (key == "--noise-cv") {
+      opts.scenario.controller.noise_cv = parse_number(key, value);
+    } else if (key == "--csv-dir") {
+      opts.csv_dir = std::string(value);
+    } else {
+      throw std::invalid_argument("unknown flag '" + std::string(key) +
+                                  "' (see --help)");
+    }
+  }
+
+  opts.seeds.clear();
+  for (std::size_t i = 0; i < seed_count; ++i) opts.seeds.push_back(42 + i);
+  return opts;
+}
+
+}  // namespace esg::exp

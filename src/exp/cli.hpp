@@ -1,0 +1,29 @@
+// Command-line front end for the experiment harness: parses `--key value`
+// style flags into a Scenario, so arbitrary runs can be driven without
+// writing C++ (used by tools/esg_sim).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "exp/scenario.hpp"
+
+namespace esg::exp {
+
+struct CliOptions {
+  Scenario scenario;
+  std::vector<std::uint64_t> seeds{42};
+  /// Directory to write completions/tasks/summary CSVs into (empty = none).
+  std::string csv_dir;
+  bool help = false;
+};
+
+/// Parses argv (excluding argv[0]). Throws std::invalid_argument with a
+/// descriptive message on unknown flags or malformed values.
+[[nodiscard]] CliOptions parse_cli(std::span<const char* const> args);
+
+/// The --help text.
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace esg::exp

@@ -1,0 +1,165 @@
+#include "exp/scenario.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/simulator.hpp"
+
+namespace esg::exp {
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEsg:
+      return "ESG";
+    case SchedulerKind::kInfless:
+      return "INFless";
+    case SchedulerKind::kFastGshare:
+      return "FaST-GShare";
+    case SchedulerKind::kOrion:
+      return "Orion";
+    case SchedulerKind::kAquatope:
+      return "Aquatope";
+  }
+  throw std::invalid_argument("to_string: bad SchedulerKind");
+}
+
+std::span<const SchedulerKind> all_schedulers() {
+  static constexpr std::array<SchedulerKind, 5> kAll = {
+      SchedulerKind::kEsg, SchedulerKind::kInfless, SchedulerKind::kFastGshare,
+      SchedulerKind::kOrion, SchedulerKind::kAquatope};
+  return kAll;
+}
+
+std::span<const SettingCombo> paper_combos() {
+  static constexpr std::array<SettingCombo, 3> kCombos = {{
+      {workload::SloSetting::kStrict, workload::LoadSetting::kLight},
+      {workload::SloSetting::kModerate, workload::LoadSetting::kNormal},
+      {workload::SloSetting::kRelaxed, workload::LoadSetting::kHeavy},
+  }};
+  return kCombos;
+}
+
+std::string combo_name(const SettingCombo& combo) {
+  return std::string(workload::to_string(combo.slo)) + "-" +
+         std::string(workload::to_string(combo.load));
+}
+
+namespace {
+
+std::unique_ptr<platform::Scheduler> make_scheduler(
+    const Scenario& scenario, const std::vector<workload::AppDag>& apps,
+    const profile::ProfileSet& profiles, const RngFactory& rng) {
+  switch (scenario.scheduler) {
+    case SchedulerKind::kEsg:
+      return std::make_unique<core::EsgScheduler>(apps, profiles, scenario.esg);
+    case SchedulerKind::kInfless:
+      return std::make_unique<baselines::InflessScheduler>(apps, profiles,
+                                                           scenario.infless);
+    case SchedulerKind::kFastGshare:
+      return std::make_unique<baselines::FastGshareScheduler>(
+          apps, profiles, scenario.fast_gshare);
+    case SchedulerKind::kOrion:
+      return std::make_unique<baselines::OrionScheduler>(apps, profiles,
+                                                         scenario.orion);
+    case SchedulerKind::kAquatope:
+      return std::make_unique<baselines::AquatopeScheduler>(
+          apps, profiles, scenario.slo, rng, scenario.aquatope);
+  }
+  throw std::invalid_argument("make_scheduler: bad SchedulerKind");
+}
+
+}  // namespace
+
+RunOutput run_scenario(const Scenario& scenario) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const RngFactory rng(scenario.seed);
+  const profile::ProfileSet profiles =
+      profile::ProfileSet::builtin(scenario.config_space);
+  const std::vector<workload::AppDag> apps = workload::builtin_applications();
+
+  sim::Simulator sim;
+  cluster::Cluster cluster(scenario.nodes);
+  const auto scheduler = make_scheduler(scenario, apps, profiles, rng);
+
+  platform::ControllerOptions controller_options = scenario.controller;
+  controller_options.metrics_warmup_ms = scenario.warmup_ms;
+  platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
+                                  *scheduler, rng, controller_options);
+
+  std::vector<AppId> app_ids;
+  app_ids.reserve(apps.size());
+  for (const auto& app : apps) app_ids.push_back(app.id());
+  workload::ArrivalGenerator generator(scenario.load, app_ids,
+                                       rng.stream("arrivals"));
+  controller.inject(generator.generate_until(scenario.horizon_ms));
+  controller.run_to_completion();
+
+  RunOutput out;
+  out.metrics = controller.metrics();
+  out.simulated_end_ms = sim.now();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  return out;
+}
+
+std::vector<RunOutput> run_replicas(const Scenario& base,
+                                    std::span<const std::uint64_t> seeds,
+                                    unsigned max_threads) {
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<RunOutput> outputs(seeds.size());
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(max_threads, seeds.size()));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= seeds.size()) return;
+          Scenario scenario = base;
+          scenario.seed = seeds[i];
+          outputs[i] = run_scenario(scenario);
+        }
+      });
+    }
+  }
+  return outputs;
+}
+
+Aggregate aggregate(std::span<const RunOutput> outputs) {
+  Aggregate agg;
+  if (outputs.empty()) return agg;
+  double uses = 0.0;
+  double misses = 0.0;
+  double wait_sum = 0.0;
+  std::size_t wait_count = 0;
+  for (const auto& out : outputs) {
+    agg.slo_hit_rate += out.metrics.slo_hit_rate();
+    agg.total_cost += out.metrics.total_cost;
+    agg.requests += out.metrics.requests();
+    uses += static_cast<double>(out.metrics.plan_uses);
+    misses += static_cast<double>(out.metrics.plan_misses);
+    for (double w : out.metrics.job_wait_ms) {
+      wait_sum += w;
+      ++wait_count;
+    }
+  }
+  const auto n = static_cast<double>(outputs.size());
+  agg.slo_hit_rate /= n;
+  agg.total_cost /= n;
+  agg.config_miss_rate = uses > 0.0 ? misses / uses : 0.0;
+  agg.mean_job_wait_ms = wait_count > 0 ? wait_sum / wait_count : 0.0;
+  return agg;
+}
+
+}  // namespace esg::exp

@@ -1,0 +1,89 @@
+// Experiment scenarios: a scheduler + workload + SLO combination with all
+// knobs, and a runner that executes it on a fresh simulated cluster. The
+// bench binaries (one per paper table/figure) are thin loops over these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "baselines/aquatope.hpp"
+#include "baselines/fast_gshare.hpp"
+#include "baselines/infless.hpp"
+#include "baselines/orion.hpp"
+#include "core/esg_scheduler.hpp"
+#include "metrics/run_metrics.hpp"
+#include "platform/controller.hpp"
+#include "profile/profile_table.hpp"
+#include "workload/applications.hpp"
+#include "workload/arrivals.hpp"
+
+namespace esg::exp {
+
+enum class SchedulerKind { kEsg, kInfless, kFastGshare, kOrion, kAquatope };
+
+[[nodiscard]] std::string_view to_string(SchedulerKind kind);
+
+/// The five schedulers compared in the paper's evaluation, ESG first.
+[[nodiscard]] std::span<const SchedulerKind> all_schedulers();
+
+struct Scenario {
+  SchedulerKind scheduler = SchedulerKind::kEsg;
+  workload::LoadSetting load = workload::LoadSetting::kLight;
+  workload::SloSetting slo = workload::SloSetting::kStrict;
+
+  std::size_t nodes = 16;          ///< paper testbed: 16 invokers
+  TimeMs horizon_ms = 30'000.0;    ///< arrival window (requests drain after)
+  /// Steady-state measurement: requests arriving before this are simulated
+  /// but not measured (the initial cold-start wave affects every scheduler
+  /// identically and is not what the paper's Figures 6-8 report).
+  TimeMs warmup_ms = 0.0;
+  std::uint64_t seed = 42;
+
+  platform::ControllerOptions controller;
+  profile::ConfigSpaceOptions config_space;
+  core::EsgScheduler::Options esg;
+  baselines::InflessScheduler::Options infless;
+  baselines::FastGshareScheduler::Options fast_gshare;
+  baselines::OrionScheduler::Options orion;
+  baselines::AquatopeScheduler::Options aquatope;
+};
+
+/// The paper's three headline combinations (Section 4.1): strict-light,
+/// moderate-normal, relaxed-heavy.
+struct SettingCombo {
+  workload::SloSetting slo;
+  workload::LoadSetting load;
+};
+
+[[nodiscard]] std::span<const SettingCombo> paper_combos();
+[[nodiscard]] std::string combo_name(const SettingCombo& combo);
+
+struct RunOutput {
+  metrics::RunMetrics metrics;
+  TimeMs simulated_end_ms = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds the platform, injects the generated arrivals, runs to completion.
+[[nodiscard]] RunOutput run_scenario(const Scenario& scenario);
+
+/// Runs one scenario per seed, in parallel (up to `max_threads` jthreads;
+/// 0 = hardware concurrency). Outputs are ordered like `seeds`.
+[[nodiscard]] std::vector<RunOutput> run_replicas(const Scenario& base,
+                                                  std::span<const std::uint64_t> seeds,
+                                                  unsigned max_threads = 0);
+
+/// Mean SLO hit rate and total cost across replica outputs.
+struct Aggregate {
+  double slo_hit_rate = 0.0;
+  Usd total_cost = 0.0;
+  double config_miss_rate = 0.0;
+  double mean_job_wait_ms = 0.0;
+  std::size_t requests = 0;
+};
+
+[[nodiscard]] Aggregate aggregate(std::span<const RunOutput> outputs);
+
+}  // namespace esg::exp

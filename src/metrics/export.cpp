@@ -1,0 +1,43 @@
+#include "metrics/export.hpp"
+
+#include <iomanip>
+
+namespace esg::metrics {
+
+void write_completions_csv(const RunMetrics& metrics, std::ostream& out) {
+  out << "request,app,arrival_ms,completion_ms,latency_ms,slo_ms,hit\n";
+  for (const auto& c : metrics.completions) {
+    out << c.request.get() << ',' << c.app.get() << ',' << c.arrival_ms << ','
+        << c.completion_ms << ',' << c.latency_ms << ',' << c.slo_ms << ','
+        << (c.hit ? 1 : 0) << '\n';
+  }
+}
+
+void write_task_trace_csv(const RunMetrics& metrics, std::ostream& out) {
+  out << "task,app,stage,function,invoker,batch,vcpus,vgpus,dispatch_ms,"
+         "transfer_ms,exec_ms,cost\n";
+  for (const auto& t : metrics.task_trace) {
+    out << t.task.get() << ',' << t.app.get() << ',' << t.stage << ','
+        << t.function.get() << ',' << t.invoker.get() << ',' << t.batch << ','
+        << t.vcpus << ',' << t.vgpus << ',' << t.dispatch_ms << ','
+        << t.transfer_ms << ',' << t.exec_ms << ',' << std::setprecision(10)
+        << t.cost << '\n';
+  }
+}
+
+void write_summary_csv(const RunMetrics& metrics, const std::string& label,
+                       std::ostream& out, bool include_header) {
+  if (include_header) {
+    out << "label,requests,slo_hit_rate,total_cost,tasks,cold_starts,"
+           "warm_starts,local_inputs,remote_inputs,plan_uses,plan_misses,"
+           "mean_job_wait_ms\n";
+  }
+  out << label << ',' << metrics.requests() << ',' << metrics.slo_hit_rate()
+      << ',' << std::setprecision(10) << metrics.total_cost << ','
+      << metrics.tasks << ',' << metrics.cold_starts << ','
+      << metrics.warm_starts << ',' << metrics.local_inputs << ','
+      << metrics.remote_inputs << ',' << metrics.plan_uses << ','
+      << metrics.plan_misses << ',' << metrics.mean_job_wait_ms() << '\n';
+}
+
+}  // namespace esg::metrics

@@ -1,0 +1,26 @@
+// CSV export of run metrics — completions, the task trace, and aggregate
+// summaries — so bench results can be post-processed with any plotting
+// toolchain (every row the paper's figures plot is reconstructible from
+// these two files).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "metrics/run_metrics.hpp"
+
+namespace esg::metrics {
+
+/// One row per completed request:
+/// request,app,arrival_ms,completion_ms,latency_ms,slo_ms,hit
+void write_completions_csv(const RunMetrics& metrics, std::ostream& out);
+
+/// One row per dispatched task:
+/// task,app,stage,function,invoker,batch,vcpus,vgpus,dispatch_ms,transfer_ms,exec_ms,cost
+void write_task_trace_csv(const RunMetrics& metrics, std::ostream& out);
+
+/// Single-row aggregate summary with a header, labelled with `label`.
+void write_summary_csv(const RunMetrics& metrics, const std::string& label,
+                       std::ostream& out, bool include_header = true);
+
+}  // namespace esg::metrics

@@ -1,0 +1,55 @@
+#include "metrics/run_metrics.hpp"
+
+namespace esg::metrics {
+
+double RunMetrics::slo_hit_rate() const {
+  if (completions.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& c : completions) hits += c.hit ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(completions.size());
+}
+
+double RunMetrics::slo_hit_rate(AppId app) const {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (const auto& c : completions) {
+    if (c.app != app) continue;
+    ++total;
+    hits += c.hit ? 1 : 0;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+Usd RunMetrics::cost_of(AppId app) const {
+  auto it = cost_by_app.find(app);
+  return it == cost_by_app.end() ? 0.0 : it->second;
+}
+
+std::vector<double> RunMetrics::latencies() const {
+  std::vector<double> out;
+  out.reserve(completions.size());
+  for (const auto& c : completions) out.push_back(c.latency_ms);
+  return out;
+}
+
+std::vector<double> RunMetrics::latencies(AppId app) const {
+  std::vector<double> out;
+  for (const auto& c : completions) {
+    if (c.app == app) out.push_back(c.latency_ms);
+  }
+  return out;
+}
+
+double RunMetrics::config_miss_rate() const {
+  if (plan_uses == 0) return 0.0;
+  return static_cast<double>(plan_misses) / static_cast<double>(plan_uses);
+}
+
+double RunMetrics::mean_job_wait_ms() const {
+  if (job_wait_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (double w : job_wait_ms) sum += w;
+  return sum / static_cast<double>(job_wait_ms.size());
+}
+
+}  // namespace esg::metrics

@@ -1,0 +1,547 @@
+#include "platform/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "profile/perf_model.hpp"
+
+namespace esg::platform {
+
+namespace {
+
+/// Floor on the multiplicative execution-noise factor so a pathological
+/// Gaussian draw can never produce a non-positive latency.
+constexpr double kNoiseFloor = 0.3;
+
+}  // namespace
+
+Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
+                       const profile::ProfileSet& profiles,
+                       const std::vector<workload::AppDag>& apps,
+                       workload::SloSetting slo_setting, Scheduler& scheduler,
+                       const RngFactory& rng, ControllerOptions options)
+    : sim_(sim),
+      cluster_(cluster),
+      profiles_(profiles),
+      scheduler_(scheduler),
+      options_(options),
+      noise_rng_(rng.stream("controller-noise")) {
+  if (apps.empty()) throw std::invalid_argument("Controller: no applications");
+
+  // Apps are indexed by AppId value; ids must be dense starting at 0.
+  std::size_t max_id = 0;
+  for (const auto& app : apps) max_id = std::max<std::size_t>(max_id, app.id().get());
+  apps_.assign(max_id + 1, nullptr);
+  slo_ms_.assign(max_id + 1, 0.0);
+  for (const auto& app : apps) {
+    app.validate();
+    if (apps_[app.id().get()] != nullptr) {
+      throw std::invalid_argument("Controller: duplicate AppId");
+    }
+    apps_[app.id().get()] = &app;
+    slo_ms_[app.id().get()] = workload::slo_latency_ms(app, profiles_, slo_setting);
+  }
+  for (const auto* app : apps_) {
+    if (app == nullptr) throw std::invalid_argument("Controller: AppIds not dense");
+  }
+
+  // One AFW queue per (application, stage) — Section 3.1.
+  for (const auto* app : apps_) {
+    for (workload::NodeIndex stage = 0; stage < app->size(); ++stage) {
+      queue_index_.emplace(queue_key(app->id(), stage), queues_.size());
+      queues_.push_back(AfwQueue{app->id(), stage, app->node(stage).function,
+                                 {}, 0});
+    }
+  }
+
+  if (options_.enable_prewarm) {
+    prewarm_ = std::make_unique<prewarm::PrewarmManager>(sim_, cluster_, profiles_);
+    // The system is assumed to have been serving for a while already: one
+    // warm container per AFW function on its home invoker (a single node
+    // cannot host a whole application's steady-state load — roughly six of
+    // its seven slices — so chains necessarily spread over the fleet).
+    // Without this, short experiments measure nothing but the initial
+    // cold-start storm.
+    for (const AfwQueue& queue : queues_) {
+      cluster_.invoker(cluster_.home_invoker(queue.app, queue.function))
+          .add_warm(queue.function, 0.0, options_.keep_alive_ms);
+    }
+  }
+}
+
+std::uint64_t Controller::queue_key(AppId app, workload::NodeIndex stage) const {
+  return (std::uint64_t{app.get()} << 32) | static_cast<std::uint32_t>(stage);
+}
+
+TimeMs Controller::slo_of(AppId app) const { return slo_ms_.at(app.get()); }
+
+const workload::AppDag& Controller::dag_of(AppId app) const {
+  return *apps_.at(app.get());
+}
+
+void Controller::inject(const std::vector<workload::Arrival>& arrivals) {
+  for (const auto& arrival : arrivals) {
+    sim_.schedule_at(arrival.time_ms,
+                     [this, app = arrival.app] { inject_request(app); });
+  }
+}
+
+RequestId Controller::inject_request(AppId app) {
+  const workload::AppDag& dag = dag_of(app);
+  const RequestId id(next_request_++);
+
+  RequestState state;
+  state.arrival_ms = sim_.now();
+  state.app = app;
+  state.slo_ms = slo_of(app);
+  state.remaining_preds.resize(dag.size());
+  state.input_location.assign(dag.size(), InvokerId{});
+  for (workload::NodeIndex i = 0; i < dag.size(); ++i) {
+    state.remaining_preds[i] =
+        static_cast<std::uint8_t>(dag.node(i).predecessors.size());
+  }
+  state.remaining_sinks = dag.sinks().size();
+  requests_.emplace(id, std::move(state));
+
+  scheduler_.on_request(id, app, sim_.now());
+  enqueue_job(id, app, dag.entry(), InvokerId{}, sim_.now());
+  return id;
+}
+
+void Controller::enqueue_job(RequestId request, AppId app,
+                             workload::NodeIndex stage,
+                             InvokerId input_location, TimeMs now) {
+  const auto& dag = dag_of(app);
+  auto it = queue_index_.find(queue_key(app, stage));
+  check(it != queue_index_.end(), "enqueue_job: unknown queue");
+  AfwQueue& queue = queues_[it->second];
+
+  Job job;
+  job.id = JobId(next_job_++);
+  job.request = request;
+  job.app = app;
+  job.stage = stage;
+  job.function = dag.node(stage).function;
+  job.request_arrival_ms = requests_.at(request).arrival_ms;
+  job.enqueue_ms = now;
+  job.input_location = input_location;
+  queue.jobs.push_back(job);
+
+  ensure_scan_scheduled();
+}
+
+void Controller::ensure_scan_scheduled() {
+  if (scan_scheduled_) return;
+  scan_scheduled_ = true;
+  sim_.schedule_in(0.0, [this] { scan(); });
+}
+
+bool Controller::any_queue_nonempty() const {
+  return std::any_of(queues_.begin(), queues_.end(),
+                     [](const AfwQueue& q) { return !q.jobs.empty(); });
+}
+
+void Controller::scan() {
+  scan_scheduled_ = false;
+  const std::size_t q_count = queues_.size();
+  // Round-robin over the AFW queues; queues whose placement failed are
+  // naturally rechecked on the next scan (Section 3.1's recheck list).
+  for (std::size_t k = 0; k < q_count; ++k) {
+    process_queue((rr_cursor_ + k) % q_count);
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % q_count;
+
+  if (any_queue_nonempty()) {
+    scan_scheduled_ = true;
+    sim_.schedule_in(options_.scan_interval_ms, [this] { scan(); });
+  }
+}
+
+QueueView Controller::make_view(const AfwQueue& queue) const {
+  QueueView view;
+  view.app = queue.app;
+  view.stage = queue.stage;
+  view.function = queue.function;
+  view.dag = apps_.at(queue.app.get());
+  view.profiles = &profiles_;
+  view.queue_length = queue.jobs.size();
+  view.slo_ms = slo_of(queue.app);
+  view.now_ms = sim_.now();
+  view.head_wait_ms = 0.0;
+  view.oldest_elapsed_ms = 0.0;
+  for (const Job& job : queue.jobs) {
+    view.head_wait_ms = std::max(view.head_wait_ms, sim_.now() - job.enqueue_ms);
+    view.oldest_elapsed_ms =
+        std::max(view.oldest_elapsed_ms, sim_.now() - job.request_arrival_ms);
+  }
+  return view;
+}
+
+profile::Config Controller::clamp_for_ablation(profile::Config c) const {
+  if (!options_.enable_batching) c.batch = 1;
+  if (!options_.enable_gpu_sharing) {
+    // Exclusive GPU: the task takes (and is billed for) the whole GPU.
+    c.vgpus = cluster_.invokers().front().capacity().vgpus;
+  }
+  return c;
+}
+
+InvokerId Controller::majority_input_location(const AfwQueue& queue,
+                                              std::uint16_t batch) const {
+  std::unordered_map<std::uint32_t, std::size_t> votes;
+  std::size_t counted = 0;
+  for (const Job& job : queue.jobs) {
+    if (counted++ == batch) break;
+    if (job.input_location.valid()) ++votes[job.input_location.get()];
+  }
+  InvokerId best;
+  std::size_t best_votes = 0;
+  for (const auto& [id, n] : votes) {
+    if (n > best_votes || (n == best_votes && best.valid() && id < best.get())) {
+      best = InvokerId(id);
+      best_votes = n;
+    }
+  }
+  return best;
+}
+
+void Controller::process_queue(std::size_t qi) {
+  AfwQueue& queue = queues_[qi];
+  if (queue.jobs.empty()) {
+    queue.planned_length = AfwQueue::kNoPlan;
+    return;
+  }
+
+  // Re-plan when the queue has changed or the cached plan has aged out;
+  // otherwise reuse the cached candidates — the recheck-list retry against
+  // the (meanwhile changed) worker states.
+  const bool need_plan = queue.jobs.size() != queue.planned_length ||
+                         sim_.now() >= queue.replan_at_ms;
+  if (need_plan) {
+    const QueueView view = make_view(queue);
+    const auto wall_start = std::chrono::steady_clock::now();
+    PlanResult plan = scheduler_.plan(view);
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+    if (sim_.now() >= options_.metrics_warmup_ms) {
+      metrics_.plan_overhead_ms.push_back(plan.overhead_ms);
+      metrics_.plan_wall_clock_ms.push_back(wall_ms);
+      if (plan.used_preplanned) {
+        ++metrics_.plan_uses;
+        if (plan.preplanned_miss) ++metrics_.plan_misses;
+      }
+    }
+    queue.pending_candidates = std::move(plan.candidates);
+    queue.pending_overhead_ms = plan.overhead_ms;
+    queue.pending_defer = plan.defer;
+    queue.planned_length = queue.jobs.size();
+    queue.replan_at_ms = sim_.now() + options_.replan_interval_ms;
+  }
+
+  const TimeMs head_wait = sim_.now() - queue.jobs.front().enqueue_ms;
+  const bool forced =
+      queue.placement_failures >= options_.recheck_rounds_before_min ||
+      head_wait > options_.defer_cap_ms;
+  if (queue.pending_defer && !forced) return;
+
+  std::vector<profile::Config> candidates;
+  if (forced) {
+    // Escape hatch: dispatch with the minimum resource configuration
+    // (1 vCPU, 1 vGPU) to guarantee progress, regardless of what the
+    // strategy proposes. The whole backlog goes as one batch — paying one
+    // container start per queued job would melt the cluster in cold starts.
+    const auto& spec = profiles_.table(queue.function).spec();
+    profile::Config min_config = profile::kMinConfig;
+    min_config.batch = static_cast<std::uint16_t>(std::min<std::size_t>(
+        {queue.jobs.size(), spec.max_batch, std::size_t{8}}));
+    candidates.push_back(clamp_for_ablation(min_config));
+    ++metrics_.forced_min_dispatches;
+  } else {
+    candidates.reserve(queue.pending_candidates.size());
+    for (profile::Config c : queue.pending_candidates) {
+      c.batch = static_cast<std::uint16_t>(
+          std::min<std::size_t>(c.batch, queue.jobs.size()));
+      if (c.batch == 0) continue;
+      candidates.push_back(clamp_for_ablation(c));
+    }
+    if (candidates.empty()) {
+      candidates.push_back(clamp_for_ablation(profile::kMinConfig));
+    }
+  }
+
+  PlacementContext ctx;
+  ctx.app = queue.app;
+  ctx.stage = queue.stage;
+  ctx.function = queue.function;
+  ctx.home_invoker = cluster_.home_invoker(queue.app, queue.function);
+  ctx.now_ms = sim_.now();
+
+  for (const profile::Config& config : candidates) {
+    ctx.config = config;
+    ctx.predecessor_invoker = majority_input_location(queue, config.batch);
+
+    // Phase A — reuse: any fitting invoker that already holds a warm
+    // container serves the task (that is what keep-alive instances are
+    // for, on every platform); locality breaks ties.
+    const std::optional<InvokerId> warm_fit = [&]() -> std::optional<InvokerId> {
+      const auto fits_warm = [&](InvokerId id) {
+        const auto& inv = cluster_.invoker(id);
+        return inv.can_fit(config.vcpus, config.vgpus) &&
+               inv.has_warm(queue.function, sim_.now());
+      };
+      if (scheduler_.prefers_locality()) {
+        if (ctx.predecessor_invoker.valid() &&
+            fits_warm(ctx.predecessor_invoker)) {
+          return ctx.predecessor_invoker;
+        }
+        if (fits_warm(ctx.home_invoker)) return ctx.home_invoker;
+      }
+      for (const auto& inv : cluster_.invokers()) {
+        if (fits_warm(inv.id())) return inv.id();
+      }
+      return std::nullopt;
+    }();
+    if (warm_fit.has_value()) {
+      queue.placement_failures = 0;
+      const TimeMs overhead = queue.pending_overhead_ms;
+      queue.planned_length = AfwQueue::kNoPlan;  // plan consumed
+      queue.pending_candidates.clear();
+      dispatch(queue, config, *warm_fit, overhead);
+      return;
+    }
+
+    // Phase B — no warm container fits. Start provisioning a new container
+    // right away (create + model load, off the execution resources; the
+    // per-invoker in-flight guard stops runaway growth) while the jobs keep
+    // queueing: they dispatch on whichever comes first — a running
+    // container turning idle or the new one becoming warm. The provisioning
+    // target follows the strategy's instance-placement policy (locality for
+    // ESG/Orion/Aquatope, packing for INFless and FaST-GShare). Either way
+    // the cold start surfaces as queueing delay.
+    const std::optional<InvokerId> target =
+        forced ? locality_first_place(ctx, cluster_)
+               : scheduler_.place(ctx, cluster_);
+    if (target.has_value()) {
+      provision_container(*target, queue.function);
+      queue.placement_failures = 0;
+      return;
+    }
+    if (function_active_anywhere(queue.function)) {
+      // Nothing fits right now, but containers of this function are busy
+      // elsewhere: wait for one instead of counting a placement failure.
+      queue.placement_failures = 0;
+      return;
+    }
+  }
+  if (std::getenv("ESG_DEBUG") != nullptr && queue.placement_failures == 0) {
+    std::fprintf(stderr,
+                 "[%.0f] NOPLACE app=%u stage=%zu cands=%zu first=%s "
+                 "free=(%zu,%zu) qlen=%zu\n",
+                 sim_.now(), queue.app.get(), queue.stage, candidates.size(),
+                 candidates.empty() ? "-" : to_string(candidates.front()).c_str(),
+                 cluster_.total_free_vcpus(), cluster_.total_free_vgpus(),
+                 queue.jobs.size());
+  }
+  ++queue.placement_failures;
+}
+
+void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
+                          InvokerId invoker_id, TimeMs overhead_ms) {
+  check(config.batch > 0 && config.batch <= queue.jobs.size(),
+        "dispatch: batch exceeds queue length");
+
+  auto& invoker = cluster_.invoker(invoker_id);
+  check(invoker.can_fit(config.vcpus, config.vgpus),
+        "dispatch: placement chose an overloaded invoker");
+  invoker.allocate(config.vcpus, config.vgpus);
+
+  Task task;
+  task.id = TaskId(next_task_++);
+  task.app = queue.app;
+  task.stage = queue.stage;
+  task.function = queue.function;
+  task.config = config;
+  task.invoker = invoker_id;
+  task.dispatch_ms = sim_.now();
+  for (std::uint16_t i = 0; i < config.batch; ++i) {
+    task.jobs.push_back(queue.jobs.front());
+    queue.jobs.pop_front();
+  }
+
+  const auto& table = profiles_.table(task.function);
+  const auto& spec = table.spec();
+
+  const bool measured = sim_.now() >= options_.metrics_warmup_ms;
+
+  // Tasks always consume a warm container: cold starts run as container
+  // provisioning in process_queue, off the execution resources, and show up
+  // as queueing delay for the affected jobs.
+  task.warm_start = invoker.acquire_warm(task.function, sim_.now());
+  check(task.warm_start, "dispatch: no warm container on the chosen invoker");
+  task.cold_ms = 0.0;
+  if (measured) ++metrics_.warm_starts;
+
+  // Input staging: per-job inputs are fetched in parallel; the batch waits
+  // for the slowest. Entry-stage inputs always come from the ingress store.
+  TimeMs transfer = 0.0;
+  for (const Job& job : task.jobs) {
+    const bool local =
+        job.input_location.valid() && job.input_location == invoker_id;
+    if (measured) {
+      if (local) {
+        ++metrics_.local_inputs;
+      } else {
+        ++metrics_.remote_inputs;
+      }
+      metrics_.job_wait_ms.push_back(sim_.now() - job.enqueue_ms);
+    }
+    transfer = std::max(
+        transfer, cluster_.transfer_model().transfer_ms(spec.input_mb, local));
+  }
+  task.transfer_ms = transfer;
+
+  // Execution with multiplicative Gaussian noise. The latency comes from
+  // the analytical model directly (not the table): batch clamping and the
+  // ablation overrides can produce configurations outside the enumerated
+  // space (e.g. more vGPU slices than jobs), which still execute fine.
+  const double noise =
+      std::max(kNoiseFloor, noise_rng_.gaussian(1.0, options_.noise_cv));
+  task.exec_ms = profile::PerfModel::latency_ms(spec, config) * noise;
+
+  ++active_by_function_[task.function];
+
+  task.cost = prices_.cost(config.vcpus, config.vgpus, task.occupancy_ms());
+  if (measured) {
+    metrics_.total_cost += task.cost;
+    metrics_.cost_by_app[task.app] += task.cost;
+    ++metrics_.tasks;
+    metrics_.task_trace.push_back(metrics::TaskRecord{
+        task.id, task.app, task.stage, task.function, task.invoker,
+        task.config.batch, task.config.vcpus, task.config.vgpus,
+        task.dispatch_ms, task.transfer_ms, task.exec_ms, task.cost});
+  }
+
+  if (prewarm_) {
+    prewarm_->on_invocation(task.app, task.function, invoker_id, sim_.now(),
+                            task.occupancy_ms());
+  }
+
+  if (std::getenv("ESG_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[%.0f] DISPATCH app=%u stage=%zu b=%u c=%u g=%u cold=%.0f "
+                 "xfer=%.0f exec=%.0f occ=%.0f inv=%u\n",
+                 sim_.now(), task.app.get(), task.stage, config.batch,
+                 config.vcpus, config.vgpus, task.cold_ms, task.transfer_ms,
+                 task.exec_ms, task.occupancy_ms(), invoker_id.get());
+  }
+
+  // The scheduling overhead delays the start of the work; the resources are
+  // reserved now (the controller has committed them) but the occupancy bill
+  // covers only the task itself.
+  const TimeMs completion = sim_.now() + overhead_ms + task.occupancy_ms();
+  sim_.schedule_at(completion, [this, task = std::move(task)] {
+    complete_task(task);
+  });
+}
+
+void Controller::provision_container(InvokerId invoker, FunctionId function) {
+  const std::uint64_t key = (std::uint64_t{invoker.get()} << 32) | function.get();
+  if (!provisioning_.insert(key).second) return;  // already underway
+  if (sim_.now() >= options_.metrics_warmup_ms) ++metrics_.cold_starts;
+  const TimeMs cold = profiles_.table(function).spec().cold_start_ms;
+  sim_.schedule_in(cold, [this, key, invoker, function] {
+    provisioning_.erase(key);
+    cluster_.invoker(invoker).add_warm(function, sim_.now(),
+                                       options_.keep_alive_ms);
+    ensure_scan_scheduled();
+  });
+}
+
+bool Controller::function_active_anywhere(FunctionId function) const {
+  auto it = active_by_function_.find(function);
+  if (it != active_by_function_.end() && it->second > 0) return true;
+  for (const auto& inv : cluster_.invokers()) {
+    if (inv.has_warm(function, sim_.now())) return true;
+  }
+  return false;
+}
+
+void Controller::complete_task(const Task& task) {
+  auto& invoker = cluster_.invoker(task.invoker);
+  invoker.release(task.config.vcpus, task.config.vgpus);
+  invoker.add_warm(task.function, sim_.now(), options_.keep_alive_ms);
+  auto it = active_by_function_.find(task.function);
+  check(it != active_by_function_.end() && it->second > 0,
+        "complete_task: active-task accounting underflow");
+  --it->second;
+
+  for (const Job& job : task.jobs) {
+    advance_job(job, task.invoker, sim_.now());
+  }
+  ensure_scan_scheduled();
+}
+
+void Controller::advance_job(const Job& job, InvokerId ran_on,
+                             TimeMs completion_ms) {
+  auto req_it = requests_.find(job.request);
+  check(req_it != requests_.end(), "advance_job: unknown request");
+  RequestState& req = req_it->second;
+  const auto& dag = dag_of(job.app);
+  const auto& node = dag.node(job.stage);
+
+  for (workload::NodeIndex succ : node.successors) {
+    // Merge the input location: a join stage whose inputs live on different
+    // invokers has no single local source, so it degrades to remote.
+    InvokerId& loc = req.input_location[succ];
+    if (!loc.valid()) {
+      loc = ran_on;
+    } else if (loc != ran_on) {
+      loc = InvokerId{};  // mixed sources -> remote
+    }
+    check(req.remaining_preds[succ] > 0, "advance_job: predecessor underflow");
+    if (--req.remaining_preds[succ] == 0) {
+      enqueue_job(job.request, job.app, succ, req.input_location[succ],
+                  completion_ms);
+    }
+  }
+
+  if (node.successors.empty()) {
+    check(req.remaining_sinks > 0, "advance_job: sink underflow");
+    if (--req.remaining_sinks == 0) {
+      finish_request(job.request, completion_ms);
+    }
+  }
+}
+
+void Controller::finish_request(RequestId request, TimeMs completion_ms) {
+  auto it = requests_.find(request);
+  check(it != requests_.end(), "finish_request: unknown request");
+  const RequestState& req = it->second;
+
+  if (req.arrival_ms < options_.metrics_warmup_ms) {
+    requests_.erase(it);  // simulated, but outside the measurement window
+    return;
+  }
+
+  metrics::CompletionRecord record;
+  record.request = request;
+  record.app = req.app;
+  record.arrival_ms = req.arrival_ms;
+  record.completion_ms = completion_ms;
+  record.latency_ms = completion_ms - req.arrival_ms;
+  record.slo_ms = req.slo_ms;
+  record.hit = record.latency_ms <= req.slo_ms;
+  metrics_.completions.push_back(record);
+
+  requests_.erase(it);
+}
+
+void Controller::run_to_completion() { sim_.run(); }
+
+}  // namespace esg::platform

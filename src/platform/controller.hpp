@@ -1,0 +1,175 @@
+// The serverless controller: owns the AFW job queues, scans them round-robin,
+// invokes the pluggable scheduling strategy, dispatches tasks to invokers and
+// drives their lifecycle (cold start, input staging, execution, keep-alive),
+// advances request DAGs, and collects metrics.
+//
+// This mirrors the OpenWhisk controller the paper builds on (Section 2) plus
+// the paper's platform-level mechanisms shared by all schedulers
+// (Section 4.2): GPU sharing, batching, data locality and pre-warming.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "metrics/run_metrics.hpp"
+#include "platform/job.hpp"
+#include "platform/scheduler.hpp"
+#include "prewarm/prewarm_manager.hpp"
+#include "profile/profile_table.hpp"
+#include "sim/simulator.hpp"
+#include "workload/applications.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::platform {
+
+struct ControllerOptions {
+  TimeMs scan_interval_ms = 1.0;  ///< queue-scan cadence
+  /// Coefficient of variation of the multiplicative Gaussian execution noise
+  /// (Section 4: "the emulations add Gaussian noises to the performance").
+  double noise_cv = 0.06;
+  /// Rounds a queue may fail placement before the forced minimum-config
+  /// dispatch (Section 3.1: "if a queue stays in the recheck list too long
+  /// (e.g., 3 rounds), it will be dispatched with the minimum configuration").
+  int recheck_rounds_before_min = 3;
+  bool enable_prewarm = true;
+  /// Ablation switches (Figure 12). With GPU sharing disabled every task
+  /// occupies (and is billed for) the node's entire GPU; with batching
+  /// disabled every task carries exactly one job.
+  bool enable_gpu_sharing = true;
+  bool enable_batching = true;
+  TimeMs keep_alive_ms = cluster::kKeepAliveMs;
+  /// Re-plan a queue whose length has not changed at most this often; in
+  /// between, cached candidates are retried against the (changed) worker
+  /// states, which is exactly the recheck-list behaviour of Section 3.1.
+  TimeMs replan_interval_ms = 5.0;
+  /// Safety valve: a queue deferring longer than this is dispatched anyway.
+  TimeMs defer_cap_ms = 30'000.0;
+  /// Measurement warm-up: requests arriving before this time are simulated
+  /// normally but excluded from the completion/cost/start metrics, so
+  /// experiments report steady-state behaviour rather than the initial
+  /// cold-start wave (every scheduler shares the same warm-up).
+  TimeMs metrics_warmup_ms = 0.0;
+  /// Cold-start patience: if the chosen invoker has no warm container but
+  /// the function is active somewhere (a container will free up soon), the
+  /// dispatch waits up to `factor x cold_start` of queueing delay before
+  /// paying the cold start. Spinning up a container that loads a model for
+  /// tens of seconds to serve a sub-second job while an identical container
+  /// is about to become idle is how keep-alive platforms melt down; real
+  /// controllers queue on the warm fleet instead.
+  double cold_patience_factor = 0.15;
+};
+
+class Controller {
+ public:
+  /// All references must outlive the controller.
+  Controller(sim::Simulator& sim, cluster::Cluster& cluster,
+             const profile::ProfileSet& profiles,
+             const std::vector<workload::AppDag>& apps,
+             workload::SloSetting slo_setting, Scheduler& scheduler,
+             const RngFactory& rng, ControllerOptions options = {});
+
+  /// Schedules the given arrivals as future request events.
+  void inject(const std::vector<workload::Arrival>& arrivals);
+
+  /// Injects one request immediately (at sim.now()). Returns its id.
+  RequestId inject_request(AppId app);
+
+  /// Runs the simulation until all injected requests complete (or the event
+  /// queue drains).
+  void run_to_completion();
+
+  [[nodiscard]] const metrics::RunMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] metrics::RunMetrics& metrics() { return metrics_; }
+  [[nodiscard]] TimeMs slo_of(AppId app) const;
+  [[nodiscard]] const workload::AppDag& dag_of(AppId app) const;
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] std::size_t inflight_requests() const { return requests_.size(); }
+
+ private:
+  struct AfwQueue {
+    AppId app;
+    workload::NodeIndex stage = 0;
+    FunctionId function;
+    std::deque<Job> jobs;
+    int placement_failures = 0;  ///< consecutive recheck rounds
+
+    // Cached plan (cleared on dispatch or when the queue length changes).
+    std::vector<profile::Config> pending_candidates;
+    TimeMs pending_overhead_ms = 0.0;
+    bool pending_defer = false;
+    std::size_t planned_length = kNoPlan;
+    TimeMs replan_at_ms = 0.0;
+
+    static constexpr std::size_t kNoPlan = static_cast<std::size_t>(-1);
+  };
+
+  struct RequestState {
+    TimeMs arrival_ms = 0.0;
+    AppId app;
+    TimeMs slo_ms = 0.0;
+    std::vector<std::uint8_t> remaining_preds;  ///< per DAG node
+    std::vector<InvokerId> input_location;      ///< per DAG node (merged)
+    std::size_t remaining_sinks = 0;
+  };
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  const profile::ProfileSet& profiles_;
+  std::vector<const workload::AppDag*> apps_;  // indexed by AppId value
+  std::vector<TimeMs> slo_ms_;                 // indexed by AppId value
+  Scheduler& scheduler_;
+  ControllerOptions options_;
+  profile::PriceModel prices_;
+
+  std::vector<AfwQueue> queues_;  // one per (app, stage), in app-major order
+  std::unordered_map<std::uint64_t, std::size_t> queue_index_;  // (app,stage)
+  std::size_t rr_cursor_ = 0;
+  bool scan_scheduled_ = false;
+
+  std::unordered_map<RequestId, RequestState> requests_;
+  std::uint32_t next_request_ = 0;
+  std::uint32_t next_job_ = 0;
+  std::uint32_t next_task_ = 0;
+
+  RngStream noise_rng_;
+  metrics::RunMetrics metrics_;
+  std::unique_ptr<prewarm::PrewarmManager> prewarm_;
+  /// Running tasks per function (any app) — drives the cold-start patience.
+  std::unordered_map<FunctionId, std::size_t> active_by_function_;
+  /// (invoker, function) pairs with a container currently being provisioned.
+  std::set<std::uint64_t> provisioning_;
+
+  [[nodiscard]] bool function_active_anywhere(FunctionId function) const;
+  /// Starts provisioning a container (container create + model load) on
+  /// `invoker`; it joins the warm pool after the cold-start time. No-op if
+  /// one is already being provisioned there.
+  void provision_container(InvokerId invoker, FunctionId function);
+
+  void ensure_scan_scheduled();
+  void scan();
+  /// Attempts to plan + dispatch one task from queue `qi`.
+  void process_queue(std::size_t qi);
+  void dispatch(AfwQueue& queue, const profile::Config& config,
+                InvokerId invoker, TimeMs overhead_ms);
+  void complete_task(const Task& task);
+  void advance_job(const Job& job, InvokerId ran_on, TimeMs completion_ms);
+  void enqueue_job(RequestId request, AppId app, workload::NodeIndex stage,
+                   InvokerId input_location, TimeMs now);
+  void finish_request(RequestId request, TimeMs completion_ms);
+
+  [[nodiscard]] QueueView make_view(const AfwQueue& queue) const;
+  [[nodiscard]] profile::Config clamp_for_ablation(profile::Config c) const;
+  [[nodiscard]] InvokerId majority_input_location(const AfwQueue& queue,
+                                                  std::uint16_t batch) const;
+  [[nodiscard]] std::uint64_t queue_key(AppId app, workload::NodeIndex stage) const;
+  [[nodiscard]] bool any_queue_nonempty() const;
+};
+
+}  // namespace esg::platform

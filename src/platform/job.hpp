@@ -1,0 +1,49 @@
+// Job and task records flowing through the platform. A *job* is one request's
+// inference at one DAG stage; a *task* is a batch of jobs dispatched as a
+// single function invocation (Section 3.2, task model).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "profile/config.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::platform {
+
+struct Job {
+  JobId id;
+  RequestId request;
+  AppId app;
+  workload::NodeIndex stage = 0;
+  FunctionId function;
+  TimeMs request_arrival_ms = 0.0;  ///< when the end-to-end request arrived
+  TimeMs enqueue_ms = 0.0;          ///< when this job entered its AFW queue
+  /// Where this job's input currently lives: the invoker that ran the
+  /// predecessor stage, or invalid for entry-stage jobs (input at ingress).
+  InvokerId input_location;
+};
+
+struct Task {
+  TaskId id;
+  AppId app;
+  workload::NodeIndex stage = 0;
+  FunctionId function;
+  profile::Config config;
+  InvokerId invoker;
+  std::vector<Job> jobs;
+
+  TimeMs dispatch_ms = 0.0;  ///< when resources were allocated
+  TimeMs cold_ms = 0.0;      ///< cold-start component (0 on warm start)
+  TimeMs transfer_ms = 0.0;  ///< input staging component
+  TimeMs exec_ms = 0.0;      ///< noisy execution latency
+  bool warm_start = false;
+  Usd cost = 0.0;
+
+  /// Full node-occupancy duration.
+  [[nodiscard]] TimeMs occupancy_ms() const {
+    return cold_ms + transfer_ms + exec_ms;
+  }
+};
+
+}  // namespace esg::platform

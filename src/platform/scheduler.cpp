@@ -1,0 +1,66 @@
+#include "platform/scheduler.hpp"
+
+namespace esg::platform {
+
+std::optional<InvokerId> locality_first_place(const PlacementContext& ctx,
+                                              const cluster::Cluster& cluster) {
+  const auto fits = [&](InvokerId id) {
+    return cluster.invoker(id).can_fit(ctx.config.vcpus, ctx.config.vgpus);
+  };
+  const auto warm = [&](InvokerId id) {
+    return cluster.invoker(id).has_warm(ctx.function, ctx.now_ms);
+  };
+
+  // 1. Warm + local: the predecessor's invoker (data locality) for
+  //    non-entry stages, the home invoker for entry stages.
+  if (ctx.predecessor_invoker.valid() && fits(ctx.predecessor_invoker) &&
+      warm(ctx.predecessor_invoker)) {
+    return ctx.predecessor_invoker;
+  }
+  if (ctx.home_invoker.valid() && fits(ctx.home_invoker) &&
+      warm(ctx.home_invoker)) {
+    return ctx.home_invoker;
+  }
+
+  // 2. Any other invoker with a warm container for this function.
+  for (const auto& inv : cluster.invokers()) {
+    if (fits(inv.id()) && warm(inv.id())) return inv.id();
+  }
+
+  // 3. Cold, but local.
+  if (ctx.predecessor_invoker.valid() && fits(ctx.predecessor_invoker)) {
+    return ctx.predecessor_invoker;
+  }
+  if (ctx.home_invoker.valid() && fits(ctx.home_invoker)) {
+    return ctx.home_invoker;
+  }
+
+  // 4. The cold invoker with the most available resources (vGPUs are the
+  //    scarce dimension; vCPUs break ties).
+  std::optional<InvokerId> best;
+  int best_score = -1;
+  for (const auto& inv : cluster.invokers()) {
+    if (!fits(inv.id())) continue;
+    const int score = inv.free_vgpus() * 64 + inv.free_vcpus();
+    if (score > best_score) {
+      best_score = score;
+      best = inv.id();
+    }
+  }
+  return best;
+}
+
+std::optional<InvokerId> first_fit_from_home(const PlacementContext& ctx,
+                                             const cluster::Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  const std::size_t start = ctx.home_invoker.valid() ? ctx.home_invoker.get() : 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    const InvokerId id(static_cast<std::uint32_t>((start + step) % n));
+    if (cluster.invoker(id).can_fit(ctx.config.vcpus, ctx.config.vgpus)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace esg::platform

@@ -1,0 +1,111 @@
+// The scheduling-strategy interface. ESG and the four baselines implement
+// this; the controller (and thus GPU sharing, batching, data locality and
+// pre-warming) is identical for all of them, so experiments isolate the
+// scheduling algorithm exactly as the paper does ("the only difference is
+// the scheduling algorithm", Section 4.2).
+//
+// A strategy answers two questions:
+//   plan():  which (batch, #vCPU, #vGPU) configurations should the jobs of
+//            this AFW queue run with, in priority order (the configuration
+//            priority queue of Section 3.1)?
+//   place(): which invoker should host the chosen configuration?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "profile/config.hpp"
+#include "profile/profile_table.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::platform {
+
+/// Everything a strategy may inspect when planning one AFW queue.
+struct QueueView {
+  AppId app;
+  workload::NodeIndex stage = 0;
+  FunctionId function;
+  const workload::AppDag* dag = nullptr;
+  const profile::ProfileSet* profiles = nullptr;
+
+  std::size_t queue_length = 0;     ///< jobs currently in the queue
+  TimeMs head_wait_ms = 0.0;        ///< longest current queueing delay (w)
+  TimeMs oldest_elapsed_ms = 0.0;   ///< max(now - request arrival) over queue
+  TimeMs slo_ms = 0.0;              ///< end-to-end SLO latency of the app
+  TimeMs now_ms = 0.0;
+};
+
+struct PlanResult {
+  /// Candidate configurations in decreasing priority; every batch must be
+  /// <= queue_length. Empty + !defer means "nothing feasible" (the
+  /// controller then falls back to the minimum configuration).
+  std::vector<profile::Config> candidates;
+  /// True to wait for more jobs to accumulate before dispatching.
+  bool defer = false;
+  /// Scheduling latency charged to the dispatch (deterministic model).
+  TimeMs overhead_ms = 0.0;
+  /// True when this dispatch consumed a configuration planned earlier
+  /// (Orion/Aquatope); drives the Table 4 accounting.
+  bool used_preplanned = false;
+  /// True when the pre-planned configuration did not apply (batch larger
+  /// than the queue) and had to be clamped.
+  bool preplanned_miss = false;
+};
+
+/// Context for invoker selection.
+struct PlacementContext {
+  AppId app;
+  workload::NodeIndex stage = 0;
+  FunctionId function;
+  profile::Config config;
+  /// Invoker that produced most of this batch's inputs (invalid for entry).
+  InvokerId predecessor_invoker;
+  InvokerId home_invoker;
+  TimeMs now_ms = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Chooses configurations for the queue described by `view`.
+  virtual PlanResult plan(const QueueView& view) = 0;
+
+  /// Chooses an invoker able to fit ctx.config; std::nullopt if none fits.
+  virtual std::optional<InvokerId> place(const PlacementContext& ctx,
+                                         const cluster::Cluster& cluster) = 0;
+
+  /// Notification of a new end-to-end request (plan-ahead schedulers hook
+  /// this to fix per-stage configurations up front).
+  virtual void on_request(RequestId request, AppId app, TimeMs now_ms) {
+    (void)request;
+    (void)app;
+    (void)now_ms;
+  }
+
+  /// Whether warm-container selection should break ties towards the
+  /// predecessor/home invoker (the paper's data-locality policy). INFless
+  /// and FaST-GShare "do not follow the data locality policy but their
+  /// resource fragmentation minimization policy" (Section 4.2).
+  [[nodiscard]] virtual bool prefers_locality() const { return true; }
+};
+
+/// Shared fallback placement used by several strategies and by the
+/// controller's forced-minimum dispatch: home/predecessor first, then any
+/// warm invoker, then the cold invoker with the most free resources
+/// (Section 3.4).
+[[nodiscard]] std::optional<InvokerId> locality_first_place(
+    const PlacementContext& ctx, const cluster::Cluster& cluster);
+
+/// Simplest feasible placement: first invoker that fits (OpenWhisk-style
+/// deterministic search from the home invoker).
+[[nodiscard]] std::optional<InvokerId> first_fit_from_home(
+    const PlacementContext& ctx, const cluster::Cluster& cluster);
+
+}  // namespace esg::platform

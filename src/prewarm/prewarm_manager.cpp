@@ -1,0 +1,89 @@
+#include "prewarm/prewarm_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esg::prewarm {
+
+PrewarmManager::PrewarmManager(sim::Simulator& sim, cluster::Cluster& cluster,
+                               const profile::ProfileSet& profiles,
+                               double ewma_alpha)
+    : sim_(sim), cluster_(cluster), profiles_(profiles), alpha_(ewma_alpha) {}
+
+std::size_t PrewarmManager::target_pool(const Stream& stream) {
+  if (!stream.interval.initialized()) return 0;
+  const double interval = std::max(1.0, stream.interval.value());
+  // Concurrency demand: tasks arriving every `interval` that each occupy a
+  // container for `duration` need ~duration/interval simultaneous
+  // containers; always keep at least one ready.
+  const double concurrency =
+      stream.duration.initialized() ? stream.duration.value() / interval : 0.0;
+  return static_cast<std::size_t>(
+      std::clamp(std::ceil(concurrency), 1.0, 24.0));
+}
+
+void PrewarmManager::on_invocation(AppId app, FunctionId function,
+                                   InvokerId invoker, TimeMs now_ms,
+                                   TimeMs duration_ms) {
+  auto [it, inserted] = streams_.try_emplace(key(app, function), alpha_);
+  Stream& stream = it->second;
+
+  if (stream.last_invocation_ms != kNoTime && now_ms > stream.last_invocation_ms) {
+    stream.interval.observe(now_ms - stream.last_invocation_ms);
+  }
+  stream.last_invocation_ms = now_ms;
+  if (duration_ms > 0.0) stream.duration.observe(duration_ms);
+
+  if (!stream.interval.initialized()) return;
+
+  const std::size_t target = target_pool(stream);
+  std::size_t warm = 0;
+  for (const auto& inv : cluster_.invokers()) {
+    warm += inv.warm_count(function, now_ms);
+  }
+  if (warm + stream.outstanding >= target) return;
+  const std::size_t missing = target - warm - stream.outstanding;
+
+  const TimeMs cold = profiles_.table(function).spec().cold_start_ms;
+  const TimeMs predicted_next = now_ms + stream.interval.value();
+  // Start warming so the container is ready at the predicted invocation.
+  const TimeMs fire_at = std::max(now_ms, predicted_next - cold);
+
+  const std::uint64_t k = key(app, function);
+  for (std::size_t i = 0; i < missing; ++i) {
+    // Spread extra containers over neighbouring invokers: one node rarely
+    // has capacity for a whole stream's peak concurrency.
+    const InvokerId target(static_cast<std::uint32_t>(
+        (invoker.get() + i) % cluster_.size()));
+    ++stream.outstanding;
+    sim_.schedule_at(fire_at, [this, k, function, invoker = target] {
+      auto stream_it = streams_.find(k);
+      const std::size_t target_now = stream_it != streams_.end()
+                                         ? target_pool(stream_it->second)
+                                         : 1;
+      std::size_t warm_now = 0;
+      for (const auto& inv : cluster_.invokers()) {
+        warm_now += inv.warm_count(function, sim_.now());
+      }
+      if (warm_now >= target_now) {
+        if (stream_it != streams_.end() && stream_it->second.outstanding > 0) {
+          --stream_it->second.outstanding;
+        }
+        ++prewarms_skipped_;  // keep-alive containers already cover demand
+        return;
+      }
+      const TimeMs ready_cold = profiles_.table(function).spec().cold_start_ms;
+      ++prewarms_issued_;
+      // The container becomes warm once the model-load time has elapsed.
+      sim_.schedule_in(ready_cold, [this, k, function, invoker] {
+        cluster_.invoker(invoker).add_warm(function, sim_.now());
+        auto inner = streams_.find(k);
+        if (inner != streams_.end() && inner->second.outstanding > 0) {
+          --inner->second.outstanding;
+        }
+      });
+    });
+  }
+}
+
+}  // namespace esg::prewarm

@@ -1,0 +1,68 @@
+// Lightweight pre-warming (Section 4): an EWMA over the inter-invocation
+// intervals of each (application, function) stream predicts the next
+// invocation, and containers are warmed on the stream's last invoker so they
+// are ready right when the prediction fires. The number of containers kept
+// warm adapts to the stream's concurrency demand — the ratio of the task
+// duration EWMA to the interval EWMA — so bursty streams that need several
+// simultaneous containers do not fall back to cold starts. After
+// pre-warming, containers follow the ordinary keep-alive policy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/cluster.hpp"
+#include "common/ewma.hpp"
+#include "common/types.hpp"
+#include "profile/profile_table.hpp"
+#include "sim/simulator.hpp"
+
+namespace esg::prewarm {
+
+class PrewarmManager {
+ public:
+  PrewarmManager(sim::Simulator& sim, cluster::Cluster& cluster,
+                 const profile::ProfileSet& profiles, double ewma_alpha = 0.3);
+
+  /// Notifies the manager that `function` of `app` was just invoked on
+  /// `invoker` with an expected occupancy of `duration_ms`. Updates the
+  /// interval/duration estimates and, once ready, schedules warm-ups so
+  /// enough containers are live at the predicted next invocations.
+  void on_invocation(AppId app, FunctionId function, InvokerId invoker,
+                     TimeMs now_ms, TimeMs duration_ms);
+
+  /// Backward-compatible overload without a duration estimate.
+  void on_invocation(AppId app, FunctionId function, InvokerId invoker,
+                     TimeMs now_ms) {
+    on_invocation(app, function, invoker, now_ms, 0.0);
+  }
+
+  [[nodiscard]] std::size_t prewarms_issued() const { return prewarms_issued_; }
+  [[nodiscard]] std::size_t prewarms_skipped() const { return prewarms_skipped_; }
+
+ private:
+  struct Stream {
+    Ewma interval;
+    Ewma duration;
+    TimeMs last_invocation_ms = kNoTime;
+    std::size_t outstanding = 0;  ///< prewarms scheduled but not yet resolved
+    explicit Stream(double alpha) : interval(alpha), duration(alpha) {}
+  };
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  const profile::ProfileSet& profiles_;
+  double alpha_;
+  std::unordered_map<std::uint64_t, Stream> streams_;
+  std::size_t prewarms_issued_ = 0;
+  std::size_t prewarms_skipped_ = 0;
+
+  /// Warm containers this stream wants available simultaneously.
+  [[nodiscard]] static std::size_t target_pool(const Stream& stream);
+
+  static std::uint64_t key(AppId app, FunctionId function) {
+    return (std::uint64_t{app.get()} << 32) | function.get();
+  }
+};
+
+}  // namespace esg::prewarm

@@ -1,0 +1,13 @@
+#include "profile/config.hpp"
+
+#include <cstdio>
+
+namespace esg::profile {
+
+std::string to_string(const Config& c) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "(b=%u, c=%u, g=%u)", c.batch, c.vcpus, c.vgpus);
+  return buf;
+}
+
+}  // namespace esg::profile

@@ -1,0 +1,25 @@
+// A serverless-function configuration: the triple the ESG paper schedules
+// over — (batch size, #vCPUs, #vGPUs) (Section 3.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace esg::profile {
+
+struct Config {
+  std::uint16_t batch = 1;   ///< jobs grouped into one task
+  std::uint16_t vcpus = 1;   ///< CPU resource units
+  std::uint16_t vgpus = 1;   ///< GPU resource units (MIG slices)
+
+  constexpr auto operator<=>(const Config&) const = default;
+};
+
+/// Renders e.g. "(b=4, c=2, g=1)".
+[[nodiscard]] std::string to_string(const Config& c);
+
+/// The minimum configuration the paper uses as the latency baseline L.
+inline constexpr Config kMinConfig{1, 1, 1};
+
+}  // namespace esg::profile

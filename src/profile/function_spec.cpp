@@ -1,0 +1,62 @@
+#include "profile/function_spec.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace esg::profile {
+
+namespace {
+
+// Table 3 measured values: base execution time (ms) at the minimum
+// configuration, cold start time (ms), input size (MB), model name.
+// Scaling constants per DESIGN.md §4:
+//  - cpu_share: the fraction of the 1-vCPU base latency spent on the CPU
+//    side (JPEG decode, resize, normalisation, tensor marshalling). At the
+//    *minimum* configuration a single weak vCPU is the bottleneck for the
+//    image-in functions, while the A100 kernel itself is fast — which is
+//    what makes faster-than-base configurations (and thus the paper's
+//    strict 0.8xL SLO) reachable at all. Small-input functions
+//    (classification) decode little but marshal per-image tensors.
+//  - cpu_parallel_fraction: image decode/resize parallelises well; tensor
+//    marshalling does not.
+//  - batch_efficiency: marginal per-extra-image GPU time as a fraction of
+//    the first image; heavier models amortise weight reads better (lower η).
+const std::array<FunctionSpec, kBuiltinFunctionCount> kSpecs = {{
+    {id_of(Function::kSuperResolution), "super_resolution", "SRGAN",
+     /*base=*/86.0, /*cold=*/3503.0, /*input_mb=*/2.7,
+     /*cpu_share=*/0.45, /*cpu_parallel=*/0.92, /*batch_eff=*/0.25,
+     /*max_batch=*/32},
+    {id_of(Function::kSegmentation), "segmentation", "deeplabv3_resnet50",
+     /*base=*/293.0, /*cold=*/16510.0, /*input_mb=*/2.5,
+     /*cpu_share=*/0.40, /*cpu_parallel=*/0.92, /*batch_eff=*/0.20,
+     /*max_batch=*/32},
+    {id_of(Function::kDeblur), "deblur", "DeblurGAN",
+     /*base=*/319.0, /*cold=*/22343.0, /*input_mb=*/1.1,
+     /*cpu_share=*/0.35, /*cpu_parallel=*/0.90, /*batch_eff=*/0.20,
+     /*max_batch=*/32},
+    {id_of(Function::kClassification), "classification", "ResNet50",
+     /*base=*/147.0, /*cold=*/18299.0, /*input_mb=*/0.147,
+     /*cpu_share=*/0.50, /*cpu_parallel=*/0.92, /*batch_eff=*/0.12,
+     /*max_batch=*/64},
+    {id_of(Function::kBackgroundRemoval), "background_removal", "U2Net",
+     /*base=*/1047.0, /*cold=*/3729.0, /*input_mb=*/2.5,
+     /*cpu_share=*/0.30, /*cpu_parallel=*/0.90, /*batch_eff=*/0.18,
+     /*max_batch=*/16},
+    {id_of(Function::kDepthRecognition), "depth_recognition", "MiDaS",
+     /*base=*/828.0, /*cold=*/16479.0, /*input_mb=*/0.648,
+     /*cpu_share=*/0.35, /*cpu_parallel=*/0.90, /*batch_eff=*/0.18,
+     /*max_batch=*/16},
+}};
+
+}  // namespace
+
+std::span<const FunctionSpec> builtin_specs() { return kSpecs; }
+
+const FunctionSpec& builtin_spec(FunctionId id) {
+  if (id.get() >= kSpecs.size()) {
+    throw std::out_of_range("builtin_spec: unknown function id");
+  }
+  return kSpecs[id.get()];
+}
+
+}  // namespace esg::profile

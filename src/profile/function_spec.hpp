@@ -1,0 +1,56 @@
+// Specifications of the six DNN serverless functions from Table 3 of the
+// paper, plus the per-function constants of the analytical performance model
+// (DESIGN.md §4). Base latencies, cold-start times, input sizes and model
+// names are the paper's measured values; the scaling constants (cpu_share,
+// cpu_parallel_fraction, batch_efficiency) are calibrated so the model keeps
+// the qualitative behaviour MIG-sliced GPU inference shows: sub-linear
+// batching gain, diminishing vCPU returns, near-linear multi-vGPU data
+// parallelism.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "profile/config.hpp"
+
+namespace esg::profile {
+
+struct FunctionSpec {
+  FunctionId id;
+  std::string name;
+  std::string model;          ///< DNN model name (Table 3)
+  TimeMs base_latency_ms;     ///< exec time at (batch=1, 1 vCPU, 1 vGPU)
+  TimeMs cold_start_ms;       ///< container + model load time
+  double input_mb;            ///< per-job input size
+  double cpu_share;           ///< α: fraction of base latency spent on CPU
+  double cpu_parallel_fraction;  ///< p in Amdahl's law for the CPU part
+  double batch_efficiency;    ///< η: marginal GPU cost of one extra job
+  std::uint16_t max_batch;    ///< largest batch the function accepts
+};
+
+/// The six functions of Table 3, in the paper's row order. Index with
+/// Function enum below; FunctionId values equal the enum values.
+[[nodiscard]] std::span<const FunctionSpec> builtin_specs();
+
+/// Stable indices of the built-in functions.
+enum class Function : std::uint32_t {
+  kSuperResolution = 0,
+  kSegmentation = 1,
+  kDeblur = 2,
+  kClassification = 3,
+  kBackgroundRemoval = 4,
+  kDepthRecognition = 5,
+};
+
+inline constexpr std::size_t kBuiltinFunctionCount = 6;
+
+[[nodiscard]] inline FunctionId id_of(Function f) {
+  return FunctionId(static_cast<std::uint32_t>(f));
+}
+
+/// Spec lookup by id; throws std::out_of_range for unknown ids.
+[[nodiscard]] const FunctionSpec& builtin_spec(FunctionId id);
+
+}  // namespace esg::profile

@@ -1,0 +1,42 @@
+#include "profile/perf_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esg::profile {
+
+double PerfModel::amdahl(double p, unsigned vcpus) {
+  if (vcpus == 0) throw std::invalid_argument("amdahl: vcpus must be > 0");
+  return 1.0 / ((1.0 - p) + p / static_cast<double>(vcpus));
+}
+
+double PerfModel::batch_multiplier(double eta, unsigned per_slice_batch) {
+  if (per_slice_batch == 0) {
+    throw std::invalid_argument("batch_multiplier: batch must be > 0");
+  }
+  return 1.0 + (static_cast<double>(per_slice_batch) - 1.0) * eta;
+}
+
+TimeMs PerfModel::latency_ms(const FunctionSpec& spec, const Config& config) {
+  if (config.batch == 0 || config.vcpus == 0 || config.vgpus == 0) {
+    throw std::invalid_argument("latency_ms: config fields must be > 0");
+  }
+  const double b = config.batch;
+
+  // CPU part: pre/post-processing is per-job (linear in batch) and enjoys an
+  // Amdahl speed-up across vCPUs.
+  const double t_cpu = spec.cpu_share * spec.base_latency_ms * b /
+                       amdahl(spec.cpu_parallel_fraction, config.vcpus);
+
+  // GPU part: the batch is split evenly over the vGPU slices (data-parallel
+  // kernels, one per MIG slice; Section 3.2), and each slice processes its
+  // share with sub-linear batching gain.
+  const auto per_slice =
+      static_cast<unsigned>(std::ceil(b / static_cast<double>(config.vgpus)));
+  const double t_gpu = (1.0 - spec.cpu_share) * spec.base_latency_ms *
+                       batch_multiplier(spec.batch_efficiency, per_slice);
+
+  return t_cpu + t_gpu;
+}
+
+}  // namespace esg::profile

@@ -1,0 +1,32 @@
+// Analytical performance model (DESIGN.md §4): the noise-free expected
+// latency of one invocation of a function under a given configuration,
+// calibrated to the Table 3 base latencies at the minimum configuration.
+//
+// The model is what the paper's emulator gets from its measured profiles: an
+// expected latency per (function, batch, vCPU, vGPU) triple. Schedulers read
+// these expectations through ProfileTable; the platform perturbs them with
+// Gaussian noise at execution time (Section 4: "the emulations add Gaussian
+// noises to the performance").
+#pragma once
+
+#include "common/types.hpp"
+#include "profile/config.hpp"
+#include "profile/function_spec.hpp"
+
+namespace esg::profile {
+
+class PerfModel {
+ public:
+  /// Expected execution latency of one *task* (whole batch) of `spec`
+  /// under `config`. Pure; deterministic.
+  [[nodiscard]] static TimeMs latency_ms(const FunctionSpec& spec, const Config& config);
+
+  /// Amdahl speed-up for `vcpus` CPUs with parallel fraction `p`.
+  [[nodiscard]] static double amdahl(double p, unsigned vcpus);
+
+  /// GPU-side batching multiplier: time for a per-slice batch of n relative
+  /// to a batch of 1, i.e. 1 + (n-1)*eta.
+  [[nodiscard]] static double batch_multiplier(double eta, unsigned per_slice_batch);
+};
+
+}  // namespace esg::profile

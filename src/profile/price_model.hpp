@@ -1,0 +1,26 @@
+// Resource pricing (Section 4.1): vCPU $0.034/hour following AWS EC2, vGPU
+// $0.67/hour (an A100's hourly price divided by its 7 MIG slices).
+#pragma once
+
+#include "common/types.hpp"
+#include "profile/config.hpp"
+
+namespace esg::profile {
+
+struct PriceModel {
+  Usd usd_per_vcpu_hour = 0.034;
+  Usd usd_per_vgpu_hour = 0.67;
+
+  /// Dollar cost of holding `vcpus` + `vgpus` for `duration_ms`.
+  [[nodiscard]] Usd cost(unsigned vcpus, unsigned vgpus, TimeMs duration_ms) const {
+    const double hours = duration_ms / 3'600'000.0;
+    return (usd_per_vcpu_hour * vcpus + usd_per_vgpu_hour * vgpus) * hours;
+  }
+
+  /// Cost of one task: the configured resources held for the task latency.
+  [[nodiscard]] Usd task_cost(const Config& c, TimeMs latency_ms) const {
+    return cost(c.vcpus, c.vgpus, latency_ms);
+  }
+};
+
+}  // namespace esg::profile

@@ -1,0 +1,126 @@
+#include "profile/profile_table.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "profile/perf_model.hpp"
+
+namespace esg::profile {
+
+std::vector<Config> enumerate_configs(const ConfigSpaceOptions& options,
+                                      const FunctionSpec& spec) {
+  std::vector<Config> configs;
+  configs.reserve(options.batches.size() * options.vcpus.size() *
+                  options.vgpus.size());
+  for (std::uint16_t b : options.batches) {
+    if (b == 0 || b > spec.max_batch) continue;
+    for (std::uint16_t c : options.vcpus) {
+      if (c == 0) continue;
+      for (std::uint16_t g : options.vgpus) {
+        if (g == 0) continue;
+        if (g > b) continue;  // dominated: extra slices would sit idle
+        configs.push_back(Config{b, c, g});
+      }
+    }
+  }
+  return configs;
+}
+
+std::uint64_t ProfileTable::key(const Config& c) {
+  return (std::uint64_t{c.batch} << 32) | (std::uint64_t{c.vcpus} << 16) |
+         std::uint64_t{c.vgpus};
+}
+
+ProfileTable::ProfileTable(const FunctionSpec& spec, std::vector<Config> configs,
+                           const PriceModel& prices)
+    : spec_(spec) {
+  if (configs.empty()) {
+    throw std::invalid_argument("ProfileTable: empty configuration space");
+  }
+  entries_.reserve(configs.size());
+  for (const Config& c : configs) {
+    ProfileEntry e;
+    e.config = c;
+    e.latency_ms = PerfModel::latency_ms(spec, c);
+    e.task_cost = prices.task_cost(c, e.latency_ms);
+    e.per_job_cost = e.task_cost / static_cast<double>(c.batch);
+    entries_.push_back(e);
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.latency_ms != b.latency_ms) return a.latency_ms < b.latency_ms;
+              if (a.per_job_cost != b.per_job_cost) {
+                return a.per_job_cost < b.per_job_cost;
+              }
+              return a.config < b.config;
+            });
+
+  min_latency_ = entries_.front().latency_ms;
+  fastest_per_job_cost_ = entries_.front().per_job_cost;
+  min_per_job_cost_ = std::numeric_limits<Usd>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    min_per_job_cost_ = std::min(min_per_job_cost_, entries_[i].per_job_cost);
+    const auto [it, inserted] = index_.emplace(key(entries_[i].config), i);
+    if (!inserted) {
+      throw std::invalid_argument("ProfileTable: duplicate configuration");
+    }
+  }
+}
+
+std::vector<ProfileEntry> ProfileTable::entries_with_batch_at_most(
+    std::uint16_t max_batch) const {
+  std::vector<ProfileEntry> out;
+  out.reserve(entries_.size());
+  for (const ProfileEntry& e : entries_) {
+    if (e.config.batch <= max_batch) out.push_back(e);
+  }
+  return out;
+}
+
+const ProfileEntry& ProfileTable::at(const Config& config) const {
+  auto it = index_.find(key(config));
+  if (it == index_.end()) {
+    throw std::out_of_range("ProfileTable::at: unknown configuration " +
+                            to_string(config));
+  }
+  return entries_[it->second];
+}
+
+bool ProfileTable::contains(const Config& config) const {
+  return index_.contains(key(config));
+}
+
+const ProfileEntry& ProfileTable::min_config_entry() const {
+  return at(kMinConfig);
+}
+
+void ProfileSet::add(ProfileTable table) {
+  const FunctionId id = table.spec().id;
+  const auto [it, inserted] = tables_.emplace(id, std::move(table));
+  if (!inserted) {
+    throw std::invalid_argument("ProfileSet: duplicate function profile");
+  }
+}
+
+const ProfileTable& ProfileSet::table(FunctionId id) const {
+  auto it = tables_.find(id);
+  if (it == tables_.end()) {
+    throw std::out_of_range("ProfileSet::table: no profile for function");
+  }
+  return it->second;
+}
+
+bool ProfileSet::contains(FunctionId id) const { return tables_.contains(id); }
+
+ProfileSet ProfileSet::builtin(const ConfigSpaceOptions& options,
+                               const PriceModel& prices) {
+  ProfileSet set;
+  for (const FunctionSpec& spec : builtin_specs()) {
+    set.add(ProfileTable(spec, enumerate_configs(options, spec), prices));
+  }
+  return set;
+}
+
+}  // namespace esg::profile

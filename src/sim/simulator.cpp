@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace esg::sim {
+
+EventHandle Simulator::schedule_in(TimeMs delay, Action action) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(TimeMs when, Action action) {
+  if (when < now_) throw std::invalid_argument("Simulator: schedule in the past");
+  if (!action) throw std::invalid_argument("Simulator: empty action");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(action)});
+  return EventHandle(seq);
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  if (is_cancelled(handle.seq_)) return;
+  cancelled_seqs_.push_back(handle.seq_);
+  ++cancelled_;
+}
+
+bool Simulator::is_cancelled(std::uint64_t seq) const {
+  return std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), seq) !=
+         cancelled_seqs_.end();
+}
+
+void Simulator::forget_cancelled(std::uint64_t seq) {
+  auto it = std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), seq);
+  if (it != cancelled_seqs_.end()) {
+    cancelled_seqs_.erase(it);
+    check(cancelled_ > 0, "cancelled counter underflow");
+    --cancelled_;
+  }
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the entry is copied cheaply except for
+    // the action, which we move out via const_cast before popping — the
+    // entry is removed immediately after, so the moved-from state is never
+    // observed.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    const TimeMs when = top.when;
+    const std::uint64_t seq = top.seq;
+    Action action = std::move(top.action);
+    heap_.pop();
+    if (is_cancelled(seq)) {
+      forget_cancelled(seq);
+      continue;
+    }
+    check(when >= now_, "event queue went backwards in time");
+    now_ = when;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::run_until(TimeMs deadline) {
+  std::size_t fired = 0;
+  while (!heap_.empty()) {
+    // Peek: drop cancelled entries so the time check sees a live event.
+    while (!heap_.empty() && is_cancelled(heap_.top().seq)) {
+      forget_cancelled(heap_.top().seq);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    if (step()) ++fired;
+  }
+  now_ = std::max(now_, deadline);
+  return fired;
+}
+
+}  // namespace esg::sim

@@ -1,0 +1,84 @@
+// Deterministic discrete-event simulation engine.
+//
+// Events are closures scheduled at absolute simulated times; ties are broken
+// by insertion order (a monotonically increasing sequence number), so a run
+// is bit-reproducible for a fixed seed. Handlers may schedule further events
+// and may cancel previously scheduled ones via the returned handle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esg::sim {
+
+/// Handle for cancelling a scheduled event. Default-constructed = invalid.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time in milliseconds.
+  [[nodiscard]] TimeMs now() const { return now_; }
+
+  /// Schedules `action` to fire at now() + delay. delay must be >= 0.
+  EventHandle schedule_in(TimeMs delay, Action action);
+
+  /// Schedules `action` at absolute time `when` (>= now()).
+  EventHandle schedule_at(TimeMs when, Action action);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle handle);
+
+  /// Runs until the event queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs until the queue drains or simulated time would exceed `deadline`.
+  /// Events scheduled after the deadline stay in the queue.
+  std::size_t run_until(TimeMs deadline);
+
+  /// Fires the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
+  [[nodiscard]] bool empty() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    TimeMs when;
+    std::uint64_t seq;
+    Action action;  // empty after cancellation
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  // Min-heap over (when, seq). Cancellation is lazy: the handle's seq is
+  // recorded and the entry dropped when it reaches the top.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::uint64_t> cancelled_seqs_;
+  std::size_t cancelled_ = 0;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t seq) const;
+  void forget_cancelled(std::uint64_t seq);
+};
+
+}  // namespace esg::sim

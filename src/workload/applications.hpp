@@ -1,0 +1,51 @@
+// The four DNN applications of Section 4.1, and the SLO settings of the
+// paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profile/profile_table.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::workload {
+
+/// Stable application indices (AppId values equal the enum values).
+enum class App : std::uint32_t {
+  kImageClassification = 0,     ///< super_resolution -> segmentation -> classification
+  kDepthRecognition = 1,        ///< deblur -> super_resolution -> depth_recognition
+  kBackgroundElimination = 2,   ///< super_resolution -> deblur -> background_removal
+  kExpandedClassification = 3,  ///< deblur -> sr -> bg_removal -> segmentation -> classification
+};
+
+inline constexpr std::size_t kBuiltinAppCount = 4;
+
+[[nodiscard]] inline AppId id_of(App a) {
+  return AppId(static_cast<std::uint32_t>(a));
+}
+
+/// Builds the four applications in AppId order.
+[[nodiscard]] std::vector<AppDag> builtin_applications();
+
+/// SLO tightness relative to L, the run-alone minimum-configuration latency
+/// of the whole workflow (Section 4.1).
+enum class SloSetting { kStrict, kModerate, kRelaxed };
+
+[[nodiscard]] std::string_view to_string(SloSetting s);
+
+/// The multiplier the paper assigns to each setting (0.8 / 1.0 / 1.2).
+[[nodiscard]] double slo_multiplier(SloSetting s);
+
+/// L: the critical-path latency of `dag` when every function runs with the
+/// minimum configuration (batch 1, 1 vCPU, 1 vGPU), per the profiles.
+[[nodiscard]] TimeMs baseline_latency_ms(const AppDag& dag,
+                                         const profile::ProfileSet& profiles);
+
+/// The end-to-end SLO latency for `dag` under `setting`.
+[[nodiscard]] TimeMs slo_latency_ms(const AppDag& dag,
+                                    const profile::ProfileSet& profiles,
+                                    SloSetting setting);
+
+}  // namespace esg::workload

@@ -1,0 +1,57 @@
+#include "workload/arrivals.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace esg::workload {
+
+std::string_view to_string(LoadSetting s) {
+  switch (s) {
+    case LoadSetting::kHeavy:
+      return "heavy";
+    case LoadSetting::kNormal:
+      return "normal";
+    case LoadSetting::kLight:
+      return "light";
+  }
+  throw std::invalid_argument("to_string: bad LoadSetting");
+}
+
+IntervalRange interval_range(LoadSetting s) {
+  switch (s) {
+    case LoadSetting::kHeavy:
+      return {10.0, 16.8};
+    case LoadSetting::kNormal:
+      return {20.0, 33.6};
+    case LoadSetting::kLight:
+      return {40.0, 67.2};
+  }
+  throw std::invalid_argument("interval_range: bad LoadSetting");
+}
+
+ArrivalGenerator::ArrivalGenerator(LoadSetting setting, std::vector<AppId> apps,
+                                   RngStream rng)
+    : setting_(setting), apps_(std::move(apps)), rng_(std::move(rng)) {
+  if (apps_.empty()) {
+    throw std::invalid_argument("ArrivalGenerator: need at least one app");
+  }
+}
+
+Arrival ArrivalGenerator::next() {
+  const IntervalRange range = interval_range(setting_);
+  clock_ms_ += rng_.uniform(range.lo_ms, range.hi_ms);
+  const AppId app = apps_[rng_.below(apps_.size())];
+  return Arrival{clock_ms_, app};
+}
+
+std::vector<Arrival> ArrivalGenerator::generate_until(TimeMs horizon_ms) {
+  std::vector<Arrival> out;
+  for (;;) {
+    const Arrival a = next();
+    if (a.time_ms >= horizon_ms) break;
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace esg::workload

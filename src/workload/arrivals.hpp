@@ -1,0 +1,55 @@
+// Workload generator (Section 4.1): request inter-arrival intervals sampled
+// uniformly from per-setting ranges derived from the Azure Functions traces,
+// with one of the applications picked at random per arrival.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace esg::workload {
+
+enum class LoadSetting { kHeavy, kNormal, kLight };
+
+[[nodiscard]] std::string_view to_string(LoadSetting s);
+
+/// Inter-arrival interval range in milliseconds for a load setting:
+/// heavy [10, 16.8], normal [20, 33.6], light [40, 67.2].
+struct IntervalRange {
+  TimeMs lo_ms;
+  TimeMs hi_ms;
+};
+
+[[nodiscard]] IntervalRange interval_range(LoadSetting s);
+
+/// One application invocation entering the system.
+struct Arrival {
+  TimeMs time_ms;
+  AppId app;
+};
+
+/// Deterministic arrival-sequence generator.
+class ArrivalGenerator {
+ public:
+  /// `apps`: the ids to sample from (uniformly). Must be non-empty.
+  ArrivalGenerator(LoadSetting setting, std::vector<AppId> apps, RngStream rng);
+
+  /// Next arrival; strictly increasing times.
+  Arrival next();
+
+  /// All arrivals with time < horizon_ms.
+  [[nodiscard]] std::vector<Arrival> generate_until(TimeMs horizon_ms);
+
+  [[nodiscard]] LoadSetting setting() const { return setting_; }
+
+ private:
+  LoadSetting setting_;
+  std::vector<AppId> apps_;
+  RngStream rng_;
+  TimeMs clock_ms_ = 0.0;
+};
+
+}  // namespace esg::workload

@@ -1,0 +1,54 @@
+#include "workload/bursty_arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace esg::workload {
+
+BurstyArrivalGenerator::BurstyArrivalGenerator(BurstProfile profile,
+                                               std::vector<AppId> apps,
+                                               RngStream rng)
+    : profile_(profile), apps_(std::move(apps)), rng_(std::move(rng)) {
+  if (apps_.empty()) {
+    throw std::invalid_argument("BurstyArrivalGenerator: need at least one app");
+  }
+  if (profile_.mean_calm_ms <= 0.0 || profile_.mean_burst_ms <= 0.0) {
+    throw std::invalid_argument(
+        "BurstyArrivalGenerator: phase lengths must be positive");
+  }
+  maybe_switch_phase();
+}
+
+void BurstyArrivalGenerator::maybe_switch_phase() {
+  while (clock_ms_ >= phase_end_ms_) {
+    in_burst_ = phase_end_ms_ > 0.0 ? !in_burst_ : false;
+    const TimeMs mean =
+        in_burst_ ? profile_.mean_burst_ms : profile_.mean_calm_ms;
+    // Exponential phase length via inverse transform; clamp the uniform away
+    // from 0 to keep the log finite.
+    const double u = std::max(1e-12, rng_.uniform());
+    phase_end_ms_ = clock_ms_ + mean * -std::log(u);
+  }
+}
+
+Arrival BurstyArrivalGenerator::next() {
+  const IntervalRange range =
+      interval_range(in_burst_ ? profile_.burst : profile_.calm);
+  clock_ms_ += rng_.uniform(range.lo_ms, range.hi_ms);
+  maybe_switch_phase();
+  const AppId app = apps_[rng_.below(apps_.size())];
+  return Arrival{clock_ms_, app};
+}
+
+std::vector<Arrival> BurstyArrivalGenerator::generate_until(TimeMs horizon_ms) {
+  std::vector<Arrival> out;
+  for (;;) {
+    const Arrival a = next();
+    if (a.time_ms >= horizon_ms) break;
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace esg::workload

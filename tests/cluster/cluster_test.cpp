@@ -1,0 +1,79 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace esg::cluster {
+namespace {
+
+TEST(Cluster, RejectsZeroNodes) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+}
+
+TEST(Cluster, BuildsIdenticalInvokers) {
+  Cluster c(16);
+  EXPECT_EQ(c.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.invoker(InvokerId(i)).id(), InvokerId(i));
+    EXPECT_EQ(c.invoker(InvokerId(i)).capacity().vcpus, 16);
+    EXPECT_EQ(c.invoker(InvokerId(i)).capacity().vgpus, 7);
+  }
+}
+
+TEST(Cluster, BadIdThrows) {
+  Cluster c(2);
+  EXPECT_THROW(c.invoker(InvokerId(2)), std::out_of_range);
+  const Cluster& cc = c;
+  EXPECT_THROW(cc.invoker(InvokerId(99)), std::out_of_range);
+}
+
+TEST(Cluster, HomeInvokerIsStableAndInRange) {
+  Cluster c(16);
+  const InvokerId h1 = c.home_invoker(AppId(3), FunctionId(2));
+  const InvokerId h2 = c.home_invoker(AppId(3), FunctionId(2));
+  EXPECT_EQ(h1, h2);
+  EXPECT_LT(h1.get(), 16u);
+}
+
+TEST(Cluster, HomeInvokerSpreadsFunctions) {
+  Cluster c(16);
+  std::set<std::uint32_t> homes;
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t f = 0; f < 6; ++f) {
+      homes.insert(c.home_invoker(AppId(a), FunctionId(f)).get());
+    }
+  }
+  // 24 (app, fn) pairs over 16 nodes: a reasonable hash spreads them widely.
+  EXPECT_GE(homes.size(), 8u);
+}
+
+TEST(Cluster, TotalFreeTracksAllocations) {
+  Cluster c(4);
+  EXPECT_EQ(c.total_free_vcpus(), 4u * 16u);
+  EXPECT_EQ(c.total_free_vgpus(), 4u * 7u);
+  c.invoker(InvokerId(1)).allocate(10, 3);
+  EXPECT_EQ(c.total_free_vcpus(), 64u - 10u);
+  EXPECT_EQ(c.total_free_vgpus(), 28u - 3u);
+}
+
+TEST(DataTransfer, LocalFasterThanRemote) {
+  const DataTransferModel m;
+  EXPECT_LT(m.transfer_ms(2.5, true), m.transfer_ms(2.5, false));
+}
+
+TEST(DataTransfer, ScalesWithSize) {
+  const DataTransferModel m;
+  EXPECT_GT(m.transfer_ms(10.0, false), m.transfer_ms(1.0, false));
+  // 2.5 MB remotely at 0.5 MB/ms = 5 ms + 3 ms base.
+  EXPECT_NEAR(m.transfer_ms(2.5, false), 8.0, 1e-9);
+  EXPECT_NEAR(m.transfer_ms(2.5, true), 0.2 + 1.25, 1e-9);
+}
+
+TEST(DataTransfer, NegativeSizeClamped) {
+  const DataTransferModel m;
+  EXPECT_DOUBLE_EQ(m.transfer_ms(-3.0, true), m.transfer_ms(0.0, true));
+}
+
+}  // namespace
+}  // namespace esg::cluster

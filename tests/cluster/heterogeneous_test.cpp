@@ -1,0 +1,61 @@
+// Heterogeneous-fleet support (Appendix A: the algorithms work with
+// heterogeneous hardware; only the evaluation assumes identical nodes).
+#include <gtest/gtest.h>
+
+#include "core/esg_scheduler.hpp"
+#include "platform/controller.hpp"
+#include "workload/applications.hpp"
+
+namespace esg::cluster {
+namespace {
+
+TEST(HeterogeneousCluster, PerNodeCapacities) {
+  Cluster c(std::vector<NodeCapacity>{{16, 7}, {8, 4}, {32, 7}});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.invoker(InvokerId(0)).capacity().vcpus, 16);
+  EXPECT_EQ(c.invoker(InvokerId(1)).capacity().vcpus, 8);
+  EXPECT_EQ(c.invoker(InvokerId(1)).capacity().vgpus, 4);
+  EXPECT_EQ(c.invoker(InvokerId(2)).capacity().vcpus, 32);
+  EXPECT_EQ(c.total_free_vcpus(), 56u);
+  EXPECT_EQ(c.total_free_vgpus(), 18u);
+}
+
+TEST(HeterogeneousCluster, RejectsEmpty) {
+  EXPECT_THROW(Cluster(std::vector<NodeCapacity>{}), std::invalid_argument);
+}
+
+TEST(HeterogeneousCluster, PlacementRespectsSmallNodes) {
+  Cluster c(std::vector<NodeCapacity>{{2, 1}, {16, 7}});
+  platform::PlacementContext ctx;
+  ctx.function = FunctionId(0);
+  ctx.config = profile::Config{4, 4, 2};  // does not fit node 0
+  ctx.home_invoker = InvokerId(0);
+  const auto chosen = platform::locality_first_place(ctx, c);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, InvokerId(1));
+}
+
+TEST(HeterogeneousCluster, EndToEndRunCompletes) {
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = workload::builtin_applications();
+  sim::Simulator sim;
+  // A mixed fleet: two big nodes, two GPU-poor nodes, one CPU-poor node.
+  Cluster cluster(std::vector<NodeCapacity>{
+      {16, 7}, {16, 7}, {16, 2}, {16, 2}, {4, 7}});
+  const RngFactory rng(5);
+  core::EsgScheduler sched(apps, profiles);
+  platform::Controller controller(sim, cluster, profiles, apps,
+                                  workload::SloSetting::kRelaxed, sched, rng);
+  for (int i = 0; i < 12; ++i) {
+    controller.inject({{i * 200.0, apps[i % 4].id()}});
+  }
+  controller.run_to_completion();
+  EXPECT_EQ(controller.metrics().requests(), 12u);
+  for (const auto& inv : cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0);
+    EXPECT_EQ(inv.used_vgpus(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace esg::cluster

@@ -1,0 +1,108 @@
+#include "cluster/invoker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg::cluster {
+namespace {
+
+FunctionId fn(int i) { return FunctionId(static_cast<std::uint32_t>(i)); }
+
+TEST(Invoker, StartsEmpty) {
+  Invoker inv(InvokerId(0), NodeCapacity{16, 7});
+  EXPECT_EQ(inv.free_vcpus(), 16);
+  EXPECT_EQ(inv.free_vgpus(), 7);
+  EXPECT_EQ(inv.used_vcpus(), 0);
+  EXPECT_EQ(inv.used_vgpus(), 0);
+}
+
+TEST(Invoker, AllocateAndRelease) {
+  Invoker inv(InvokerId(0), NodeCapacity{16, 7});
+  inv.allocate(4, 2);
+  EXPECT_EQ(inv.free_vcpus(), 12);
+  EXPECT_EQ(inv.free_vgpus(), 5);
+  inv.allocate(12, 5);
+  EXPECT_EQ(inv.free_vcpus(), 0);
+  EXPECT_EQ(inv.free_vgpus(), 0);
+  inv.release(16, 7);
+  EXPECT_EQ(inv.free_vcpus(), 16);
+  EXPECT_EQ(inv.free_vgpus(), 7);
+}
+
+TEST(Invoker, CanFitBoundary) {
+  Invoker inv(InvokerId(0), NodeCapacity{4, 2});
+  EXPECT_TRUE(inv.can_fit(4, 2));
+  EXPECT_FALSE(inv.can_fit(5, 2));
+  EXPECT_FALSE(inv.can_fit(4, 3));
+  inv.allocate(3, 1);
+  EXPECT_TRUE(inv.can_fit(1, 1));
+  EXPECT_FALSE(inv.can_fit(2, 1));
+}
+
+TEST(Invoker, OverCommitThrows) {
+  Invoker inv(InvokerId(0), NodeCapacity{4, 2});
+  EXPECT_THROW(inv.allocate(5, 1), std::logic_error);
+  inv.allocate(4, 2);
+  EXPECT_THROW(inv.allocate(1, 0), std::logic_error);
+}
+
+TEST(Invoker, OverReleaseThrows) {
+  Invoker inv(InvokerId(0), NodeCapacity{4, 2});
+  inv.allocate(2, 1);
+  EXPECT_THROW(inv.release(3, 1), std::logic_error);
+  EXPECT_THROW(inv.release(2, 2), std::logic_error);
+  EXPECT_NO_THROW(inv.release(2, 1));
+}
+
+TEST(Invoker, WarmPoolLifecycle) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  EXPECT_FALSE(inv.has_warm(fn(1), 0.0));
+  inv.add_warm(fn(1), 0.0);  // expires at 10 min
+  EXPECT_TRUE(inv.has_warm(fn(1), 1.0));
+  EXPECT_EQ(inv.warm_count(fn(1), 1.0), 1u);
+  EXPECT_TRUE(inv.acquire_warm(fn(1), 1.0));
+  EXPECT_FALSE(inv.has_warm(fn(1), 1.0));        // consumed
+  EXPECT_FALSE(inv.acquire_warm(fn(1), 1.0));
+}
+
+TEST(Invoker, WarmExpiresAfterKeepAlive) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(1), 0.0);
+  EXPECT_TRUE(inv.has_warm(fn(1), kKeepAliveMs - 1.0));
+  EXPECT_FALSE(inv.has_warm(fn(1), kKeepAliveMs));
+  EXPECT_FALSE(inv.acquire_warm(fn(1), kKeepAliveMs + 1.0));
+}
+
+TEST(Invoker, CustomKeepAlive) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(2), 100.0, 50.0);
+  EXPECT_TRUE(inv.has_warm(fn(2), 149.0));
+  EXPECT_FALSE(inv.has_warm(fn(2), 150.0));
+}
+
+TEST(Invoker, WarmPoolsPerFunction) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(1), 0.0);
+  EXPECT_FALSE(inv.has_warm(fn(2), 1.0));
+  EXPECT_TRUE(inv.has_warm(fn(1), 1.0));
+}
+
+TEST(Invoker, AcquireTakesSoonestExpiring) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(1), 0.0, 100.0);   // expires at 100
+  inv.add_warm(fn(1), 0.0, 500.0);   // expires at 500
+  EXPECT_TRUE(inv.acquire_warm(fn(1), 10.0));  // takes the 100 one
+  // The remaining container must still be alive at t=200.
+  EXPECT_TRUE(inv.has_warm(fn(1), 200.0));
+}
+
+TEST(Invoker, TotalWarmCountsAcrossFunctions) {
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(1), 0.0);
+  inv.add_warm(fn(1), 0.0);
+  inv.add_warm(fn(2), 0.0, 10.0);
+  EXPECT_EQ(inv.total_warm(1.0), 3u);
+  EXPECT_EQ(inv.total_warm(11.0), 2u);  // fn(2) expired
+}
+
+}  // namespace
+}  // namespace esg::cluster

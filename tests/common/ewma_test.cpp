@@ -1,0 +1,63 @@
+#include "common/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg {
+namespace {
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.5), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(Ewma(1.0));
+  EXPECT_NO_THROW(Ewma(0.001));
+}
+
+TEST(Ewma, UninitialisedIsZero) {
+  Ewma e(0.3);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Ewma, FirstObservationSeedsValue) {
+  Ewma e(0.3);
+  e.observe(42.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, BlendsObservations) {
+  Ewma e(0.5);
+  e.observe(10.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(Ewma, AlphaOneTracksLastValue) {
+  Ewma e(1.0);
+  e.observe(1.0);
+  e.observe(99.0);
+  EXPECT_DOUBLE_EQ(e.value(), 99.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  e.observe(100.0);
+  for (int i = 0; i < 60; ++i) e.observe(13.0);
+  EXPECT_NEAR(e.value(), 13.0, 1e-6);
+}
+
+TEST(Ewma, RecentValuesDominate) {
+  Ewma slow(0.1);
+  Ewma fast(0.9);
+  for (auto* e : {&slow, &fast}) {
+    e->observe(0.0);
+    e->observe(100.0);
+  }
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+}  // namespace
+}  // namespace esg

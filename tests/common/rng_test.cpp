@@ -1,0 +1,142 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace esg {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ProducesVariedOutput) {
+  Xoshiro256 g(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.next());
+  EXPECT_EQ(seen.size(), 1000u);  // collisions are astronomically unlikely
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+  RngStream s(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = s.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformRangeRespectsBounds) {
+  RngStream s(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = s.uniform(10.0, 16.8);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 16.8);
+  }
+}
+
+TEST(RngStream, UniformMeanIsCentred) {
+  RngStream s(17);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += s.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, BelowStaysInRange) {
+  RngStream s(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(s.below(7), 7u);
+  }
+}
+
+TEST(RngStream, BelowCoversAllValues) {
+  RngStream s(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s.below(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngStream, BelowZeroThrows) {
+  RngStream s(1);
+  EXPECT_THROW(s.below(0), std::invalid_argument);
+}
+
+TEST(RngStream, GaussianMomentsMatch) {
+  RngStream s(23);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = s.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngStream, GaussianScaledMoments) {
+  RngStream s(29);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += s.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngStream, ChanceExtremes) {
+  RngStream s(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.chance(0.0));
+    EXPECT_TRUE(s.chance(1.0));
+  }
+}
+
+TEST(RngFactory, SameLabelSameStream) {
+  RngFactory f(77);
+  RngStream a = f.stream("noise");
+  RngStream b = f.stream("noise");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngFactory, DifferentLabelsDiffer) {
+  RngFactory f(77);
+  RngStream a = f.stream("noise");
+  RngStream b = f.stream("arrivals");
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngFactory, IndexSelectsSubStream) {
+  RngFactory f(9);
+  RngStream a = f.stream("app", 0);
+  RngStream b = f.stream("app", 1);
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(RngFactory, DifferentMasterSeedsDiffer) {
+  RngFactory f1(1);
+  RngFactory f2(2);
+  EXPECT_NE(f1.stream("x").uniform(), f2.stream("x").uniform());
+}
+
+}  // namespace
+}  // namespace esg

@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg {
+namespace {
+
+TEST(AsciiTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"scheduler", "hit rate"});
+  t.add_row({"ESG", "97.0%"});
+  t.add_row({"Orion", "54.5%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("scheduler"), std::string::npos);
+  EXPECT_NE(out.find("ESG"), std::string::npos);
+  EXPECT_NE(out.find("Orion"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiTable, PctFormatsRatio) {
+  EXPECT_EQ(AsciiTable::pct(0.613), "61.3%");
+  EXPECT_EQ(AsciiTable::pct(1.0, 0), "100%");
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable t({"x", "longer-header"});
+  t.add_row({"very-long-cell", "y"});
+  const std::string out = t.render();
+  // Every line has the same length when columns are padded consistently.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace esg

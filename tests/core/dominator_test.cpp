@@ -1,0 +1,150 @@
+#include "core/dominator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/dag.hpp"
+
+namespace esg::core {
+namespace {
+
+using workload::AppDag;
+using workload::NodeIndex;
+
+FunctionId fn(int i) { return FunctionId(static_cast<std::uint32_t>(i % 6)); }
+
+AppDag chain(std::size_t n) {
+  AppDag dag(AppId(0), "chain");
+  for (std::size_t i = 0; i < n; ++i) dag.add_node(fn(static_cast<int>(i)));
+  for (std::size_t i = 0; i + 1 < n; ++i) dag.add_edge(i, i + 1);
+  return dag;
+}
+
+AppDag diamond() {
+  AppDag dag(AppId(0), "diamond");
+  for (int i = 0; i < 4; ++i) dag.add_node(fn(i));
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  return dag;
+}
+
+TEST(DominatorTree, ChainParentsAreImmediatePredecessors) {
+  const DominatorTree dom(chain(5));
+  EXPECT_EQ(dom.idom(0), 0u);
+  for (NodeIndex i = 1; i < 5; ++i) EXPECT_EQ(dom.idom(i), i - 1);
+}
+
+TEST(DominatorTree, DiamondJoinDominatedByFork) {
+  const DominatorTree dom(diamond());
+  EXPECT_EQ(dom.idom(1), 0u);
+  EXPECT_EQ(dom.idom(2), 0u);
+  EXPECT_EQ(dom.idom(3), 0u);  // the join's idom skips both branches
+  EXPECT_EQ(dom.children(0).size(), 3u);
+}
+
+TEST(DominatorTree, DominatesRelation) {
+  const DominatorTree dom(diamond());
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_TRUE(dom.dominates(2, 2));  // every node dominates itself
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_FALSE(dom.dominates(3, 1));
+  EXPECT_THROW(dom.dominates(0, 99), std::out_of_range);
+}
+
+TEST(DominatorTree, NestedDiamonds) {
+  // 0 -> {1, 2} -> 3 -> {4, 5} -> 6
+  AppDag dag(AppId(0), "nested");
+  for (int i = 0; i < 7; ++i) dag.add_node(fn(i));
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  dag.add_edge(3, 4);
+  dag.add_edge(3, 5);
+  dag.add_edge(4, 6);
+  dag.add_edge(5, 6);
+  const DominatorTree dom(dag);
+  EXPECT_EQ(dom.idom(3), 0u);
+  EXPECT_EQ(dom.idom(4), 3u);
+  EXPECT_EQ(dom.idom(5), 3u);
+  EXPECT_EQ(dom.idom(6), 3u);
+  EXPECT_TRUE(dom.dominates(3, 6));
+  EXPECT_FALSE(dom.dominates(4, 6));
+}
+
+TEST(DominatorTree, SkipEdgeDiamond) {
+  // 0 -> 1 -> 2 plus the skip edge 0 -> 2.
+  AppDag dag(AppId(0), "skip");
+  for (int i = 0; i < 3; ++i) dag.add_node(fn(i));
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(0, 2);
+  const DominatorTree dom(dag);
+  EXPECT_EQ(dom.idom(1), 0u);
+  EXPECT_EQ(dom.idom(2), 0u);  // 1 no longer dominates 2
+}
+
+// Property: on random series-parallel-ish DAGs, the brute-force dominator
+// relation (set intersection over all paths) matches the tree.
+TEST(DominatorTree, MatchesBruteForceOnRandomDags) {
+  RngStream rng = RngFactory(2024).stream("domtest");
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + rng.below(8);
+    AppDag dag(AppId(0), "rand");
+    for (std::size_t i = 0; i < n; ++i) dag.add_node(fn(static_cast<int>(i)));
+    // Guarantee connectivity: each node i>0 gets an edge from a random
+    // earlier node; then sprinkle extra forward edges.
+    for (std::size_t i = 1; i < n; ++i) {
+      dag.add_edge(rng.below(i), i);
+    }
+    for (std::size_t extra = 0; extra < n; ++extra) {
+      const std::size_t a = rng.below(n - 1);
+      const std::size_t b = a + 1 + rng.below(n - a - 1);
+      const auto& succ = dag.node(a).successors;
+      if (std::find(succ.begin(), succ.end(), b) == succ.end()) {
+        dag.add_edge(a, b);
+      }
+    }
+    dag.validate();
+    const DominatorTree dom(dag);
+
+    // Brute force: a dominates b iff removing a leaves b unreachable.
+    auto reachable_without = [&](NodeIndex removed, NodeIndex target) {
+      if (removed == 0) return target == 0 && removed != target;
+      std::vector<char> seen(n, 0);
+      std::vector<NodeIndex> stack = {0};
+      seen[0] = 1;
+      while (!stack.empty()) {
+        const NodeIndex u = stack.back();
+        stack.pop_back();
+        if (u == target) return true;
+        for (NodeIndex v : dag.node(u).successors) {
+          if (v == removed || seen[v]) continue;
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+      return false;
+    };
+    for (NodeIndex a = 0; a < n; ++a) {
+      for (NodeIndex b = 0; b < n; ++b) {
+        const bool brute =
+            a == b || (a == 0) || !reachable_without(a, b);
+        EXPECT_EQ(dom.dominates(a, b), brute)
+            << "trial " << trial << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(DominatorTree, ChildrenPartitionNodes) {
+  const DominatorTree dom(diamond());
+  std::size_t total = 0;
+  for (NodeIndex u = 0; u < dom.size(); ++u) total += dom.children(u).size();
+  EXPECT_EQ(total, dom.size() - 1);  // every node except the entry has a parent
+}
+
+}  // namespace
+}  // namespace esg::core

@@ -1,0 +1,188 @@
+#include "core/slo_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "profile/function_spec.hpp"
+#include "workload/applications.hpp"
+
+namespace esg::core {
+namespace {
+
+using profile::Function;
+using workload::AppDag;
+using workload::NodeIndex;
+
+const profile::ProfileSet& profiles() {
+  static const profile::ProfileSet set = profile::ProfileSet::builtin();
+  return set;
+}
+
+TEST(Anl, SumsToOneForPipelines) {
+  for (const auto& app : workload::builtin_applications()) {
+    const auto anl = average_normalized_lengths(app, profiles());
+    const double total = std::accumulate(anl.begin(), anl.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << app.name();
+    for (double v : anl) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(Anl, SlowerFunctionsGetLargerShares) {
+  // background_elimination: super_resolution (86) < deblur (319) <
+  // background_removal (1047) at every aligned rank.
+  const auto apps = workload::builtin_applications();
+  const auto anl = average_normalized_lengths(apps[2], profiles());
+  EXPECT_LT(anl[0], anl[1]);
+  EXPECT_LT(anl[1], anl[2]);
+}
+
+TEST(SloDistribution, RejectsZeroGroupSize) {
+  const auto apps = workload::builtin_applications();
+  EXPECT_THROW(SloDistribution(apps[0], profiles(), 0), std::invalid_argument);
+}
+
+TEST(SloDistribution, PipelineFractionsSumToOne) {
+  for (const auto& app : workload::builtin_applications()) {
+    for (std::size_t g : {1, 2, 3, 5}) {
+      const SloDistribution dist(app, profiles(), g);
+      double total = 0.0;
+      for (const auto& group : dist.groups()) total += group.fraction;
+      EXPECT_NEAR(total, 1.0, 1e-9) << app.name() << " g=" << g;
+    }
+  }
+}
+
+TEST(SloDistribution, EveryNodeInExactlyOneGroup) {
+  for (const auto& app : workload::builtin_applications()) {
+    const SloDistribution dist(app, profiles(), 3);
+    std::vector<int> seen(app.size(), 0);
+    for (const auto& group : dist.groups()) {
+      for (NodeIndex n : group.nodes) ++seen[n];
+    }
+    for (NodeIndex n = 0; n < app.size(); ++n) {
+      EXPECT_EQ(seen[n], 1) << app.name() << " node " << n;
+      const auto gi = dist.group_of(n);
+      const auto& nodes = dist.groups()[gi].nodes;
+      EXPECT_NE(std::find(nodes.begin(), nodes.end(), n), nodes.end());
+    }
+  }
+}
+
+TEST(SloDistribution, GroupSizeRespected) {
+  const auto apps = workload::builtin_applications();
+  for (std::size_t g : {1, 2, 3}) {
+    const SloDistribution dist(apps[3], profiles(), g);  // 5-stage pipeline
+    for (const auto& group : dist.groups()) {
+      EXPECT_LE(group.nodes.size(), g);
+    }
+  }
+}
+
+TEST(SloDistribution, GroupSizeOneMatchesAnl) {
+  // With singleton groups on a pipeline, each group's fraction equals the
+  // node's ANL.
+  const auto apps = workload::builtin_applications();
+  const auto anl = average_normalized_lengths(apps[0], profiles());
+  const SloDistribution dist(apps[0], profiles(), 1);
+  ASSERT_EQ(dist.groups().size(), apps[0].size());
+  for (NodeIndex n = 0; n < apps[0].size(); ++n) {
+    EXPECT_NEAR(dist.groups()[dist.group_of(n)].fraction, anl[n], 1e-12);
+    EXPECT_NEAR(dist.node_fraction(n), anl[n], 1e-12);
+  }
+}
+
+TEST(SloDistribution, NodeFractionsPartitionGroupFraction) {
+  const auto apps = workload::builtin_applications();
+  const SloDistribution dist(apps[3], profiles(), 3);
+  for (std::size_t gi = 0; gi < dist.groups().size(); ++gi) {
+    double sum = 0.0;
+    for (NodeIndex n : dist.groups()[gi].nodes) sum += dist.node_fraction(n);
+    EXPECT_NEAR(sum, dist.groups()[gi].fraction, 1e-12);
+  }
+}
+
+TEST(SloDistribution, RemainingFractionDecreasesAlongPipeline) {
+  const auto apps = workload::builtin_applications();
+  const SloDistribution dist(apps[3], profiles(), 3);
+  EXPECT_NEAR(dist.remaining_fraction(0), 1.0, 1e-9);
+  for (NodeIndex n = 1; n < apps[3].size(); ++n) {
+    EXPECT_LT(dist.remaining_fraction(n), dist.remaining_fraction(n - 1));
+  }
+  // The last stage's remaining fraction is its own share.
+  const NodeIndex last = apps[3].size() - 1;
+  EXPECT_NEAR(dist.remaining_fraction(last), dist.node_fraction(last), 1e-12);
+}
+
+AppDag diamond_app() {
+  AppDag dag(AppId(7), "diamond");
+  dag.add_node(profile::id_of(Function::kDeblur));            // 0
+  dag.add_node(profile::id_of(Function::kSuperResolution));   // 1 (branch a)
+  dag.add_node(profile::id_of(Function::kSegmentation));      // 2 (branch b)
+  dag.add_node(profile::id_of(Function::kClassification));    // 3 (join)
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  dag.validate();
+  return dag;
+}
+
+TEST(SloDistribution, DiamondBranchesShareReducedQuota) {
+  const AppDag dag = diamond_app();
+  const SloDistribution dist(dag, profiles(), 3);
+
+  // Both branch nodes form their own groups; the slower branch
+  // (segmentation) receives the reduced node's full quota, the faster branch
+  // a smaller-or-equal one scaled by its own ANL.
+  const double f1 = dist.groups()[dist.group_of(1)].fraction;
+  const double f2 = dist.groups()[dist.group_of(2)].fraction;
+  EXPECT_GT(f1, 0.0);
+  EXPECT_GT(f2, 0.0);
+  // Parallel branches each receive the reduced node's FULL quota — they run
+  // concurrently, so both may use the whole window.
+  EXPECT_NEAR(f1, f2, 1e-12);
+
+  // Along either root-to-sink path the fractions must sum to <= 1, and the
+  // critical path (through the slower branch) to exactly 1.
+  const double head = dist.node_fraction(0);
+  const double tail = dist.node_fraction(3);
+  EXPECT_NEAR(head + f2 + tail, 1.0, 1e-9);
+  EXPECT_LE(head + f1 + tail, 1.0 + 1e-9);
+
+  EXPECT_NEAR(dist.remaining_fraction(0), 1.0, 1e-9);
+}
+
+TEST(SloDistribution, NestedSplitBranch) {
+  // 0 -> {1, 2} -> 3, where branch node counts differ: branch a is 1 -> 4.
+  AppDag dag(AppId(8), "nested-branch");
+  dag.add_node(profile::id_of(Function::kDeblur));           // 0
+  dag.add_node(profile::id_of(Function::kSuperResolution));  // 1
+  dag.add_node(profile::id_of(Function::kSegmentation));     // 2
+  dag.add_node(profile::id_of(Function::kClassification));   // 3 join
+  dag.add_node(profile::id_of(Function::kDepthRecognition)); // 4 (after 1)
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 4);
+  dag.add_edge(4, 3);
+  dag.add_edge(2, 3);
+  dag.validate();
+
+  const SloDistribution dist(dag, profiles(), 3);
+  std::vector<int> seen(dag.size(), 0);
+  for (const auto& group : dist.groups()) {
+    for (NodeIndex n : group.nodes) ++seen[n];
+  }
+  for (NodeIndex n = 0; n < dag.size(); ++n) EXPECT_EQ(seen[n], 1);
+  // Both branches receive the same (full) reduced quota, but inside the
+  // two-stage branch it is split between the stages, while segmentation
+  // keeps it whole: node 2's individual share exceeds node 1's.
+  const double branch_a = dist.groups()[dist.group_of(1)].fraction;
+  const double branch_b = dist.groups()[dist.group_of(2)].fraction;
+  EXPECT_NEAR(branch_a, branch_b, 1e-12);
+  EXPECT_LT(dist.node_fraction(1), dist.node_fraction(2));
+  EXPECT_NEAR(dist.node_fraction(1) + dist.node_fraction(4), branch_a, 1e-12);
+}
+
+}  // namespace
+}  // namespace esg::core

@@ -1,0 +1,90 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg::exp {
+namespace {
+
+CliOptions parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return parse_cli({v.data(), v.size()});
+}
+
+TEST(Cli, DefaultsWhenEmpty) {
+  const CliOptions opts = parse({});
+  EXPECT_EQ(opts.scenario.scheduler, SchedulerKind::kEsg);
+  EXPECT_EQ(opts.scenario.load, workload::LoadSetting::kLight);
+  EXPECT_EQ(opts.scenario.slo, workload::SloSetting::kStrict);
+  EXPECT_EQ(opts.seeds, (std::vector<std::uint64_t>{42}));
+  EXPECT_FALSE(opts.help);
+  EXPECT_TRUE(opts.csv_dir.empty());
+}
+
+TEST(Cli, ParsesEverySchedulerName) {
+  EXPECT_EQ(parse({"--scheduler", "infless"}).scenario.scheduler,
+            SchedulerKind::kInfless);
+  EXPECT_EQ(parse({"--scheduler", "fast-gshare"}).scenario.scheduler,
+            SchedulerKind::kFastGshare);
+  EXPECT_EQ(parse({"--scheduler", "fastgshare"}).scenario.scheduler,
+            SchedulerKind::kFastGshare);
+  EXPECT_EQ(parse({"--scheduler", "orion"}).scenario.scheduler,
+            SchedulerKind::kOrion);
+  EXPECT_EQ(parse({"--scheduler", "aquatope"}).scenario.scheduler,
+            SchedulerKind::kAquatope);
+}
+
+TEST(Cli, ParsesWorkloadAndSlo) {
+  const CliOptions opts =
+      parse({"--load", "heavy", "--slo", "relaxed", "--nodes", "4"});
+  EXPECT_EQ(opts.scenario.load, workload::LoadSetting::kHeavy);
+  EXPECT_EQ(opts.scenario.slo, workload::SloSetting::kRelaxed);
+  EXPECT_EQ(opts.scenario.nodes, 4u);
+}
+
+TEST(Cli, ParsesNumbersAndSeeds) {
+  const CliOptions opts = parse({"--horizon-ms", "12000", "--warmup-ms",
+                                 "3000", "--seeds", "3", "--noise-cv", "0.1"});
+  EXPECT_DOUBLE_EQ(opts.scenario.horizon_ms, 12000.0);
+  EXPECT_DOUBLE_EQ(opts.scenario.warmup_ms, 3000.0);
+  EXPECT_EQ(opts.seeds, (std::vector<std::uint64_t>{42, 43, 44}));
+  EXPECT_DOUBLE_EQ(opts.scenario.controller.noise_cv, 0.1);
+}
+
+TEST(Cli, ParsesAblationSwitches) {
+  const CliOptions opts = parse(
+      {"--gpu-sharing", "off", "--batching", "off", "--prewarm", "off"});
+  EXPECT_FALSE(opts.scenario.controller.enable_gpu_sharing);
+  EXPECT_FALSE(opts.scenario.controller.enable_batching);
+  EXPECT_FALSE(opts.scenario.controller.enable_prewarm);
+}
+
+TEST(Cli, ParsesEsgKnobs) {
+  const CliOptions opts = parse({"--k", "20", "--group-size", "2"});
+  EXPECT_EQ(opts.scenario.esg.k, 20u);
+  EXPECT_EQ(opts.scenario.esg.max_group_size, 2u);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(Cli, RejectsBadInput) {
+  EXPECT_THROW(parse({"--scheduler", "nope"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--load", "extreme"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--slo", "loose"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--unknown", "1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--horizon-ms"}), std::invalid_argument);  // no value
+  EXPECT_THROW(parse({"--horizon-ms", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--batching", "maybe"}), std::invalid_argument);
+}
+
+TEST(Cli, CsvDirCaptured) {
+  EXPECT_EQ(parse({"--csv-dir", "/tmp/out"}).csv_dir, "/tmp/out");
+}
+
+}  // namespace
+}  // namespace esg::exp

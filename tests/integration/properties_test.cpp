@@ -1,0 +1,154 @@
+// Property-style invariants over randomised end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exp/scenario.hpp"
+
+namespace esg::exp {
+namespace {
+
+struct Combo {
+  SchedulerKind kind;
+  workload::LoadSetting load;
+  std::uint64_t seed;
+};
+
+class RandomRuns : public ::testing::TestWithParam<Combo> {};
+
+Scenario scenario_of(const Combo& combo) {
+  Scenario s;
+  s.scheduler = combo.kind;
+  s.load = combo.load;
+  s.slo = workload::SloSetting::kModerate;
+  s.horizon_ms = 3'000.0;
+  s.seed = combo.seed;
+  s.aquatope.bootstrap_samples = 15;
+  s.aquatope.rounds = 4;
+  s.aquatope.ei_pool = 32;
+  return s;
+}
+
+TEST_P(RandomRuns, ConservationAndSanity) {
+  const Scenario s = scenario_of(GetParam());
+  const RunOutput out = run_scenario(s);
+  const auto& m = out.metrics;
+
+  // Every injected request completed exactly once.
+  std::set<std::uint32_t> request_ids;
+  for (const auto& rec : m.completions) {
+    EXPECT_TRUE(request_ids.insert(rec.request.get()).second);
+  }
+
+  // Hit flags agree with latencies.
+  for (const auto& rec : m.completions) {
+    EXPECT_EQ(rec.hit, rec.latency_ms <= rec.slo_ms);
+    EXPECT_NEAR(rec.latency_ms, rec.completion_ms - rec.arrival_ms, 1e-9);
+  }
+
+  // Cost decomposition: per-app costs sum to the total.
+  Usd sum = 0.0;
+  for (const auto& [app, cost] : m.cost_by_app) sum += cost;
+  EXPECT_NEAR(sum, m.total_cost, 1e-9);
+
+  // Start accounting: every task consumed a warm container; cold starts are
+  // container-provisioning events and never exceed the task count by much
+  // (one provisioning readies at least one task in practice).
+  EXPECT_EQ(m.warm_starts, m.tasks);
+
+  // Input locality accounting: one input record per job-stage. Each request
+  // contributes one job per stage of its DAG, so records ≥ 3 per request.
+  EXPECT_GE(m.local_inputs + m.remote_inputs, 3 * m.requests());
+  EXPECT_EQ(m.local_inputs + m.remote_inputs, m.job_wait_ms.size());
+
+  // Misses never exceed uses.
+  EXPECT_LE(m.plan_misses, m.plan_uses);
+
+  // Simulated time advanced beyond the injection horizon.
+  EXPECT_GE(out.simulated_end_ms, 0.0);
+  EXPECT_GT(m.requests(), 0u);
+}
+
+TEST_P(RandomRuns, SloHitRateWithinBounds) {
+  const RunOutput out = run_scenario(scenario_of(GetParam()));
+  const double rate = out.metrics.slo_hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  for (const auto& app : workload::builtin_applications()) {
+    const double app_rate = out.metrics.slo_hit_rate(app.id());
+    EXPECT_GE(app_rate, 0.0);
+    EXPECT_LE(app_rate, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRuns,
+    ::testing::Values(
+        Combo{SchedulerKind::kEsg, workload::LoadSetting::kLight, 101},
+        Combo{SchedulerKind::kEsg, workload::LoadSetting::kHeavy, 102},
+        Combo{SchedulerKind::kInfless, workload::LoadSetting::kNormal, 103},
+        Combo{SchedulerKind::kFastGshare, workload::LoadSetting::kLight, 104},
+        Combo{SchedulerKind::kOrion, workload::LoadSetting::kNormal, 105},
+        Combo{SchedulerKind::kAquatope, workload::LoadSetting::kLight, 106}),
+    [](const auto& info) {
+      std::string name(to_string(info.param.kind));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + std::string(workload::to_string(info.param.load)) +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Properties, OrionMissRateGrowsWithLoad) {
+  // Table 4's qualitative claim: heavier load -> more pre-planned misses.
+  auto miss_rate = [](workload::LoadSetting load) {
+    Scenario s;
+    s.scheduler = SchedulerKind::kOrion;
+    s.load = load;
+    s.slo = workload::SloSetting::kModerate;
+    s.horizon_ms = 5'000.0;
+    s.seed = 77;
+    return run_scenario(s).metrics.config_miss_rate();
+  };
+  const double light = miss_rate(workload::LoadSetting::kLight);
+  const double heavy = miss_rate(workload::LoadSetting::kHeavy);
+  EXPECT_LE(light, heavy + 0.15);  // allow sampling slack, but no inversion
+}
+
+TEST(Properties, EsgNeverUsesPreplannedConfigs) {
+  Scenario s;
+  s.scheduler = SchedulerKind::kEsg;
+  s.load = workload::LoadSetting::kLight;
+  s.horizon_ms = 3'000.0;
+  const RunOutput out = run_scenario(s);
+  EXPECT_EQ(out.metrics.plan_uses, 0u);
+  EXPECT_EQ(out.metrics.plan_misses, 0u);
+}
+
+TEST(Properties, PrewarmReducesColdStarts) {
+  auto cold_starts = [](bool prewarm) {
+    Scenario s;
+    s.scheduler = SchedulerKind::kEsg;
+    s.load = workload::LoadSetting::kNormal;
+    s.horizon_ms = 5'000.0;
+    s.seed = 31;
+    s.controller.enable_prewarm = prewarm;
+    return run_scenario(s).metrics.cold_starts;
+  };
+  EXPECT_LE(cold_starts(true), cold_starts(false));
+}
+
+TEST(Properties, HeavierLoadCostsMore) {
+  auto cost = [](workload::LoadSetting load) {
+    Scenario s;
+    s.scheduler = SchedulerKind::kEsg;
+    s.load = load;
+    s.horizon_ms = 4'000.0;
+    s.seed = 53;
+    return run_scenario(s).metrics.total_cost;
+  };
+  EXPECT_GT(cost(workload::LoadSetting::kHeavy),
+            cost(workload::LoadSetting::kLight));
+}
+
+}  // namespace
+}  // namespace esg::exp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/export.hpp"
+#include "metrics/run_metrics.hpp"
+
+namespace esg::metrics {
+namespace {
+
+RunMetrics sample_metrics() {
+  RunMetrics m;
+  m.completions.push_back(
+      {RequestId(0), AppId(0), 0.0, 500.0, 500.0, 600.0, true});
+  m.completions.push_back(
+      {RequestId(1), AppId(0), 10.0, 910.0, 900.0, 600.0, false});
+  m.completions.push_back(
+      {RequestId(2), AppId(1), 20.0, 420.0, 400.0, 450.0, true});
+  m.total_cost = 0.5;
+  m.cost_by_app[AppId(0)] = 0.3;
+  m.cost_by_app[AppId(1)] = 0.2;
+  m.plan_uses = 10;
+  m.plan_misses = 3;
+  m.job_wait_ms = {1.0, 2.0, 3.0};
+  m.task_trace.push_back(TaskRecord{TaskId(0), AppId(0), 1, FunctionId(2),
+                                    InvokerId(3), 4, 2, 1, 100.0, 5.0, 250.0,
+                                    0.01});
+  return m;
+}
+
+TEST(RunMetrics, HitRateOverall) {
+  const RunMetrics m = sample_metrics();
+  EXPECT_EQ(m.requests(), 3u);
+  EXPECT_NEAR(m.slo_hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunMetrics, HitRatePerApp) {
+  const RunMetrics m = sample_metrics();
+  EXPECT_NEAR(m.slo_hit_rate(AppId(0)), 0.5, 1e-12);
+  EXPECT_NEAR(m.slo_hit_rate(AppId(1)), 1.0, 1e-12);
+  EXPECT_EQ(m.slo_hit_rate(AppId(9)), 0.0);  // unknown app
+}
+
+TEST(RunMetrics, EmptyMetricsAreZero) {
+  const RunMetrics m;
+  EXPECT_EQ(m.slo_hit_rate(), 0.0);
+  EXPECT_EQ(m.config_miss_rate(), 0.0);
+  EXPECT_EQ(m.mean_job_wait_ms(), 0.0);
+  EXPECT_TRUE(m.latencies().empty());
+}
+
+TEST(RunMetrics, CostLookup) {
+  const RunMetrics m = sample_metrics();
+  EXPECT_DOUBLE_EQ(m.cost_of(AppId(0)), 0.3);
+  EXPECT_DOUBLE_EQ(m.cost_of(AppId(7)), 0.0);
+}
+
+TEST(RunMetrics, LatencyExtraction) {
+  const RunMetrics m = sample_metrics();
+  EXPECT_EQ(m.latencies().size(), 3u);
+  EXPECT_EQ(m.latencies(AppId(0)), (std::vector<double>{500.0, 900.0}));
+}
+
+TEST(RunMetrics, MissRateAndWait) {
+  const RunMetrics m = sample_metrics();
+  EXPECT_NEAR(m.config_miss_rate(), 0.3, 1e-12);
+  EXPECT_NEAR(m.mean_job_wait_ms(), 2.0, 1e-12);
+}
+
+TEST(Export, CompletionsCsvRoundTrip) {
+  std::ostringstream out;
+  write_completions_csv(sample_metrics(), out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("request,app,arrival_ms"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,500,500,600,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,0,10,910,900,600,0"), std::string::npos);
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(Export, TaskTraceCsv) {
+  std::ostringstream out;
+  write_task_trace_csv(sample_metrics(), out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("task,app,stage,function"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,1,2,3,4,2,1,100,5,250,"), std::string::npos);
+}
+
+TEST(Export, SummaryCsv) {
+  std::ostringstream out;
+  write_summary_csv(sample_metrics(), "strict-light/ESG", out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("label,requests,slo_hit_rate"), std::string::npos);
+  EXPECT_NE(csv.find("strict-light/ESG,3,0.666667,0.5"), std::string::npos);
+
+  // Header suppression for appending multiple rows.
+  std::ostringstream no_header;
+  write_summary_csv(sample_metrics(), "x", no_header, false);
+  EXPECT_EQ(no_header.str().find("label,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esg::metrics

@@ -1,0 +1,306 @@
+#include "platform/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/applications.hpp"
+
+namespace esg::platform {
+namespace {
+
+/// Deterministic strategy for platform tests: always proposes one fixed
+/// configuration (batch clamped by the controller) and places locality-first.
+class FixedScheduler : public Scheduler {
+ public:
+  explicit FixedScheduler(profile::Config config) : config_(config) {}
+
+  std::string_view name() const override { return "fixed"; }
+
+  PlanResult plan(const QueueView& view) override {
+    ++plans_;
+    PlanResult r;
+    r.candidates.push_back(config_);
+    (void)view;
+    return r;
+  }
+
+  std::optional<InvokerId> place(const PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override {
+    return locality_first_place(ctx, cluster);
+  }
+
+  std::size_t plans_ = 0;
+
+ private:
+  profile::Config config_;
+};
+
+/// A strategy whose placement always fails — exercises the recheck list and
+/// the forced minimum-configuration escape hatch.
+class UnplaceableScheduler : public FixedScheduler {
+ public:
+  UnplaceableScheduler() : FixedScheduler(profile::kMinConfig) {}
+  std::optional<InvokerId> place(const PlacementContext&,
+                                 const cluster::Cluster&) override {
+    return std::nullopt;
+  }
+};
+
+struct World {
+  profile::ProfileSet profiles = profile::ProfileSet::builtin();
+  std::vector<workload::AppDag> apps = workload::builtin_applications();
+  sim::Simulator sim;
+  cluster::Cluster cluster{16};
+  RngFactory rng{7};
+};
+
+ControllerOptions quiet_options() {
+  ControllerOptions o;
+  o.noise_cv = 0.0;          // deterministic latencies
+  o.enable_prewarm = false;  // keep the event stream minimal
+  return o;
+}
+
+TEST(Controller, RejectsEmptyApps) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  std::vector<workload::AppDag> none;
+  EXPECT_THROW(Controller(w.sim, w.cluster, w.profiles, none,
+                          workload::SloSetting::kModerate, sched, w.rng),
+               std::invalid_argument);
+}
+
+TEST(Controller, SingleRequestCompletesAllStages) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+
+  ASSERT_EQ(ctl.metrics().requests(), 1u);
+  const auto& rec = ctl.metrics().completions.front();
+  EXPECT_EQ(rec.app, w.apps[0].id());
+  EXPECT_GT(rec.latency_ms, 0.0);
+  EXPECT_EQ(ctl.metrics().tasks, 3u);  // three pipeline stages
+  EXPECT_EQ(ctl.inflight_requests(), 0u);
+}
+
+TEST(Controller, FirstRunProvisionsEveryStage) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  // Nothing is warm at first: every stage pays one container provisioning
+  // (the cold start), and the task itself then runs warm.
+  EXPECT_EQ(ctl.metrics().cold_starts, 3u);
+  EXPECT_EQ(ctl.metrics().warm_starts, 3u);
+  // The cold-start latency surfaces as queueing delay.
+  double max_wait = 0.0;
+  for (double wait : ctl.metrics().job_wait_ms) max_wait = std::max(max_wait, wait);
+  EXPECT_GT(max_wait, 3'000.0);  // super_resolution's 3503 ms model load
+}
+
+TEST(Controller, SecondRequestHitsWarmContainers) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 2u);
+  EXPECT_EQ(ctl.metrics().cold_starts, 3u);  // only the first request's
+  EXPECT_EQ(ctl.metrics().warm_starts, 6u);  // every task runs warm
+  // The warm request is far faster than the cold one.
+  EXPECT_LT(ctl.metrics().completions[1].latency_ms,
+            ctl.metrics().completions[0].latency_ms / 3.0);
+}
+
+TEST(Controller, WarmRequestMeetsRelaxedSlo) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  ControllerOptions opts = quiet_options();
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kRelaxed, sched, w.rng, opts);
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_FALSE(ctl.metrics().completions[0].hit);  // cold starts blow the SLO
+  EXPECT_TRUE(ctl.metrics().completions[1].hit);
+}
+
+TEST(Controller, BatchGroupsSimultaneousRequests) {
+  World w;
+  FixedScheduler sched(profile::Config{4, 1, 1});
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  for (int i = 0; i < 4; ++i) ctl.inject_request(w.apps[1].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 4u);
+  // 4 jobs per stage, batch 4 -> one task per stage.
+  EXPECT_EQ(ctl.metrics().tasks, 3u);
+}
+
+TEST(Controller, BatchClampedToQueueLength) {
+  World w;
+  FixedScheduler sched(profile::Config{32, 1, 1});
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 1u);  // ran despite batch 32 > 1 queued
+}
+
+TEST(Controller, ResourcesFullyReleasedAfterRun) {
+  World w;
+  FixedScheduler sched(profile::Config{2, 4, 2});
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  for (int i = 0; i < 6; ++i) ctl.inject_request(w.apps[i % 4].id());
+  ctl.run_to_completion();
+  for (const auto& inv : w.cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0) << inv.id().get();
+    EXPECT_EQ(inv.used_vgpus(), 0) << inv.id().get();
+  }
+}
+
+TEST(Controller, CostAccumulatesPerApp) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.inject_request(w.apps[2].id());
+  ctl.run_to_completion();
+  const auto& m = ctl.metrics();
+  EXPECT_GT(m.total_cost, 0.0);
+  const Usd sum = m.cost_of(w.apps[0].id()) + m.cost_of(w.apps[2].id());
+  EXPECT_NEAR(m.total_cost, sum, 1e-12);
+  EXPECT_EQ(m.cost_of(w.apps[1].id()), 0.0);
+}
+
+TEST(Controller, DataLocalityCountsLocalInputs) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  const auto& m = ctl.metrics();
+  // Entry stage fetches remotely; successor stages run on the predecessor's
+  // invoker (locality-first placement on an empty cluster) and read locally.
+  EXPECT_EQ(m.remote_inputs, 1u);
+  EXPECT_EQ(m.local_inputs, 2u);
+}
+
+TEST(Controller, ForcedMinConfigAfterPlacementFailures) {
+  World w;
+  UnplaceableScheduler sched;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  // The request still completes via the recheck-list escape hatch.
+  EXPECT_EQ(ctl.metrics().requests(), 1u);
+  EXPECT_GE(ctl.metrics().forced_min_dispatches, 3u);  // once per stage
+}
+
+TEST(Controller, ExecutionNoiseVariesLatency) {
+  auto run_with_noise = [](double cv, std::uint64_t seed) {
+    World w;
+    w.rng = RngFactory(seed);
+    FixedScheduler sched(profile::kMinConfig);
+    ControllerOptions opts;
+    opts.noise_cv = cv;
+    opts.enable_prewarm = false;
+    Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                   workload::SloSetting::kModerate, sched, w.rng, opts);
+    ctl.inject_request(w.apps[0].id());
+    ctl.run_to_completion();
+    return ctl.metrics().completions.front().latency_ms;
+  };
+  // Zero noise: same seed or not, identical latency.
+  EXPECT_DOUBLE_EQ(run_with_noise(0.0, 1), run_with_noise(0.0, 2));
+  // With noise, different seeds diverge.
+  EXPECT_NE(run_with_noise(0.1, 1), run_with_noise(0.1, 2));
+  // Same seed is perfectly reproducible.
+  EXPECT_DOUBLE_EQ(run_with_noise(0.1, 3), run_with_noise(0.1, 3));
+}
+
+TEST(Controller, NoBatchingAblationSplitsTasks) {
+  World w;
+  FixedScheduler sched(profile::Config{4, 1, 1});
+  ControllerOptions opts = quiet_options();
+  opts.enable_batching = false;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, opts);
+  for (int i = 0; i < 4; ++i) ctl.inject_request(w.apps[1].id());
+  ctl.run_to_completion();
+  // Without batching every job is its own task: 4 requests x 3 stages.
+  EXPECT_EQ(ctl.metrics().tasks, 12u);
+}
+
+TEST(Controller, NoGpuSharingAblationCostsMore) {
+  auto total_cost = [](bool sharing) {
+    World w;
+    FixedScheduler sched(profile::kMinConfig);
+    ControllerOptions opts;
+    opts.noise_cv = 0.0;
+    opts.enable_prewarm = false;
+    opts.enable_gpu_sharing = sharing;
+    Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                   workload::SloSetting::kModerate, sched, w.rng, opts);
+    ctl.inject_request(w.apps[0].id());
+    ctl.run_to_completion();
+    return ctl.metrics().total_cost;
+  };
+  // Exclusive GPUs bill all 7 slices per task.
+  EXPECT_GT(total_cost(false), 3.0 * total_cost(true));
+}
+
+TEST(Controller, SloOfMatchesWorkloadDerivation) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kStrict, sched, w.rng, quiet_options());
+  for (const auto& app : w.apps) {
+    EXPECT_NEAR(ctl.slo_of(app.id()),
+                workload::slo_latency_ms(app, w.profiles,
+                                         workload::SloSetting::kStrict),
+                1e-9);
+  }
+}
+
+TEST(Controller, InjectSchedulesFutureArrivals) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  std::vector<workload::Arrival> arrivals = {
+      {100.0, w.apps[0].id()},
+      {250.0, w.apps[1].id()},
+  };
+  ctl.inject(arrivals);
+  ctl.run_to_completion();
+  ASSERT_EQ(ctl.metrics().requests(), 2u);
+  EXPECT_DOUBLE_EQ(ctl.metrics().completions[0].arrival_ms, 100.0);
+  EXPECT_DOUBLE_EQ(ctl.metrics().completions[1].arrival_ms, 250.0);
+}
+
+TEST(Controller, JobWaitsRecorded) {
+  World w;
+  FixedScheduler sched(profile::kMinConfig);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, sched, w.rng, quiet_options());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().job_wait_ms.size(), 3u);  // one wait per job-stage
+  for (double wait : ctl.metrics().job_wait_ms) EXPECT_GE(wait, 0.0);
+}
+
+}  // namespace
+}  // namespace esg::platform

@@ -1,0 +1,146 @@
+// Container-provisioning semantics: cold starts create warm containers off
+// the execution resources, deduplicate per (invoker, function), and surface
+// as queueing delay.
+#include <gtest/gtest.h>
+
+#include "platform/controller.hpp"
+#include "workload/applications.hpp"
+
+namespace esg::platform {
+namespace {
+
+class MinScheduler : public Scheduler {
+ public:
+  explicit MinScheduler(std::uint16_t batch = 1) : batch_(batch) {}
+  std::string_view name() const override { return "min"; }
+  PlanResult plan(const QueueView&) override {
+    PlanResult r;
+    profile::Config c = profile::kMinConfig;
+    c.batch = batch_;
+    r.candidates.push_back(c);
+    return r;
+  }
+  std::optional<InvokerId> place(const PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override {
+    return locality_first_place(ctx, cluster);
+  }
+
+ private:
+  std::uint16_t batch_ = 1;
+};
+
+struct World {
+  profile::ProfileSet profiles = profile::ProfileSet::builtin();
+  std::vector<workload::AppDag> apps = workload::builtin_applications();
+  sim::Simulator sim;
+  cluster::Cluster cluster{4};
+  RngFactory rng{3};
+  MinScheduler sched;
+};
+
+ControllerOptions bare() {
+  ControllerOptions o;
+  o.noise_cv = 0.0;
+  o.enable_prewarm = false;
+  return o;
+}
+
+TEST(Provisioning, ConcurrentRequestsShareOneProvisioning) {
+  World w;
+  MinScheduler batching(2);
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, batching, w.rng, bare());
+  // Two simultaneous requests batched together: the entry function needs a
+  // container on its home invoker; the provisioning must not be duplicated
+  // (same invoker, same function) while the jobs wait for it.
+  ctl.inject_request(w.apps[0].id());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 2u);
+  // One provisioning per stage (both requests batch into the same tasks).
+  EXPECT_EQ(ctl.metrics().cold_starts, 3u);
+  EXPECT_EQ(ctl.metrics().tasks, 3u);
+}
+
+TEST(Provisioning, ResourcesStayFreeDuringModelLoad) {
+  World w;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, w.sched, w.rng, bare());
+  ctl.inject_request(w.apps[0].id());
+  // Run just past the provisioning trigger, mid cold start (3503 ms for
+  // super_resolution): no invoker may hold resources yet.
+  w.sim.run_until(1'000.0);
+  for (const auto& inv : w.cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0);
+    EXPECT_EQ(inv.used_vgpus(), 0);
+  }
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 1u);
+}
+
+TEST(Provisioning, ColdLatencySurfacesAsQueueingDelay) {
+  World w;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, w.sched, w.rng, bare());
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  // The entry job waited at least the super_resolution model-load time.
+  ASSERT_FALSE(ctl.metrics().job_wait_ms.empty());
+  double max_wait = 0.0;
+  for (double wait : ctl.metrics().job_wait_ms) {
+    max_wait = std::max(max_wait, wait);
+  }
+  EXPECT_GE(max_wait, 3'503.0 - 1.0);
+}
+
+TEST(Provisioning, WarmPoolSkipsProvisioning) {
+  World w;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, w.sched, w.rng, bare());
+  // Pre-warm a container for every stage of app 0 everywhere it may land.
+  for (auto& inv : w.cluster.invokers()) {
+    for (const auto& node : w.apps[0].nodes()) {
+      inv.add_warm(node.function, 0.0);
+    }
+  }
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().cold_starts, 0u);
+  // No model loads: the request flies through in roughly base latency.
+  EXPECT_LT(ctl.metrics().completions.front().latency_ms, 1'000.0);
+}
+
+TEST(Provisioning, TaskTraceRecordsDispatches) {
+  World w;
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, w.sched, w.rng, bare());
+  ctl.inject_request(w.apps[1].id());
+  ctl.run_to_completion();
+  ASSERT_EQ(ctl.metrics().task_trace.size(), 3u);
+  const auto& first = ctl.metrics().task_trace.front();
+  EXPECT_EQ(first.app, w.apps[1].id());
+  EXPECT_EQ(first.batch, 1);
+  EXPECT_GT(first.exec_ms, 0.0);
+  EXPECT_GT(first.cost, 0.0);
+  // Stages appear in pipeline order.
+  EXPECT_EQ(ctl.metrics().task_trace[0].stage, 0u);
+  EXPECT_EQ(ctl.metrics().task_trace[2].stage, 2u);
+}
+
+TEST(Provisioning, WarmupWindowExcludesEarlyTasks) {
+  World w;
+  ControllerOptions opts = bare();
+  opts.metrics_warmup_ms = 1'000'000.0;  // everything is warm-up
+  Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                 workload::SloSetting::kModerate, w.sched, w.rng, opts);
+  ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();
+  EXPECT_EQ(ctl.metrics().requests(), 0u);
+  EXPECT_EQ(ctl.metrics().tasks, 0u);
+  EXPECT_EQ(ctl.metrics().total_cost, 0.0);
+  EXPECT_TRUE(ctl.metrics().task_trace.empty());
+  EXPECT_EQ(ctl.inflight_requests(), 0u);  // still simulated to completion
+}
+
+}  // namespace
+}  // namespace esg::platform

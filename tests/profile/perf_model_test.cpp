@@ -1,0 +1,137 @@
+#include "profile/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/function_spec.hpp"
+
+namespace esg::profile {
+namespace {
+
+const FunctionSpec& deblur() { return builtin_spec(id_of(Function::kDeblur)); }
+
+TEST(PerfModel, BaseConfigMatchesTable3) {
+  // The model is calibrated so (batch=1, 1 vCPU, 1 vGPU) reproduces the
+  // measured base latency exactly, for every built-in function.
+  for (const auto& spec : builtin_specs()) {
+    EXPECT_DOUBLE_EQ(PerfModel::latency_ms(spec, kMinConfig),
+                     spec.base_latency_ms)
+        << spec.name;
+  }
+}
+
+TEST(PerfModel, AmdahlBasics) {
+  EXPECT_DOUBLE_EQ(PerfModel::amdahl(0.0, 8), 1.0);    // fully serial
+  EXPECT_DOUBLE_EQ(PerfModel::amdahl(1.0, 8), 8.0);    // fully parallel
+  EXPECT_DOUBLE_EQ(PerfModel::amdahl(0.5, 1), 1.0);
+  EXPECT_GT(PerfModel::amdahl(0.5, 4), 1.0);
+  EXPECT_LT(PerfModel::amdahl(0.5, 4), 4.0);
+}
+
+TEST(PerfModel, AmdahlRejectsZeroCpus) {
+  EXPECT_THROW(PerfModel::amdahl(0.5, 0), std::invalid_argument);
+}
+
+TEST(PerfModel, BatchMultiplierLinearInEta) {
+  EXPECT_DOUBLE_EQ(PerfModel::batch_multiplier(0.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PerfModel::batch_multiplier(0.5, 3), 2.0);
+  EXPECT_DOUBLE_EQ(PerfModel::batch_multiplier(0.0, 100), 1.0);
+}
+
+TEST(PerfModel, BatchMultiplierRejectsZero) {
+  EXPECT_THROW(PerfModel::batch_multiplier(0.5, 0), std::invalid_argument);
+}
+
+TEST(PerfModel, RejectsZeroConfigFields) {
+  EXPECT_THROW(PerfModel::latency_ms(deblur(), Config{0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(PerfModel::latency_ms(deblur(), Config{1, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(PerfModel::latency_ms(deblur(), Config{1, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(PerfModel, LatencyIncreasesWithBatch) {
+  TimeMs prev = 0.0;
+  for (std::uint16_t b : {1, 2, 4, 8}) {
+    const TimeMs t = PerfModel::latency_ms(deblur(), Config{b, 1, 1});
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfModel, BatchingIsSubLinear) {
+  // The whole point of batching on GPUs: doubling the batch costs less than
+  // doubling the time, so per-job latency falls.
+  const TimeMs t1 = PerfModel::latency_ms(deblur(), Config{1, 1, 1});
+  const TimeMs t8 = PerfModel::latency_ms(deblur(), Config{8, 1, 1});
+  EXPECT_LT(t8, 8.0 * t1);
+  EXPECT_LT(t8 / 8.0, t1);  // per-job time improves
+}
+
+TEST(PerfModel, MoreVcpusNeverSlower) {
+  for (const auto& spec : builtin_specs()) {
+    TimeMs prev = PerfModel::latency_ms(spec, Config{4, 1, 1});
+    for (std::uint16_t c : {2, 4, 8}) {
+      const TimeMs t = PerfModel::latency_ms(spec, Config{4, c, 1});
+      EXPECT_LE(t, prev) << spec.name;
+      prev = t;
+    }
+  }
+}
+
+TEST(PerfModel, MoreVgpusNeverSlowerForBatches) {
+  for (const auto& spec : builtin_specs()) {
+    TimeMs prev = PerfModel::latency_ms(spec, Config{8, 1, 1});
+    for (std::uint16_t g : {2, 4}) {
+      const TimeMs t = PerfModel::latency_ms(spec, Config{8, 1, g});
+      EXPECT_LE(t, prev) << spec.name;
+      prev = t;
+    }
+  }
+}
+
+TEST(PerfModel, VgpusUselessForSingleJob) {
+  // batch=1 cannot be split across slices, so extra slices change nothing.
+  const TimeMs t1 = PerfModel::latency_ms(deblur(), Config{1, 1, 1});
+  const TimeMs t4 = PerfModel::latency_ms(deblur(), Config{1, 1, 4});
+  EXPECT_DOUBLE_EQ(t1, t4);
+}
+
+TEST(PerfModel, DataParallelSplitMatchesCeil) {
+  // With g slices, the per-slice batch is ceil(b/g); b=8 on g=4 behaves like
+  // a per-slice batch of 2.
+  const auto& spec = deblur();
+  const TimeMs split = PerfModel::latency_ms(spec, Config{8, 1, 4});
+  const double expected_gpu =
+      (1.0 - spec.cpu_share) * spec.base_latency_ms *
+      PerfModel::batch_multiplier(spec.batch_efficiency, 2);
+  const double expected_cpu = spec.cpu_share * spec.base_latency_ms * 8.0 /
+                              PerfModel::amdahl(spec.cpu_parallel_fraction, 1);
+  EXPECT_NEAR(split, expected_cpu + expected_gpu, 1e-9);
+}
+
+TEST(PerfModel, IsDeterministic) {
+  const Config c{4, 2, 2};
+  EXPECT_DOUBLE_EQ(PerfModel::latency_ms(deblur(), c),
+                   PerfModel::latency_ms(deblur(), c));
+}
+
+class PerfModelAllFunctions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PerfModelAllFunctions, LatencyAlwaysPositive) {
+  const FunctionSpec& spec = builtin_specs()[GetParam()];
+  for (std::uint16_t b : {1, 2, 4, 8, 16}) {
+    if (b > spec.max_batch) continue;
+    for (std::uint16_t c : {1, 2, 4, 8}) {
+      for (std::uint16_t g : {1, 2, 4, 7}) {
+        EXPECT_GT(PerfModel::latency_ms(spec, Config{b, c, g}), 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, PerfModelAllFunctions,
+                         ::testing::Range<std::size_t>(0, kBuiltinFunctionCount));
+
+}  // namespace
+}  // namespace esg::profile

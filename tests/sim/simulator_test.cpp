@@ -1,0 +1,168 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace esg::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(5.0, [&] { order.push_back(2); });
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(9.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(3.0, [&] { order.push_back(1); });
+  sim.schedule_in(3.0, [&] { order.push_back(2); });
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<TimeMs> times;
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(2.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<TimeMs>{1.0, 3.0}));
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsPastAbsoluteTime) {
+  Simulator sim;
+  sim.schedule_in(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsEmptyAction) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(1.0, Simulator::Action{}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_in(1.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFiringIsNoop) {
+  Simulator sim;
+  int count = 0;
+  const EventHandle h = sim.schedule_in(1.0, [&] { ++count; });
+  sim.run();
+  sim.cancel(h);  // already fired
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, DoubleCancelIsNoop) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_in(1.0, [] {});
+  sim.cancel(h);
+  sim.cancel(h);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, InvalidHandleCancelIsNoop) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  sim.schedule_in(1.0, [] {});
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<TimeMs> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_in(t, [&, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<TimeMs>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_in(1.0, [] {});
+  bool fired = false;
+  sim.schedule_in(2.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_in(1.0, [&] { ++count; });
+  sim.schedule_in(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleTerminates) {
+  // A handler scheduling at now() must not starve later events forever when
+  // it stops rescheduling.
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 10) sim.schedule_in(0.0, recur);
+  };
+  sim.schedule_in(0.0, recur);
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace esg::sim

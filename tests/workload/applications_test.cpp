@@ -1,0 +1,101 @@
+#include "workload/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/function_spec.hpp"
+
+namespace esg::workload {
+namespace {
+
+using profile::Function;
+
+TEST(Applications, FourAppsWithPaperPipelines) {
+  const auto apps = builtin_applications();
+  ASSERT_EQ(apps.size(), kBuiltinAppCount);
+
+  const auto& ic = apps[0];
+  EXPECT_EQ(ic.name(), "image_classification");
+  ASSERT_EQ(ic.size(), 3u);
+  EXPECT_EQ(ic.node(0).function, profile::id_of(Function::kSuperResolution));
+  EXPECT_EQ(ic.node(1).function, profile::id_of(Function::kSegmentation));
+  EXPECT_EQ(ic.node(2).function, profile::id_of(Function::kClassification));
+
+  const auto& dr = apps[1];
+  EXPECT_EQ(dr.name(), "depth_recognition");
+  ASSERT_EQ(dr.size(), 3u);
+  EXPECT_EQ(dr.node(0).function, profile::id_of(Function::kDeblur));
+
+  const auto& be = apps[2];
+  EXPECT_EQ(be.name(), "background_elimination");
+  ASSERT_EQ(be.size(), 3u);
+  EXPECT_EQ(be.node(2).function,
+            profile::id_of(Function::kBackgroundRemoval));
+
+  const auto& ec = apps[3];
+  EXPECT_EQ(ec.name(), "expanded_image_classification");
+  ASSERT_EQ(ec.size(), 5u);
+  EXPECT_EQ(ec.node(4).function, profile::id_of(Function::kClassification));
+}
+
+TEST(Applications, AllPipelinesValidateAndAreLinear) {
+  for (const auto& app : builtin_applications()) {
+    EXPECT_NO_THROW(app.validate());
+    EXPECT_TRUE(app.is_linear());
+  }
+}
+
+TEST(SloSettings, Multipliers) {
+  EXPECT_DOUBLE_EQ(slo_multiplier(SloSetting::kStrict), 0.8);
+  EXPECT_DOUBLE_EQ(slo_multiplier(SloSetting::kModerate), 1.0);
+  EXPECT_DOUBLE_EQ(slo_multiplier(SloSetting::kRelaxed), 1.2);
+  EXPECT_EQ(to_string(SloSetting::kStrict), "strict");
+  EXPECT_EQ(to_string(SloSetting::kRelaxed), "relaxed");
+}
+
+TEST(BaselineLatency, PipelineIsSumOfBaseTimes) {
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = builtin_applications();
+  // image_classification = super_resolution + segmentation + classification.
+  const TimeMs expected = 86.0 + 293.0 + 147.0;
+  EXPECT_NEAR(baseline_latency_ms(apps[0], profiles), expected, 1e-9);
+}
+
+TEST(BaselineLatency, ExpandedPipelineIsLongest) {
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = builtin_applications();
+  const TimeMs expanded = baseline_latency_ms(apps[3], profiles);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(expanded, baseline_latency_ms(apps[i], profiles));
+  }
+}
+
+TEST(BaselineLatency, DiamondUsesCriticalPath) {
+  const auto profiles = profile::ProfileSet::builtin();
+  AppDag dag(AppId(9), "diamond");
+  // deblur -> {super_resolution, segmentation} -> classification.
+  dag.add_node(profile::id_of(Function::kDeblur));
+  dag.add_node(profile::id_of(Function::kSuperResolution));  // 86 ms
+  dag.add_node(profile::id_of(Function::kSegmentation));     // 293 ms
+  dag.add_node(profile::id_of(Function::kClassification));
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  // Critical path takes the slower branch (segmentation).
+  EXPECT_NEAR(baseline_latency_ms(dag, profiles), 319.0 + 293.0 + 147.0, 1e-9);
+}
+
+TEST(SloLatency, ScalesWithSetting) {
+  const auto profiles = profile::ProfileSet::builtin();
+  const auto apps = builtin_applications();
+  const TimeMs base = baseline_latency_ms(apps[0], profiles);
+  EXPECT_NEAR(slo_latency_ms(apps[0], profiles, SloSetting::kStrict),
+              0.8 * base, 1e-9);
+  EXPECT_NEAR(slo_latency_ms(apps[0], profiles, SloSetting::kModerate), base,
+              1e-9);
+  EXPECT_NEAR(slo_latency_ms(apps[0], profiles, SloSetting::kRelaxed),
+              1.2 * base, 1e-9);
+}
+
+}  // namespace
+}  // namespace esg::workload

@@ -1,0 +1,95 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace esg::workload {
+namespace {
+
+RngStream stream() { return RngFactory(1234).stream("arrivals"); }
+
+TEST(IntervalRange, PaperRanges) {
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kHeavy).lo_ms, 10.0);
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kHeavy).hi_ms, 16.8);
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kNormal).lo_ms, 20.0);
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kNormal).hi_ms, 33.6);
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kLight).lo_ms, 40.0);
+  EXPECT_DOUBLE_EQ(interval_range(LoadSetting::kLight).hi_ms, 67.2);
+}
+
+TEST(LoadSetting, Names) {
+  EXPECT_EQ(to_string(LoadSetting::kHeavy), "heavy");
+  EXPECT_EQ(to_string(LoadSetting::kNormal), "normal");
+  EXPECT_EQ(to_string(LoadSetting::kLight), "light");
+}
+
+TEST(ArrivalGenerator, RequiresApps) {
+  EXPECT_THROW(ArrivalGenerator(LoadSetting::kLight, {}, stream()),
+               std::invalid_argument);
+}
+
+TEST(ArrivalGenerator, TimesStrictlyIncrease) {
+  ArrivalGenerator gen(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());
+  TimeMs prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Arrival a = gen.next();
+    EXPECT_GT(a.time_ms, prev);
+    prev = a.time_ms;
+  }
+}
+
+TEST(ArrivalGenerator, IntervalsWithinRange) {
+  ArrivalGenerator gen(LoadSetting::kNormal, {AppId(0)}, stream());
+  TimeMs prev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Arrival a = gen.next();
+    const TimeMs gap = a.time_ms - prev;
+    EXPECT_GE(gap, 20.0);
+    EXPECT_LT(gap, 33.6);
+    prev = a.time_ms;
+  }
+}
+
+TEST(ArrivalGenerator, AppsSampledRoughlyUniformly) {
+  std::vector<AppId> apps = {AppId(0), AppId(1), AppId(2), AppId(3)};
+  ArrivalGenerator gen(LoadSetting::kHeavy, apps, stream());
+  std::map<std::uint32_t, int> counts;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next().app.get()];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [app, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(n), 0.25, 0.02);
+  }
+}
+
+TEST(ArrivalGenerator, GenerateUntilRespectsHorizon) {
+  ArrivalGenerator gen(LoadSetting::kLight, {AppId(0)}, stream());
+  const auto arrivals = gen.generate_until(10'000.0);
+  ASSERT_FALSE(arrivals.empty());
+  for (const auto& a : arrivals) EXPECT_LT(a.time_ms, 10'000.0);
+  // Light load: mean interval 53.6 ms -> about 186 arrivals in 10 s.
+  EXPECT_GT(arrivals.size(), 150u);
+  EXPECT_LT(arrivals.size(), 260u);
+}
+
+TEST(ArrivalGenerator, HeavyLoadDenserThanLight) {
+  ArrivalGenerator heavy(LoadSetting::kHeavy, {AppId(0)}, stream());
+  ArrivalGenerator light(LoadSetting::kLight, {AppId(0)}, stream());
+  EXPECT_GT(heavy.generate_until(5'000.0).size(),
+            2 * light.generate_until(5'000.0).size());
+}
+
+TEST(ArrivalGenerator, DeterministicForSameSeed) {
+  ArrivalGenerator a(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());
+  ArrivalGenerator b(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());
+  for (int i = 0; i < 100; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    EXPECT_EQ(x.time_ms, y.time_ms);
+    EXPECT_EQ(x.app, y.app);
+  }
+}
+
+}  // namespace
+}  // namespace esg::workload

@@ -1,0 +1,86 @@
+#include "workload/bursty_arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg::workload {
+namespace {
+
+RngStream stream(std::uint64_t seed = 7) {
+  return RngFactory(seed).stream("bursty");
+}
+
+TEST(BurstyArrivals, RejectsBadInput) {
+  EXPECT_THROW(BurstyArrivalGenerator({}, {}, stream()), std::invalid_argument);
+  BurstProfile bad;
+  bad.mean_calm_ms = 0.0;
+  EXPECT_THROW(BurstyArrivalGenerator(bad, {AppId(0)}, stream()),
+               std::invalid_argument);
+}
+
+TEST(BurstyArrivals, TimesStrictlyIncrease) {
+  BurstyArrivalGenerator gen({}, {AppId(0), AppId(1)}, stream());
+  TimeMs prev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Arrival a = gen.next();
+    EXPECT_GT(a.time_ms, prev);
+    prev = a.time_ms;
+  }
+}
+
+TEST(BurstyArrivals, IntervalsComeFromEitherPhaseRange) {
+  BurstyArrivalGenerator gen({}, {AppId(0)}, stream());
+  const auto calm = interval_range(LoadSetting::kLight);
+  const auto burst = interval_range(LoadSetting::kHeavy);
+  TimeMs prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const Arrival a = gen.next();
+    const TimeMs gap = a.time_ms - prev;
+    prev = a.time_ms;
+    const bool in_calm = gap >= calm.lo_ms && gap < calm.hi_ms;
+    const bool in_burst = gap >= burst.lo_ms && gap < burst.hi_ms;
+    EXPECT_TRUE(in_calm || in_burst) << "gap " << gap;
+  }
+}
+
+TEST(BurstyArrivals, ProducesBothPhases) {
+  BurstyArrivalGenerator gen({}, {AppId(0)}, stream());
+  bool saw_calm = false;
+  bool saw_burst = false;
+  for (int i = 0; i < 20'000 && !(saw_calm && saw_burst); ++i) {
+    gen.next();
+    (gen.in_burst() ? saw_burst : saw_calm) = true;
+  }
+  EXPECT_TRUE(saw_calm);
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(BurstyArrivals, DenserThanPureCalm) {
+  // Mixing heavy bursts into a light baseline must produce more arrivals
+  // than the pure light process over the same horizon.
+  BurstyArrivalGenerator bursty({}, {AppId(0)}, stream(1));
+  ArrivalGenerator calm(LoadSetting::kLight, {AppId(0)}, stream(1));
+  const auto b = bursty.generate_until(120'000.0);
+  const auto c = calm.generate_until(120'000.0);
+  EXPECT_GT(b.size(), c.size());
+}
+
+TEST(BurstyArrivals, DeterministicForSameSeed) {
+  BurstyArrivalGenerator a({}, {AppId(0), AppId(1)}, stream(9));
+  BurstyArrivalGenerator b({}, {AppId(0), AppId(1)}, stream(9));
+  for (int i = 0; i < 500; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    EXPECT_EQ(x.time_ms, y.time_ms);
+    EXPECT_EQ(x.app, y.app);
+  }
+}
+
+TEST(BurstyArrivals, HorizonRespected) {
+  BurstyArrivalGenerator gen({}, {AppId(0)}, stream());
+  for (const auto& a : gen.generate_until(30'000.0)) {
+    EXPECT_LT(a.time_ms, 30'000.0);
+  }
+}
+
+}  // namespace
+}  // namespace esg::workload
