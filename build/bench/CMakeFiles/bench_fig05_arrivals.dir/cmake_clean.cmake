@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_arrivals.dir/fig05_arrivals.cpp.o"
+  "CMakeFiles/bench_fig05_arrivals.dir/fig05_arrivals.cpp.o.d"
+  "bench_fig05_arrivals"
+  "bench_fig05_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_overall.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig06_overall.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig06_overall.dir/fig06_overall.cpp.o"
+  "CMakeFiles/bench_fig06_overall.dir/fig06_overall.cpp.o.d"
+  "bench_fig06_overall"
+  "bench_fig06_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

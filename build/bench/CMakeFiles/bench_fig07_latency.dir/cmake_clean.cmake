@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_latency.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig07_latency.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig07_latency.dir/fig07_latency.cpp.o"
+  "CMakeFiles/bench_fig07_latency.dir/fig07_latency.cpp.o.d"
+  "bench_fig07_latency"
+  "bench_fig07_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_per_app.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig08_per_app.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig08_per_app.dir/fig08_per_app.cpp.o"
+  "CMakeFiles/bench_fig08_per_app.dir/fig08_per_app.cpp.o.d"
+  "bench_fig08_per_app"
+  "bench_fig08_per_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_per_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

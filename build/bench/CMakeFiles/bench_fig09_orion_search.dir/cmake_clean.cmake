@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_orion_search.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig09_orion_search.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig09_orion_search.dir/fig09_orion_search.cpp.o"
+  "CMakeFiles/bench_fig09_orion_search.dir/fig09_orion_search.cpp.o.d"
+  "bench_fig09_orion_search"
+  "bench_fig09_orion_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_orion_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

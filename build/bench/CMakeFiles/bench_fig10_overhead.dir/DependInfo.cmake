@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/bench_fig10_overhead.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_overhead.dir/bench_util.cpp.o.d"
+  "/root/repo/bench/fig10_overhead.cpp" "bench/CMakeFiles/bench_fig10_overhead.dir/fig10_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_overhead.dir/fig10_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/esg_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/esg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/esg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/esg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/esg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/prewarm/CMakeFiles/esg_prewarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/esg_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_k_sensitivity.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig11_k_sensitivity.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig11_k_sensitivity.dir/fig11_k_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig11_k_sensitivity.dir/fig11_k_sensitivity.cpp.o.d"
+  "bench_fig11_k_sensitivity"
+  "bench_fig11_k_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_k_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ablation.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig12_ablation.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig12_ablation.dir/fig12_ablation.cpp.o"
+  "CMakeFiles/bench_fig12_ablation.dir/fig12_ablation.cpp.o.d"
+  "bench_fig12_ablation"
+  "bench_fig12_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_group_size.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_sec54_group_size.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_sec54_group_size.dir/sec54_group_size.cpp.o"
+  "CMakeFiles/bench_sec54_group_size.dir/sec54_group_size.cpp.o.d"
+  "bench_sec54_group_size"
+  "bench_sec54_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_miss_rate.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_tab04_miss_rate.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_tab04_miss_rate.dir/tab04_miss_rate.cpp.o"
+  "CMakeFiles/bench_tab04_miss_rate.dir/tab04_miss_rate.cpp.o.d"
+  "bench_tab04_miss_rate"
+  "bench_tab04_miss_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_miss_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_workload.dir/bursty_workload.cpp.o"
+  "CMakeFiles/bursty_workload.dir/bursty_workload.cpp.o.d"
+  "bursty_workload"
+  "bursty_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_comparison.dir/pipeline_comparison.cpp.o"
+  "CMakeFiles/pipeline_comparison.dir/pipeline_comparison.cpp.o.d"
+  "pipeline_comparison"
+  "pipeline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

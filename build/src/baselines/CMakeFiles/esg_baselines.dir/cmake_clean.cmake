@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_baselines.dir/aquatope.cpp.o"
+  "CMakeFiles/esg_baselines.dir/aquatope.cpp.o.d"
+  "CMakeFiles/esg_baselines.dir/bo/gaussian_process.cpp.o"
+  "CMakeFiles/esg_baselines.dir/bo/gaussian_process.cpp.o.d"
+  "CMakeFiles/esg_baselines.dir/fast_gshare.cpp.o"
+  "CMakeFiles/esg_baselines.dir/fast_gshare.cpp.o.d"
+  "CMakeFiles/esg_baselines.dir/infless.cpp.o"
+  "CMakeFiles/esg_baselines.dir/infless.cpp.o.d"
+  "CMakeFiles/esg_baselines.dir/orion.cpp.o"
+  "CMakeFiles/esg_baselines.dir/orion.cpp.o.d"
+  "CMakeFiles/esg_baselines.dir/service_time_split.cpp.o"
+  "CMakeFiles/esg_baselines.dir/service_time_split.cpp.o.d"
+  "libesg_baselines.a"
+  "libesg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

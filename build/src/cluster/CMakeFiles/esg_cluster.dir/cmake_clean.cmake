@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/esg_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/esg_cluster.dir/invoker.cpp.o"
+  "CMakeFiles/esg_cluster.dir/invoker.cpp.o.d"
+  "libesg_cluster.a"
+  "libesg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

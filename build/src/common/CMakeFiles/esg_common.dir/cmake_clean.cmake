@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_common.dir/histogram.cpp.o"
+  "CMakeFiles/esg_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/esg_common.dir/rng.cpp.o"
+  "CMakeFiles/esg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esg_common.dir/stats.cpp.o"
+  "CMakeFiles/esg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/esg_common.dir/table.cpp.o"
+  "CMakeFiles/esg_common.dir/table.cpp.o.d"
+  "libesg_common.a"
+  "libesg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

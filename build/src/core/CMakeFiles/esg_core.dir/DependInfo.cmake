@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/astar_reference.cpp" "src/core/CMakeFiles/esg_core.dir/astar_reference.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/astar_reference.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/esg_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/dominator.cpp" "src/core/CMakeFiles/esg_core.dir/dominator.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/dominator.cpp.o.d"
+  "/root/repo/src/core/esg_1q.cpp" "src/core/CMakeFiles/esg_core.dir/esg_1q.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/esg_1q.cpp.o.d"
+  "/root/repo/src/core/esg_scheduler.cpp" "src/core/CMakeFiles/esg_core.dir/esg_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/esg_scheduler.cpp.o.d"
+  "/root/repo/src/core/slo_distribution.cpp" "src/core/CMakeFiles/esg_core.dir/slo_distribution.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/slo_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/esg_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/esg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/esg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/esg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/prewarm/CMakeFiles/esg_prewarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esg_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_core.dir/astar_reference.cpp.o"
+  "CMakeFiles/esg_core.dir/astar_reference.cpp.o.d"
+  "CMakeFiles/esg_core.dir/brute_force.cpp.o"
+  "CMakeFiles/esg_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/esg_core.dir/dominator.cpp.o"
+  "CMakeFiles/esg_core.dir/dominator.cpp.o.d"
+  "CMakeFiles/esg_core.dir/esg_1q.cpp.o"
+  "CMakeFiles/esg_core.dir/esg_1q.cpp.o.d"
+  "CMakeFiles/esg_core.dir/esg_scheduler.cpp.o"
+  "CMakeFiles/esg_core.dir/esg_scheduler.cpp.o.d"
+  "CMakeFiles/esg_core.dir/slo_distribution.cpp.o"
+  "CMakeFiles/esg_core.dir/slo_distribution.cpp.o.d"
+  "libesg_core.a"
+  "libesg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_exp.dir/cli.cpp.o"
+  "CMakeFiles/esg_exp.dir/cli.cpp.o.d"
+  "CMakeFiles/esg_exp.dir/scenario.cpp.o"
+  "CMakeFiles/esg_exp.dir/scenario.cpp.o.d"
+  "libesg_exp.a"
+  "libesg_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

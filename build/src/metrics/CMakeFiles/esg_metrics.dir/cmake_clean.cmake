@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_metrics.dir/export.cpp.o"
+  "CMakeFiles/esg_metrics.dir/export.cpp.o.d"
+  "CMakeFiles/esg_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/esg_metrics.dir/run_metrics.cpp.o.d"
+  "libesg_metrics.a"
+  "libesg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

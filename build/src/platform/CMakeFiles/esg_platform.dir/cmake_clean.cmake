@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_platform.dir/controller.cpp.o"
+  "CMakeFiles/esg_platform.dir/controller.cpp.o.d"
+  "CMakeFiles/esg_platform.dir/scheduler.cpp.o"
+  "CMakeFiles/esg_platform.dir/scheduler.cpp.o.d"
+  "libesg_platform.a"
+  "libesg_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

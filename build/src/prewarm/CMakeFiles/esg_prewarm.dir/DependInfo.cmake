@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prewarm/prewarm_manager.cpp" "src/prewarm/CMakeFiles/esg_prewarm.dir/prewarm_manager.cpp.o" "gcc" "src/prewarm/CMakeFiles/esg_prewarm.dir/prewarm_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/esg_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

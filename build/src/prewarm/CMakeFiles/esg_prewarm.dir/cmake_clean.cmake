@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_prewarm.dir/prewarm_manager.cpp.o"
+  "CMakeFiles/esg_prewarm.dir/prewarm_manager.cpp.o.d"
+  "libesg_prewarm.a"
+  "libesg_prewarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_prewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/config.cpp" "src/profile/CMakeFiles/esg_profile.dir/config.cpp.o" "gcc" "src/profile/CMakeFiles/esg_profile.dir/config.cpp.o.d"
+  "/root/repo/src/profile/function_spec.cpp" "src/profile/CMakeFiles/esg_profile.dir/function_spec.cpp.o" "gcc" "src/profile/CMakeFiles/esg_profile.dir/function_spec.cpp.o.d"
+  "/root/repo/src/profile/perf_model.cpp" "src/profile/CMakeFiles/esg_profile.dir/perf_model.cpp.o" "gcc" "src/profile/CMakeFiles/esg_profile.dir/perf_model.cpp.o.d"
+  "/root/repo/src/profile/profile_table.cpp" "src/profile/CMakeFiles/esg_profile.dir/profile_table.cpp.o" "gcc" "src/profile/CMakeFiles/esg_profile.dir/profile_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_profile.dir/config.cpp.o"
+  "CMakeFiles/esg_profile.dir/config.cpp.o.d"
+  "CMakeFiles/esg_profile.dir/function_spec.cpp.o"
+  "CMakeFiles/esg_profile.dir/function_spec.cpp.o.d"
+  "CMakeFiles/esg_profile.dir/perf_model.cpp.o"
+  "CMakeFiles/esg_profile.dir/perf_model.cpp.o.d"
+  "CMakeFiles/esg_profile.dir/profile_table.cpp.o"
+  "CMakeFiles/esg_profile.dir/profile_table.cpp.o.d"
+  "libesg_profile.a"
+  "libesg_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

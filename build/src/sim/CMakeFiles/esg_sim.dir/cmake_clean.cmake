@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/esg_sim.dir/simulator.cpp.o.d"
+  "libesg_sim.a"
+  "libesg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/applications.cpp" "src/workload/CMakeFiles/esg_workload.dir/applications.cpp.o" "gcc" "src/workload/CMakeFiles/esg_workload.dir/applications.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/esg_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/esg_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/bursty_arrivals.cpp" "src/workload/CMakeFiles/esg_workload.dir/bursty_arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/esg_workload.dir/bursty_arrivals.cpp.o.d"
+  "/root/repo/src/workload/dag.cpp" "src/workload/CMakeFiles/esg_workload.dir/dag.cpp.o" "gcc" "src/workload/CMakeFiles/esg_workload.dir/dag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/esg_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_workload.dir/applications.cpp.o"
+  "CMakeFiles/esg_workload.dir/applications.cpp.o.d"
+  "CMakeFiles/esg_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/esg_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/esg_workload.dir/bursty_arrivals.cpp.o"
+  "CMakeFiles/esg_workload.dir/bursty_arrivals.cpp.o.d"
+  "CMakeFiles/esg_workload.dir/dag.cpp.o"
+  "CMakeFiles/esg_workload.dir/dag.cpp.o.d"
+  "libesg_workload.a"
+  "libesg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

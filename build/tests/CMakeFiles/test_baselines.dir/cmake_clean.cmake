@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/aquatope_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/aquatope_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/baselines_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/baselines_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/gp_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/gp_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/orion_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/orion_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/astar_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/astar_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dominator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dominator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/esg_1q_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/esg_1q_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/esg_scheduler_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/esg_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/search_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/search_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/slo_distribution_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/slo_distribution_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prewarm.dir/prewarm/prewarm_test.cpp.o"
+  "CMakeFiles/test_prewarm.dir/prewarm/prewarm_test.cpp.o.d"
+  "test_prewarm"
+  "test_prewarm.pdb"
+  "test_prewarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_prewarm.
+# This may be replaced when dependencies are built.

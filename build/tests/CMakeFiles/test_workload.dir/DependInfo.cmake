@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/applications_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/applications_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/applications_test.cpp.o.d"
+  "/root/repo/tests/workload/arrivals_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/arrivals_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/arrivals_test.cpp.o.d"
+  "/root/repo/tests/workload/bursty_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/bursty_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/bursty_test.cpp.o.d"
+  "/root/repo/tests/workload/dag_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/dag_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/dag_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/esg_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/esg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/esg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/esg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/prewarm/CMakeFiles/esg_prewarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/esg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/esg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/esg_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_sim_cli.dir/esg_sim.cpp.o"
+  "CMakeFiles/esg_sim_cli.dir/esg_sim.cpp.o.d"
+  "esg_sim"
+  "esg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
