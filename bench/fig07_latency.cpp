@@ -2,12 +2,82 @@
 // setting, per scheduler. The paper plots time series; the shape statement
 // is that ESG stays below-but-close-to the SLO while FaST-GShare/INFless
 // overshoot on the long pipeline and Orion/BO are erratic.
+//
+// Set ESG_BENCH_TRACE=<path> to additionally re-run the seed holding the
+// worst-latency ESG request and dump that request's timeline (queue waits,
+// stages, end-to-end span) as Perfetto-loadable Chrome-trace JSON.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
 #include "workload/applications.hpp"
+
+namespace {
+
+/// Finds the worst-latency ESG request across replicas, re-runs its seed
+/// with an in-memory recorder, and writes just that request's track.
+void dump_worst_request_trace(const char* path,
+                              std::span<const esg::exp::Scenario> grid,
+                              std::span<const esg::bench::GridResult> results) {
+  using namespace esg;
+  std::size_t esg_idx = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].scheduler == exp::SchedulerKind::kEsg) esg_idx = i;
+  }
+  const auto seeds = bench::seeds();
+  RequestId worst{};
+  double worst_latency = -1.0;
+  std::size_t worst_replica = 0;
+  for (std::size_t r = 0; r < results[esg_idx].replicas.size(); ++r) {
+    for (const auto& rec : results[esg_idx].replicas[r].metrics.completions) {
+      if (rec.latency_ms > worst_latency) {
+        worst_latency = rec.latency_ms;
+        worst = rec.request;
+        worst_replica = r;
+      }
+    }
+  }
+  if (worst_latency < 0.0) {
+    std::fprintf(stderr, "ESG_BENCH_TRACE: no completed requests to trace\n");
+    return;
+  }
+
+  exp::Scenario scenario = grid[esg_idx];
+  scenario.seed = seeds[worst_replica];
+  obs::TraceRecorder recorder;
+  auto sink = std::make_unique<obs::MemorySink>();
+  const obs::MemorySink* mem = sink.get();
+  recorder.add_sink(std::move(sink));
+  (void)exp::run_scenario(scenario, &recorder);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "ESG_BENCH_TRACE: cannot open %s\n", path);
+    return;
+  }
+  obs::ChromeTraceSink trace(out);
+  trace.on_process_name(obs::kRequestsPid, "requests");
+  const obs::Track track = obs::request_track(worst);
+  trace.on_thread_name(track, "worst ESG request");
+  for (const auto& span : mem->spans()) {
+    if (span.track == track) trace.on_span(span);
+  }
+  for (const auto& instant : mem->instants()) {
+    if (instant.track == track) trace.on_instant(instant);
+  }
+  trace.flush();
+  std::printf("worst ESG request %u (%.0f ms, seed %llu) traced to %s\n",
+              worst.get(), worst_latency,
+              static_cast<unsigned long long>(scenario.seed), path);
+}
+
+}  // namespace
 
 int main() {
   using namespace esg;
@@ -50,6 +120,11 @@ int main() {
                      AsciiTable::pct(n > 0 ? hits / n : 0.0)});
     }
     std::printf("--- %s ---\n%s\n", app.name().c_str(), table.render().c_str());
+  }
+
+  if (const char* trace_path = std::getenv("ESG_BENCH_TRACE");
+      trace_path != nullptr && *trace_path != '\0') {
+    dump_worst_request_trace(trace_path, grid, results);
   }
   return 0;
 }

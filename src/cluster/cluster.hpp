@@ -39,6 +39,16 @@ class Cluster {
   [[nodiscard]] const DataTransferModel& transfer_model() const { return transfer_; }
   void set_transfer_model(const DataTransferModel& m) { transfer_ = m; }
 
+  /// Installs the keep-alive tracing observer on every invoker.
+  void set_warm_span_callback(WarmSpanCallback callback) {
+    for (auto& inv : invokers_) inv.set_warm_span_callback(callback);
+  }
+
+  /// End-of-run flush of still-open keep-alive windows (see Invoker).
+  void flush_warm_spans(TimeMs now) const {
+    for (const auto& inv : invokers_) inv.flush_warm_spans(now);
+  }
+
  private:
   std::vector<Invoker> invokers_;
   DataTransferModel transfer_;

@@ -22,9 +22,16 @@ void Invoker::release(std::uint16_t vcpus, std::uint16_t vgpus) {
 void Invoker::prune_expired(FunctionId function, TimeMs now) const {
   auto it = warm_.find(function);
   if (it == warm_.end()) return;
-  auto& expiries = it->second;
-  std::erase_if(expiries, [now](TimeMs expiry) { return expiry <= now; });
-  if (expiries.empty()) warm_.erase(it);
+  auto& entries = it->second;
+  if (warm_callback_) {
+    for (const WarmEntry& e : entries) {
+      if (e.expiry <= now) {
+        warm_callback_(id_, function, e.since, e.expiry, WarmEnd::kExpired);
+      }
+    }
+  }
+  std::erase_if(entries, [now](const WarmEntry& e) { return e.expiry <= now; });
+  if (entries.empty()) warm_.erase(it);
 }
 
 std::size_t Invoker::warm_count(FunctionId function, TimeMs now) const {
@@ -37,15 +44,35 @@ bool Invoker::acquire_warm(FunctionId function, TimeMs now) {
   prune_expired(function, now);
   auto it = warm_.find(function);
   if (it == warm_.end()) return false;
-  auto& expiries = it->second;
-  auto soonest = std::min_element(expiries.begin(), expiries.end());
-  expiries.erase(soonest);
-  if (expiries.empty()) warm_.erase(it);
+  auto& entries = it->second;
+  auto soonest = std::min_element(
+      entries.begin(), entries.end(),
+      [](const WarmEntry& a, const WarmEntry& b) { return a.expiry < b.expiry; });
+  if (warm_callback_) {
+    warm_callback_(id_, function, soonest->since, now, WarmEnd::kAcquired);
+  }
+  entries.erase(soonest);
+  if (entries.empty()) warm_.erase(it);
   return true;
 }
 
 void Invoker::add_warm(FunctionId function, TimeMs now, TimeMs keep_alive) {
-  warm_[function].push_back(now + keep_alive);
+  warm_[function].push_back(WarmEntry{now + keep_alive, now});
+}
+
+void Invoker::flush_warm_spans(TimeMs now) const {
+  if (!warm_callback_) return;
+  std::vector<FunctionId> functions;
+  functions.reserve(warm_.size());
+  for (const auto& [fn, _] : warm_) functions.push_back(fn);
+  for (FunctionId fn : functions) {
+    prune_expired(fn, now);  // reports expiries first
+    auto it = warm_.find(fn);
+    if (it == warm_.end()) continue;
+    for (const WarmEntry& e : it->second) {
+      warm_callback_(id_, fn, e.since, now, WarmEnd::kOpen);
+    }
+  }
 }
 
 std::size_t Invoker::total_warm(TimeMs now) const {

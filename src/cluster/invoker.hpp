@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,19 @@ struct NodeCapacity {
 };
 
 inline constexpr TimeMs kKeepAliveMs = 10.0 * 60.0 * 1000.0;  // 10 minutes
+
+/// How a warm container's keep-alive window ended (for tracing).
+enum class WarmEnd : std::uint8_t {
+  kAcquired,  ///< consumed by a dispatch (warm start)
+  kExpired,   ///< keep-alive window ran out unused
+  kOpen,      ///< still parked when the trace was flushed
+};
+
+/// Observer invoked whenever a keep-alive window closes: (invoker, function,
+/// window start, window end, how it ended). Lazily-expired entries are
+/// reported when the expiry is observed, with the exact expiry time.
+using WarmSpanCallback = std::function<void(InvokerId, FunctionId, TimeMs,
+                                            TimeMs, WarmEnd)>;
 
 class Invoker {
  public:
@@ -66,14 +80,29 @@ class Invoker {
   /// Total unexpired warm containers across functions (for reporting).
   [[nodiscard]] std::size_t total_warm(TimeMs now) const;
 
+  /// Installs the keep-alive tracing observer (empty = disabled).
+  void set_warm_span_callback(WarmSpanCallback callback) {
+    warm_callback_ = std::move(callback);
+  }
+
+  /// Reports every still-parked warm container as an open window ending at
+  /// `now` (end-of-run trace flush). The containers stay usable.
+  void flush_warm_spans(TimeMs now) const;
+
  private:
+  struct WarmEntry {
+    TimeMs expiry = 0.0;  ///< when the keep-alive window runs out
+    TimeMs since = 0.0;   ///< when the container was parked
+  };
+
   InvokerId id_;
   NodeCapacity capacity_;
   std::uint16_t used_vcpus_ = 0;
   std::uint16_t used_vgpus_ = 0;
-  // function -> expiry times of idle warm containers (unsorted, tiny lists).
+  // function -> idle warm containers (unsorted, tiny lists).
   // Mutable: const queries prune expired entries lazily.
-  mutable std::unordered_map<FunctionId, std::vector<TimeMs>> warm_;
+  mutable std::unordered_map<FunctionId, std::vector<WarmEntry>> warm_;
+  WarmSpanCallback warm_callback_;
 
   void prune_expired(FunctionId function, TimeMs now) const;
 };

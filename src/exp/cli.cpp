@@ -81,6 +81,10 @@ usage: esg_sim [flags]
   --prewarm    on|off    pre-warming                    (default on)
   --noise-cv   <f>       execution-noise CV             (default 0.06)
   --csv-dir    <path>    write completions/tasks/summary CSVs
+  --trace-out  <path>    write a Chrome/Perfetto trace (trace.json); with
+                         --seeds n>1 each seed gets a _seed<N> suffix
+  --stats-out  <path>    write sampled gauges (occupancy, queue depth) as JSONL
+  --stats-interval-ms <ms>  gauge sampling cadence      (default 100)
   --help
 )";
 }
@@ -135,6 +139,15 @@ CliOptions parse_cli(std::span<const char* const> args) {
       opts.scenario.controller.noise_cv = parse_number(key, value);
     } else if (key == "--csv-dir") {
       opts.csv_dir = std::string(value);
+    } else if (key == "--trace-out") {
+      opts.scenario.trace.trace_path = std::string(value);
+    } else if (key == "--stats-out") {
+      opts.scenario.trace.stats_path = std::string(value);
+    } else if (key == "--stats-interval-ms") {
+      opts.scenario.trace.stats_interval_ms = parse_number(key, value);
+      if (opts.scenario.trace.stats_interval_ms <= 0.0) {
+        throw std::invalid_argument("--stats-interval-ms must be positive");
+      }
     } else {
       throw std::invalid_argument("unknown flag '" + std::string(key) +
                                   "' (see --help)");

@@ -3,10 +3,13 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/sampler.hpp"
+#include "obs/sinks.hpp"
 #include "sim/simulator.hpp"
 
 namespace esg::exp {
@@ -75,6 +78,29 @@ std::unique_ptr<platform::Scheduler> make_scheduler(
 }  // namespace
 
 RunOutput run_scenario(const Scenario& scenario) {
+  if (!scenario.trace.enabled()) return run_scenario(scenario, nullptr);
+
+  obs::TraceRecorder recorder;
+  if (!scenario.trace.trace_path.empty()) {
+    auto file = std::make_unique<std::ofstream>(scenario.trace.trace_path);
+    if (!*file) {
+      throw std::runtime_error("run_scenario: cannot open trace file '" +
+                               scenario.trace.trace_path + "'");
+    }
+    recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(std::move(file)));
+  }
+  if (!scenario.trace.stats_path.empty()) {
+    auto file = std::make_unique<std::ofstream>(scenario.trace.stats_path);
+    if (!*file) {
+      throw std::runtime_error("run_scenario: cannot open stats file '" +
+                               scenario.trace.stats_path + "'");
+    }
+    recorder.add_sink(std::make_unique<obs::JsonlStatsSink>(std::move(file)));
+  }
+  return run_scenario(scenario, &recorder);
+}
+
+RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   const RngFactory rng(scenario.seed);
@@ -86,10 +112,38 @@ RunOutput run_scenario(const Scenario& scenario) {
   cluster::Cluster cluster(scenario.nodes);
   const auto scheduler = make_scheduler(scenario, apps, profiles, rng);
 
+  const bool tracing = recorder != nullptr && recorder->is_enabled();
+  if (tracing) {
+    cluster.set_warm_span_callback([recorder](InvokerId inv, FunctionId fn,
+                                              TimeMs since, TimeMs end,
+                                              cluster::WarmEnd reason) {
+      if (end <= since) return;
+      const char* state = reason == cluster::WarmEnd::kAcquired ? "acquired"
+                          : reason == cluster::WarmEnd::kExpired ? "expired"
+                                                                 : "open";
+      recorder->span(obs::SpanKind::kKeepAlive,
+                     "warm f" + std::to_string(fn.get()),
+                     obs::invoker_track(inv, obs::kWarmPoolLane), since, end,
+                     {{"function", std::to_string(fn.get())},
+                      {"end", state}});
+    });
+  }
+
   platform::ControllerOptions controller_options = scenario.controller;
   controller_options.metrics_warmup_ms = scenario.warmup_ms;
+  controller_options.recorder = recorder;
   platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
                                   *scheduler, rng, controller_options);
+
+  obs::TraceRecorder disabled_recorder;  // sampler needs a reference
+  obs::StatsSampler sampler(sim, cluster,
+                            tracing ? *recorder : disabled_recorder,
+                            scenario.trace.stats_interval_ms);
+  if (tracing) {
+    sampler.set_queue_depth_provider(
+        [&controller] { return controller.total_queued_jobs(); });
+    sampler.start();
+  }
 
   std::vector<AppId> app_ids;
   app_ids.reserve(apps.size());
@@ -98,6 +152,11 @@ RunOutput run_scenario(const Scenario& scenario) {
                                        rng.stream("arrivals"));
   controller.inject(generator.generate_until(scenario.horizon_ms));
   controller.run_to_completion();
+
+  if (tracing) {
+    cluster.flush_warm_spans(sim.now());
+    recorder->flush();
+  }
 
   RunOutput out;
   out.metrics = controller.metrics();
@@ -128,6 +187,7 @@ std::vector<RunOutput> run_replicas(const Scenario& base,
           if (i >= seeds.size()) return;
           Scenario scenario = base;
           scenario.seed = seeds[i];
+          scenario.trace = TraceConfig{};  // replicas would race on the files
           outputs[i] = run_scenario(scenario);
         }
       });

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -22,6 +23,20 @@
 namespace esg::exp {
 
 enum class SchedulerKind { kEsg, kInfless, kFastGshare, kOrion, kAquatope };
+
+/// File-backed tracing knobs (the CLI's --trace-out / --stats-out /
+/// --stats-interval-ms). Empty paths leave tracing off; tests and benches
+/// that want in-memory traces pass their own recorder to run_scenario
+/// instead.
+struct TraceConfig {
+  std::string trace_path;  ///< Chrome-trace-event JSON (Perfetto-loadable)
+  std::string stats_path;  ///< counter time series as JSON Lines
+  TimeMs stats_interval_ms = 100.0;
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || !stats_path.empty();
+  }
+};
 
 [[nodiscard]] std::string_view to_string(SchedulerKind kind);
 
@@ -42,6 +57,7 @@ struct Scenario {
   std::uint64_t seed = 42;
 
   platform::ControllerOptions controller;
+  TraceConfig trace;
   profile::ConfigSpaceOptions config_space;
   core::EsgScheduler::Options esg;
   baselines::InflessScheduler::Options infless;
@@ -67,10 +83,19 @@ struct RunOutput {
 };
 
 /// Builds the platform, injects the generated arrivals, runs to completion.
+/// When scenario.trace names output files, a recorder with the matching
+/// sinks (plus the periodic stats sampler) is wired up for the run.
 [[nodiscard]] RunOutput run_scenario(const Scenario& scenario);
+
+/// Same, but records into the caller's recorder (nullptr = tracing off);
+/// scenario.trace paths are ignored. Used by tests and the bench binaries.
+[[nodiscard]] RunOutput run_scenario(const Scenario& scenario,
+                                     obs::TraceRecorder* recorder);
 
 /// Runs one scenario per seed, in parallel (up to `max_threads` jthreads;
 /// 0 = hardware concurrency). Outputs are ordered like `seeds`.
+/// scenario.trace is ignored here — replicas would race on the output
+/// files; run traced seeds sequentially through run_scenario instead.
 [[nodiscard]] std::vector<RunOutput> run_replicas(const Scenario& base,
                                                   std::span<const std::uint64_t> seeds,
                                                   unsigned max_threads = 0);

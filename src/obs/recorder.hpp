@@ -1,0 +1,77 @@
+// TraceRecorder — the single handle the platform threads through its layers
+// (controller, invokers, prewarm manager, sampler). Call sites guard all
+// event construction behind is_enabled(), so a run without sinks pays one
+// predictable branch per potential event and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
+
+namespace esg::obs {
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Attaching the first sink enables the recorder.
+  void add_sink(std::unique_ptr<TraceSink> sink);
+
+  /// Fast path checked by every instrumentation site.
+  [[nodiscard]] bool is_enabled() const { return enabled_; }
+
+  void span(SpanKind kind, std::string name, Track track, TimeMs start_ms,
+            TimeMs end_ms, ArgList args = {});
+  void instant(InstantKind kind, std::string name, Track track, TimeMs at_ms,
+               ArgList args = {});
+  void counter(std::string name, Track track, TimeMs at_ms, double value);
+
+  void name_process(std::uint32_t pid, std::string name);
+  void name_thread(Track track, std::string name);
+
+  /// Finalises all sinks (closes the trace JSON array, flushes streams).
+  void flush();
+
+  [[nodiscard]] std::size_t spans_recorded() const { return spans_; }
+  [[nodiscard]] std::size_t instants_recorded() const { return instants_; }
+  [[nodiscard]] std::size_t counters_recorded() const { return counters_; }
+
+ private:
+  std::vector<std::unique_ptr<TraceSink>> sinks_;
+  bool enabled_ = false;
+  std::size_t spans_ = 0;
+  std::size_t instants_ = 0;
+  std::size_t counters_ = 0;
+};
+
+/// Assigns tasks to free vGPU-slice lanes so per-slice occupancy renders as
+/// one Perfetto row per slice. Purely cosmetic bookkeeping for the trace —
+/// the invoker's own resource accounting stays authoritative — but it always
+/// succeeds for feasible dispatches because traced tasks never hold more
+/// slices than the node has.
+class LaneAllocator {
+ public:
+  /// Declares `lanes` slice lanes for track-group `group` (an invoker id).
+  void configure(std::uint32_t group, std::uint32_t lanes);
+
+  /// Claims up to `count` free lanes (lowest-numbered first) and returns
+  /// them; may return fewer (even none) when the group is saturated, in
+  /// which case rendering degrades to overlapping lane 0 instead of failing.
+  [[nodiscard]] std::vector<std::uint32_t> acquire(std::uint32_t group,
+                                                   std::uint32_t count);
+  void release(std::uint32_t group, const std::vector<std::uint32_t>& lanes);
+
+  [[nodiscard]] std::size_t busy_lanes(std::uint32_t group) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<bool>> busy_;
+};
+
+}  // namespace esg::obs

@@ -1,0 +1,52 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+
+namespace esg::obs {
+
+StatsSampler::StatsSampler(sim::Simulator& sim,
+                           const cluster::Cluster& cluster,
+                           TraceRecorder& recorder, TimeMs interval_ms)
+    : sim_(sim), cluster_(cluster), recorder_(recorder),
+      interval_ms_(interval_ms) {
+  if (interval_ms_ <= 0.0) {
+    throw std::invalid_argument("StatsSampler: interval must be positive");
+  }
+}
+
+void StatsSampler::start() {
+  if (!recorder_.is_enabled()) return;
+  sim_.schedule_in(0.0, [this] { tick(); });
+}
+
+void StatsSampler::tick() {
+  sample();
+  // Re-arm only while other work is pending: once the platform drains, the
+  // series ends instead of ticking into an empty simulation forever.
+  if (!sim_.empty()) {
+    sim_.schedule_in(interval_ms_, [this] { tick(); });
+  }
+}
+
+void StatsSampler::sample() {
+  const TimeMs now = sim_.now();
+  for (const auto& inv : cluster_.invokers()) {
+    const Track track = invoker_track(inv.id(), 0);
+    recorder_.counter("used_vcpus", track, now, inv.used_vcpus());
+    recorder_.counter("used_vgpus", track, now, inv.used_vgpus());
+    recorder_.counter("warm_containers", track, now,
+                      static_cast<double>(inv.total_warm(now)));
+  }
+  const Track controller = controller_track();
+  recorder_.counter("free_vcpus", controller, now,
+                    static_cast<double>(cluster_.total_free_vcpus()));
+  recorder_.counter("free_vgpus", controller, now,
+                    static_cast<double>(cluster_.total_free_vgpus()));
+  if (queue_depth_) {
+    recorder_.counter("queued_jobs", controller, now,
+                      static_cast<double>(queue_depth_()));
+  }
+  ++samples_;
+}
+
+}  // namespace esg::obs

@@ -1,0 +1,46 @@
+// Periodic gauge sampler: snapshots cluster state (per-invoker vCPU/vGPU
+// occupancy and warm-container counts, cluster-wide free resources) plus an
+// optional caller-supplied queue-depth gauge, on a configurable interval.
+//
+// The sampler self-schedules on the simulator and stops as soon as no other
+// events are pending, so it never keeps a finished run alive.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "obs/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace esg::obs {
+
+class StatsSampler {
+ public:
+  /// All references must outlive the sampler.
+  StatsSampler(sim::Simulator& sim, const cluster::Cluster& cluster,
+               TraceRecorder& recorder, TimeMs interval_ms);
+
+  /// Extra gauge sampled on the controller track (e.g. total queued jobs).
+  void set_queue_depth_provider(std::function<std::size_t()> provider) {
+    queue_depth_ = std::move(provider);
+  }
+
+  /// Schedules the first sample at the current simulated time. No-op when
+  /// the recorder is disabled.
+  void start();
+
+  [[nodiscard]] std::size_t samples_taken() const { return samples_; }
+
+ private:
+  void tick();
+  void sample();
+
+  sim::Simulator& sim_;
+  const cluster::Cluster& cluster_;
+  TraceRecorder& recorder_;
+  TimeMs interval_ms_;
+  std::function<std::size_t()> queue_depth_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace esg::obs

@@ -1,0 +1,35 @@
+// Pluggable trace consumers. The recorder fans every event out to all
+// attached sinks; with no sinks attached it is disabled and the
+// instrumentation call sites skip event construction entirely.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/trace_event.hpp"
+
+namespace esg::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_span(const Span& span) = 0;
+  virtual void on_instant(const Instant& instant) = 0;
+  virtual void on_counter(const CounterSample& sample) = 0;
+
+  /// Track labelling (Perfetto process/thread names). Optional.
+  virtual void on_process_name(std::uint32_t pid, std::string_view name) {
+    (void)pid;
+    (void)name;
+  }
+  virtual void on_thread_name(Track track, std::string_view name) {
+    (void)track;
+    (void)name;
+  }
+
+  /// Finalises any underlying stream (e.g. closes the JSON array).
+  virtual void flush() {}
+};
+
+}  // namespace esg::obs

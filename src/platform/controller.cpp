@@ -30,7 +30,8 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       profiles_(profiles),
       scheduler_(scheduler),
       options_(options),
-      noise_rng_(rng.stream("controller-noise")) {
+      noise_rng_(rng.stream("controller-noise")),
+      rec_(options.recorder) {
   if (apps.empty()) throw std::invalid_argument("Controller: no applications");
 
   // Apps are indexed by AppId value; ids must be dense starting at 0.
@@ -59,8 +60,11 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
     }
   }
 
+  if (rec_ != nullptr && rec_->is_enabled()) announce_trace_tracks();
+
   if (options_.enable_prewarm) {
     prewarm_ = std::make_unique<prewarm::PrewarmManager>(sim_, cluster_, profiles_);
+    prewarm_->set_trace(rec_);
     // The system is assumed to have been serving for a while already: one
     // warm container per AFW function on its home invoker (a single node
     // cannot host a whole application's steady-state load — roughly six of
@@ -72,6 +76,28 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
           .add_warm(queue.function, 0.0, options_.keep_alive_ms);
     }
   }
+}
+
+void Controller::announce_trace_tracks() {
+  rec_->name_process(obs::kControllerPid, "controller");
+  rec_->name_process(obs::kRequestsPid, "requests");
+  rec_->name_thread(obs::controller_track(), "scheduler decisions");
+  for (const auto& inv : cluster_.invokers()) {
+    const std::uint32_t pid = obs::kInvokerPidBase + inv.id().get();
+    rec_->name_process(pid, "invoker " + std::to_string(inv.id().get()));
+    for (std::uint32_t lane = 0; lane < inv.capacity().vgpus; ++lane) {
+      rec_->name_thread({pid, lane}, "gpu slice " + std::to_string(lane));
+    }
+    rec_->name_thread({pid, obs::kProvisionLane}, "provisioning");
+    rec_->name_thread({pid, obs::kWarmPoolLane}, "warm pool");
+    trace_gpu_lanes_.configure(inv.id().get(), inv.capacity().vgpus);
+  }
+}
+
+std::size_t Controller::total_queued_jobs() const {
+  std::size_t total = 0;
+  for (const AfwQueue& queue : queues_) total += queue.jobs.size();
+  return total;
 }
 
 std::uint64_t Controller::queue_key(AppId app, workload::NodeIndex stage) const {
@@ -107,6 +133,12 @@ RequestId Controller::inject_request(AppId app) {
   }
   state.remaining_sinks = dag.sinks().size();
   requests_.emplace(id, std::move(state));
+
+  if (traced_now()) {
+    rec_->name_thread(obs::request_track(id),
+                      "req " + std::to_string(id.get()) + " (app " +
+                          std::to_string(app.get()) + ")");
+  }
 
   scheduler_.on_request(id, app, sim_.now());
   enqueue_job(id, app, dag.entry(), InvokerId{}, sim_.now());
@@ -242,6 +274,14 @@ void Controller::process_queue(std::size_t qi) {
     queue.pending_defer = plan.defer;
     queue.planned_length = queue.jobs.size();
     queue.replan_at_ms = sim_.now() + options_.replan_interval_ms;
+
+    if (queue.pending_defer && traced_now()) {
+      rec_->instant(obs::InstantKind::kDefer, "defer", obs::controller_track(),
+                    sim_.now(),
+                    {{"app", std::to_string(queue.app.get())},
+                     {"stage", std::to_string(queue.stage)},
+                     {"queue_len", std::to_string(queue.jobs.size())}});
+    }
   }
 
   const TimeMs head_wait = sim_.now() - queue.jobs.front().enqueue_ms;
@@ -262,6 +302,16 @@ void Controller::process_queue(std::size_t qi) {
         {queue.jobs.size(), spec.max_batch, std::size_t{8}}));
     candidates.push_back(clamp_for_ablation(min_config));
     ++metrics_.forced_min_dispatches;
+    if (traced_now()) {
+      rec_->instant(
+          obs::InstantKind::kForcedMinDispatch, "forced min dispatch",
+          obs::controller_track(), sim_.now(),
+          {{"app", std::to_string(queue.app.get())},
+           {"stage", std::to_string(queue.stage)},
+           {"queue_len", std::to_string(queue.jobs.size())},
+           {"failed_rounds", std::to_string(queue.placement_failures)},
+           {"head_wait_ms", std::to_string(head_wait)}});
+    }
   } else {
     candidates.reserve(queue.pending_candidates.size());
     for (profile::Config c : queue.pending_candidates) {
@@ -348,6 +398,16 @@ void Controller::process_queue(std::size_t qi) {
                  cluster_.total_free_vcpus(), cluster_.total_free_vgpus(),
                  queue.jobs.size());
   }
+  if (traced_now()) {
+    rec_->instant(obs::InstantKind::kNoPlacement, "no placement",
+                  obs::controller_track(), sim_.now(),
+                  {{"app", std::to_string(queue.app.get())},
+                   {"stage", std::to_string(queue.stage)},
+                   {"candidates", std::to_string(candidates.size())},
+                   {"free_vcpus", std::to_string(cluster_.total_free_vcpus())},
+                   {"free_vgpus", std::to_string(cluster_.total_free_vgpus())},
+                   {"queue_len", std::to_string(queue.jobs.size())}});
+  }
   ++queue.placement_failures;
 }
 
@@ -427,6 +487,62 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
         task.dispatch_ms, task.transfer_ms, task.exec_ms, task.cost});
   }
 
+  if (traced_now()) {
+    const TimeMs start = sim_.now() + overhead_ms;  // work begins post-overhead
+    const TimeMs done = start + task.occupancy_ms();
+    std::string stage_tag = "a";
+    stage_tag += std::to_string(task.app.get());
+    stage_tag += "/s";
+    stage_tag += std::to_string(task.stage);
+
+    for (const Job& job : task.jobs) {
+      const obs::Track req_track = obs::request_track(job.request);
+      rec_->span(obs::SpanKind::kQueueWait, "wait " + stage_tag, req_track,
+                 job.enqueue_ms, sim_.now(),
+                 {{"job", std::to_string(job.id.get())},
+                  {"task", std::to_string(task.id.get())}});
+      rec_->span(obs::SpanKind::kStage, "run " + stage_tag, req_track,
+                 sim_.now(), done,
+                 {{"task", std::to_string(task.id.get())},
+                  {"invoker", std::to_string(invoker_id.get())},
+                  {"batch", std::to_string(config.batch)},
+                  {"overhead_ms", std::to_string(overhead_ms)}});
+    }
+
+    task.trace_lanes = trace_gpu_lanes_.acquire(invoker_id.get(), config.vgpus);
+    const std::uint32_t primary =
+        task.trace_lanes.empty() ? 0u : task.trace_lanes.front();
+    const obs::Track exec_track = obs::invoker_track(invoker_id, primary);
+    if (task.transfer_ms > 0.0) {
+      rec_->span(obs::SpanKind::kStaging, "staging " + stage_tag, exec_track,
+                 start, start + task.transfer_ms,
+                 {{"task", std::to_string(task.id.get())}});
+    }
+    rec_->span(obs::SpanKind::kExec, "exec " + stage_tag, exec_track,
+               start + task.transfer_ms, done,
+               {{"task", std::to_string(task.id.get())},
+                {"function", std::to_string(task.function.get())},
+                {"batch", std::to_string(config.batch)},
+                {"vcpus", std::to_string(config.vcpus)},
+                {"vgpus", std::to_string(config.vgpus)},
+                {"cost_usd", std::to_string(task.cost)}});
+    for (std::size_t i = 1; i < task.trace_lanes.size(); ++i) {
+      rec_->span(obs::SpanKind::kSliceOccupied, "slice " + stage_tag,
+                 obs::invoker_track(invoker_id, task.trace_lanes[i]), start,
+                 done, {{"task", std::to_string(task.id.get())}});
+    }
+
+    rec_->instant(obs::InstantKind::kDispatch, "dispatch " + stage_tag,
+                  obs::controller_track(), sim_.now(),
+                  {{"app", std::to_string(task.app.get())},
+                   {"stage", std::to_string(task.stage)},
+                   {"batch", std::to_string(config.batch)},
+                   {"vcpus", std::to_string(config.vcpus)},
+                   {"vgpus", std::to_string(config.vgpus)},
+                   {"invoker", std::to_string(invoker_id.get())},
+                   {"overhead_ms", std::to_string(overhead_ms)}});
+  }
+
   if (prewarm_) {
     prewarm_->on_invocation(task.app, task.function, invoker_id, sim_.now(),
                             task.occupancy_ms());
@@ -455,6 +571,14 @@ void Controller::provision_container(InvokerId invoker, FunctionId function) {
   if (!provisioning_.insert(key).second) return;  // already underway
   if (sim_.now() >= options_.metrics_warmup_ms) ++metrics_.cold_starts;
   const TimeMs cold = profiles_.table(function).spec().cold_start_ms;
+  if (traced_now()) {
+    rec_->span(obs::SpanKind::kColdStart,
+               "cold start f" + std::to_string(function.get()),
+               obs::invoker_track(invoker, obs::kProvisionLane), sim_.now(),
+               sim_.now() + cold,
+               {{"function", std::to_string(function.get())},
+                {"cold_ms", std::to_string(cold)}});
+  }
   sim_.schedule_in(cold, [this, key, invoker, function] {
     provisioning_.erase(key);
     cluster_.invoker(invoker).add_warm(function, sim_.now(),
@@ -475,6 +599,9 @@ bool Controller::function_active_anywhere(FunctionId function) const {
 void Controller::complete_task(const Task& task) {
   auto& invoker = cluster_.invoker(task.invoker);
   invoker.release(task.config.vcpus, task.config.vgpus);
+  if (!task.trace_lanes.empty()) {
+    trace_gpu_lanes_.release(task.invoker.get(), task.trace_lanes);
+  }
   invoker.add_warm(task.function, sim_.now(), options_.keep_alive_ms);
   auto it = active_by_function_.find(task.function);
   check(it != active_by_function_.end() && it->second > 0,
@@ -538,6 +665,16 @@ void Controller::finish_request(RequestId request, TimeMs completion_ms) {
   record.slo_ms = req.slo_ms;
   record.hit = record.latency_ms <= req.slo_ms;
   metrics_.completions.push_back(record);
+
+  if (rec_ != nullptr && rec_->is_enabled()) {
+    rec_->span(obs::SpanKind::kRequest,
+               "request " + std::to_string(request.get()),
+               obs::request_track(request), req.arrival_ms, completion_ms,
+               {{"app", std::to_string(req.app.get())},
+                {"latency_ms", std::to_string(record.latency_ms)},
+                {"slo_ms", std::to_string(req.slo_ms)},
+                {"hit", record.hit ? "true" : "false"}});
+  }
 
   requests_.erase(it);
 }

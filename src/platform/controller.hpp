@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "metrics/run_metrics.hpp"
+#include "obs/recorder.hpp"
 #include "platform/job.hpp"
 #include "platform/scheduler.hpp"
 #include "prewarm/prewarm_manager.hpp"
@@ -64,6 +65,11 @@ struct ControllerOptions {
   /// is about to become idle is how keep-alive platforms melt down; real
   /// controllers queue on the warm fleet instead.
   double cold_patience_factor = 0.15;
+  /// Structured-tracing handle (non-owning; nullptr or a recorder with no
+  /// sinks disables all instrumentation at a single-branch cost). Spans and
+  /// instants follow the metrics warm-up window so trace counts line up
+  /// with the exported CSVs.
+  obs::TraceRecorder* recorder = nullptr;
 };
 
 class Controller {
@@ -91,6 +97,8 @@ class Controller {
   [[nodiscard]] const workload::AppDag& dag_of(AppId app) const;
   [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
   [[nodiscard]] std::size_t inflight_requests() const { return requests_.size(); }
+  /// Jobs currently waiting across all AFW queues (stats-sampler gauge).
+  [[nodiscard]] std::size_t total_queued_jobs() const;
 
  private:
   struct AfwQueue {
@@ -141,10 +149,20 @@ class Controller {
   RngStream noise_rng_;
   metrics::RunMetrics metrics_;
   std::unique_ptr<prewarm::PrewarmManager> prewarm_;
+  obs::TraceRecorder* rec_ = nullptr;     ///< = options_.recorder
+  obs::LaneAllocator trace_gpu_lanes_;    ///< vGPU-slice rows for the trace
   /// Running tasks per function (any app) — drives the cold-start patience.
   std::unordered_map<FunctionId, std::size_t> active_by_function_;
   /// (invoker, function) pairs with a container currently being provisioned.
   std::set<std::uint64_t> provisioning_;
+
+  /// Tracing is live and the current time is inside the measured window.
+  [[nodiscard]] bool traced_now() const {
+    return rec_ != nullptr && rec_->is_enabled() &&
+           sim_.now() >= options_.metrics_warmup_ms;
+  }
+  /// Names the controller/request/invoker tracks once at construction.
+  void announce_trace_tracks();
 
   [[nodiscard]] bool function_active_anywhere(FunctionId function) const;
   /// Starts provisioning a container (container create + model load) on

@@ -39,6 +39,9 @@ struct Task {
   TimeMs exec_ms = 0.0;      ///< noisy execution latency
   bool warm_start = false;
   Usd cost = 0.0;
+  /// vGPU-slice rows this task occupies in the trace (empty when tracing is
+  /// off); released when the task completes.
+  std::vector<std::uint32_t> trace_lanes;
 
   /// Full node-occupancy duration.
   [[nodiscard]] TimeMs occupancy_ms() const {

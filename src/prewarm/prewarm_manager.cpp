@@ -70,10 +70,30 @@ void PrewarmManager::on_invocation(AppId app, FunctionId function,
           --stream_it->second.outstanding;
         }
         ++prewarms_skipped_;  // keep-alive containers already cover demand
+        if (rec_ != nullptr && rec_->is_enabled()) {
+          rec_->instant(obs::InstantKind::kPrewarmSkipped, "prewarm skipped",
+                        obs::controller_track(), sim_.now(),
+                        {{"function", std::to_string(function.get())},
+                         {"warm", std::to_string(warm_now)},
+                         {"target", std::to_string(target_now)}});
+        }
         return;
       }
       const TimeMs ready_cold = profiles_.table(function).spec().cold_start_ms;
       ++prewarms_issued_;
+      if (rec_ != nullptr && rec_->is_enabled()) {
+        rec_->instant(obs::InstantKind::kPrewarmIssued, "prewarm issued",
+                      obs::controller_track(), sim_.now(),
+                      {{"function", std::to_string(function.get())},
+                       {"invoker", std::to_string(invoker.get())},
+                       {"warm", std::to_string(warm_now)},
+                       {"target", std::to_string(target_now)}});
+        rec_->span(obs::SpanKind::kPrewarm,
+                   "prewarm f" + std::to_string(function.get()),
+                   obs::invoker_track(invoker, obs::kProvisionLane), sim_.now(),
+                   sim_.now() + ready_cold,
+                   {{"function", std::to_string(function.get())}});
+      }
       // The container becomes warm once the model-load time has elapsed.
       sim_.schedule_in(ready_cold, [this, k, function, invoker] {
         cluster_.invoker(invoker).add_warm(function, sim_.now());

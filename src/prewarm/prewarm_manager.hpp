@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "common/ewma.hpp"
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "profile/profile_table.hpp"
 #include "sim/simulator.hpp"
 
@@ -40,6 +41,9 @@ class PrewarmManager {
   [[nodiscard]] std::size_t prewarms_issued() const { return prewarms_issued_; }
   [[nodiscard]] std::size_t prewarms_skipped() const { return prewarms_skipped_; }
 
+  /// Structured-tracing handle (non-owning; nullptr disables).
+  void set_trace(obs::TraceRecorder* recorder) { rec_ = recorder; }
+
  private:
   struct Stream {
     Ewma interval;
@@ -56,6 +60,7 @@ class PrewarmManager {
   std::unordered_map<std::uint64_t, Stream> streams_;
   std::size_t prewarms_issued_ = 0;
   std::size_t prewarms_skipped_ = 0;
+  obs::TraceRecorder* rec_ = nullptr;
 
   /// Warm containers this stream wants available simultaneously.
   [[nodiscard]] static std::size_t target_pool(const Stream& stream);

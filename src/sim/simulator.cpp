@@ -17,11 +17,15 @@ EventHandle Simulator::schedule_at(TimeMs when, Action action) {
   if (!action) throw std::invalid_argument("Simulator: empty action");
   const std::uint64_t seq = next_seq_++;
   heap_.push(Entry{when, seq, std::move(action)});
+  live_.insert(seq);
   return EventHandle(seq);
 }
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
+  // A handle whose event already fired (or was never scheduled here) has no
+  // heap entry; recording it would make pending() undercount forever.
+  if (live_.find(handle.seq_) == live_.end()) return;
   if (is_cancelled(handle.seq_)) return;
   cancelled_seqs_.push_back(handle.seq_);
   ++cancelled_;
@@ -52,6 +56,7 @@ bool Simulator::step() {
     const std::uint64_t seq = top.seq;
     Action action = std::move(top.action);
     heap_.pop();
+    live_.erase(seq);
     if (is_cancelled(seq)) {
       forget_cancelled(seq);
       continue;
@@ -76,6 +81,7 @@ std::size_t Simulator::run_until(TimeMs deadline) {
     // Peek: drop cancelled entries so the time check sees a live event.
     while (!heap_.empty() && is_cancelled(heap_.top().seq)) {
       forget_cancelled(heap_.top().seq);
+      live_.erase(heap_.top().seq);
       heap_.pop();
     }
     if (heap_.empty() || heap_.top().when > deadline) break;

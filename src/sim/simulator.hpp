@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -70,8 +71,11 @@ class Simulator {
   };
 
   // Min-heap over (when, seq). Cancellation is lazy: the handle's seq is
-  // recorded and the entry dropped when it reaches the top.
+  // recorded and the entry dropped when it reaches the top. `live_` holds the
+  // seqs still in the heap so cancelling a fired (or already-cancelled) handle
+  // is a true no-op and cannot skew the pending() count.
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> live_;
   std::vector<std::uint64_t> cancelled_seqs_;
   std::size_t cancelled_ = 0;
   TimeMs now_ = 0.0;

@@ -86,5 +86,24 @@ TEST(Cli, CsvDirCaptured) {
   EXPECT_EQ(parse({"--csv-dir", "/tmp/out"}).csv_dir, "/tmp/out");
 }
 
+TEST(Cli, ParsesTracingFlags) {
+  const CliOptions opts =
+      parse({"--trace-out", "t.json", "--stats-out", "s.jsonl",
+             "--stats-interval-ms", "50"});
+  EXPECT_EQ(opts.scenario.trace.trace_path, "t.json");
+  EXPECT_EQ(opts.scenario.trace.stats_path, "s.jsonl");
+  EXPECT_DOUBLE_EQ(opts.scenario.trace.stats_interval_ms, 50.0);
+  EXPECT_TRUE(opts.scenario.trace.enabled());
+}
+
+TEST(Cli, TracingOffByDefault) {
+  EXPECT_FALSE(parse({}).scenario.trace.enabled());
+}
+
+TEST(Cli, RejectsBadStatsInterval) {
+  EXPECT_THROW(parse({"--stats-interval-ms", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stats-interval-ms", "-5"}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace esg::exp

@@ -1,0 +1,140 @@
+// Minimal recursive-descent JSON validator for the sink tests. Accepts
+// exactly the RFC 8259 grammar (with a permissive number scanner); rejects
+// trailing garbage. Validation only — nothing is materialised.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace esg::test_json {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool consume(char c) {
+    if (!eof() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    consume('-');
+    while (!eof()) {
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return pos_ > start && pos_ > start + (text_[start] == '-' ? 1u : 0u);
+  }
+};
+
+[[nodiscard]] inline bool is_valid_json(std::string_view text) {
+  return Validator(text).valid();
+}
+
+}  // namespace esg::test_json

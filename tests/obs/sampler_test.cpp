@@ -1,0 +1,120 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "obs/sinks.hpp"
+#include "sim/simulator.hpp"
+
+namespace esg::obs {
+namespace {
+
+struct SamplerFixture {
+  sim::Simulator sim;
+  cluster::Cluster cluster{2};
+  TraceRecorder recorder;
+  MemorySink* mem = nullptr;
+
+  void enable() {
+    auto sink = std::make_unique<MemorySink>();
+    mem = sink.get();
+    recorder.add_sink(std::move(sink));
+  }
+};
+
+TEST(StatsSampler, RejectsNonPositiveInterval) {
+  SamplerFixture f;
+  EXPECT_THROW(StatsSampler(f.sim, f.cluster, f.recorder, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(StatsSampler(f.sim, f.cluster, f.recorder, -5.0),
+               std::invalid_argument);
+}
+
+TEST(StatsSampler, DisabledRecorderNeverSchedules) {
+  SamplerFixture f;
+  StatsSampler sampler(f.sim, f.cluster, f.recorder, 10.0);
+  sampler.start();
+  EXPECT_TRUE(f.sim.empty());
+  EXPECT_EQ(f.sim.run(), 0u);
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+}
+
+TEST(StatsSampler, TicksOnIntervalUntilDrain) {
+  SamplerFixture f;
+  f.enable();
+  StatsSampler sampler(f.sim, f.cluster, f.recorder, 10.0);
+  // A lone platform event at t=35 keeps the run alive through four re-arms;
+  // the tick at t=40 then finds the queue drained and stops the series.
+  f.sim.schedule_in(35.0, [] {});
+  sampler.start();
+  f.sim.run();
+  EXPECT_EQ(sampler.samples_taken(), 5u);  // t = 0, 10, 20, 30, 40
+  EXPECT_EQ(f.sim.now(), 40.0);
+  EXPECT_TRUE(f.sim.empty());
+}
+
+TEST(StatsSampler, StopsImmediatelyWhenNothingElsePending) {
+  SamplerFixture f;
+  f.enable();
+  StatsSampler sampler(f.sim, f.cluster, f.recorder, 10.0);
+  sampler.start();
+  f.sim.run();
+  EXPECT_EQ(sampler.samples_taken(), 1u);
+}
+
+TEST(StatsSampler, GaugesReflectClusterState) {
+  SamplerFixture f;
+  f.enable();
+  auto& inv0 = f.cluster.invoker(InvokerId{0});
+  inv0.allocate(4, 2);
+  inv0.add_warm(FunctionId{1}, 0.0);
+  StatsSampler sampler(f.sim, f.cluster, f.recorder, 10.0);
+  sampler.start();
+  f.sim.run();
+
+  // 2 invokers x 3 gauges + 2 cluster-wide gauges (no queue provider set).
+  ASSERT_EQ(f.mem->counters().size(), 8u);
+  double used_vcpus0 = -1.0;
+  double warm0 = -1.0;
+  double free_vgpus = -1.0;
+  bool saw_queue = false;
+  for (const auto& c : f.mem->counters()) {
+    if (c.name == "used_vcpus" && c.track.pid == kInvokerPidBase) {
+      used_vcpus0 = c.value;
+    }
+    if (c.name == "warm_containers" && c.track.pid == kInvokerPidBase) {
+      warm0 = c.value;
+    }
+    if (c.name == "free_vgpus") free_vgpus = c.value;
+    if (c.name == "queued_jobs") saw_queue = true;
+  }
+  EXPECT_DOUBLE_EQ(used_vcpus0, 4.0);
+  EXPECT_DOUBLE_EQ(warm0, 1.0);
+  // Two nodes at 7 slices each, 2 in use on node 0.
+  EXPECT_DOUBLE_EQ(free_vgpus, 12.0);
+  EXPECT_FALSE(saw_queue);
+}
+
+TEST(StatsSampler, QueueDepthProviderAddsGauge) {
+  SamplerFixture f;
+  f.enable();
+  StatsSampler sampler(f.sim, f.cluster, f.recorder, 10.0);
+  sampler.set_queue_depth_provider([] { return std::size_t{42}; });
+  sampler.start();
+  f.sim.run();
+  bool found = false;
+  for (const auto& c : f.mem->counters()) {
+    if (c.name == "queued_jobs") {
+      found = true;
+      EXPECT_DOUBLE_EQ(c.value, 42.0);
+      EXPECT_EQ(c.track.pid, kControllerPid);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace esg::obs

@@ -1,0 +1,139 @@
+#include "obs/sinks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "mini_json.hpp"
+
+namespace esg::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("req 7 (app 3)"), "req 7 (app 3)");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(ChromeTraceSink, EmptyTraceIsValidJsonArray) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.flush();
+  }
+  EXPECT_TRUE(test_json::is_valid_json(out.str()));
+}
+
+TEST(ChromeTraceSink, EmitsValidJsonWithExpectedEvents) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.on_process_name(kControllerPid, "controller");
+    sink.on_thread_name(invoker_track(InvokerId{0}, 0), "gpu slice 0");
+    sink.on_span({SpanKind::kExec, "f1/b4", invoker_track(InvokerId{0}, 0),
+                  1.5, 4.0, {{"batch", "4"}}});
+    sink.on_instant({InstantKind::kDispatch, "dispatch", controller_track(),
+                     1.5, {{"app", "2"}}});
+    sink.on_counter({"free_vgpus", controller_track(), 2.0, 5.0});
+    sink.flush();
+  }
+  const std::string trace = out.str();
+  EXPECT_TRUE(test_json::is_valid_json(trace)) << trace;
+  // One of each phase, with ms converted to µs at fixed precision.
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"X\""), 1u);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"C\""), 1u);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"M\""), 2u);
+  EXPECT_NE(trace.find("\"ts\":1500.000"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":2500.000"), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"exec\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"batch\":\"4\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":100"), std::string::npos);
+}
+
+TEST(ChromeTraceSink, EscapesNamesInOutput) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.on_span({SpanKind::kExec, "quo\"te\nline", controller_track(), 0.0,
+                  1.0, {}});
+    sink.flush();
+  }
+  EXPECT_TRUE(test_json::is_valid_json(out.str())) << out.str();
+}
+
+TEST(ChromeTraceSink, FlushIsIdempotentAndDestructorSafe) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.on_counter({"x", controller_track(), 0.0, 1.0});
+    sink.flush();
+    sink.flush();           // second explicit flush must not re-close
+    // destructor runs here — must not append another "]"
+  }
+  const std::string trace = out.str();
+  EXPECT_EQ(count_occurrences(trace, "]"), 1u);
+  EXPECT_TRUE(test_json::is_valid_json(trace));
+}
+
+TEST(ChromeTraceSink, EventsAfterFlushAreDropped) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.flush();
+    sink.on_counter({"late", controller_track(), 0.0, 1.0});
+  }
+  EXPECT_EQ(out.str().find("late"), std::string::npos);
+  EXPECT_TRUE(test_json::is_valid_json(out.str()));
+}
+
+TEST(ChromeTraceSink, OwnsStreamWhenGivenOwnership) {
+  auto stream = std::make_unique<std::ostringstream>();
+  std::ostringstream* raw = stream.get();
+  ChromeTraceSink sink(std::unique_ptr<std::ostream>(std::move(stream)));
+  sink.on_counter({"x", controller_track(), 0.0, 1.0});
+  sink.flush();
+  EXPECT_TRUE(test_json::is_valid_json(raw->str()));
+}
+
+TEST(JsonlStatsSink, EachLineIsValidJson) {
+  std::ostringstream out;
+  JsonlStatsSink sink(out);
+  sink.on_counter({"used_vgpus", invoker_track(InvokerId{1}, 0), 10.0, 3.0});
+  sink.on_counter({"queued_jobs", controller_track(), 20.0, 0.0});
+  // Spans and instants are not part of the stats stream.
+  sink.on_span({SpanKind::kExec, "e", controller_track(), 0.0, 1.0, {}});
+  sink.on_instant({InstantKind::kDefer, "d", controller_track(), 0.0, {}});
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2u);
+  EXPECT_NE(out.str().find("\"ts_ms\":10.000"), std::string::npos);
+  EXPECT_NE(out.str().find("\"name\":\"used_vgpus\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"value\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esg::obs

@@ -1,0 +1,113 @@
+// End-to-end checks of the traced platform: span counts line up with the
+// exported metrics, tracing never perturbs the simulation, and identical
+// (scenario, seed) runs produce byte-identical artefacts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "metrics/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
+#include "mini_json.hpp"
+
+namespace esg {
+namespace {
+
+exp::Scenario small_scenario() {
+  exp::Scenario scenario;
+  scenario.nodes = 4;
+  scenario.horizon_ms = 2'000.0;
+  scenario.seed = 7;
+  return scenario;
+}
+
+std::string completions_csv(const exp::RunOutput& output) {
+  std::ostringstream out;
+  metrics::write_completions_csv(output.metrics, out);
+  return out.str();
+}
+
+TEST(TraceIntegration, SpanCountsMatchMetrics) {
+  obs::TraceRecorder recorder;
+  auto sink = std::make_unique<obs::MemorySink>();
+  obs::MemorySink* mem = sink.get();
+  recorder.add_sink(std::move(sink));
+
+  const exp::RunOutput output = exp::run_scenario(small_scenario(), &recorder);
+
+  ASSERT_GT(output.metrics.requests(), 0u);
+  // Exactly one exec span per dispatched task, one request span per
+  // completed request — the acceptance contract of the trace exporter.
+  EXPECT_EQ(mem->count(obs::SpanKind::kExec),
+            output.metrics.task_trace.size());
+  EXPECT_EQ(mem->count(obs::SpanKind::kRequest),
+            output.metrics.completions.size());
+  EXPECT_EQ(mem->count(obs::InstantKind::kDispatch),
+            mem->count(obs::SpanKind::kExec));
+  // Stage/queue-wait spans are per *job*; batched jobs share one task, so
+  // there are at least as many of them as exec spans and the two agree.
+  EXPECT_EQ(mem->count(obs::SpanKind::kStage),
+            mem->count(obs::SpanKind::kQueueWait));
+  EXPECT_GE(mem->count(obs::SpanKind::kStage),
+            mem->count(obs::SpanKind::kExec));
+  EXPECT_GT(mem->count(obs::SpanKind::kColdStart), 0u);
+  EXPECT_GT(recorder.counters_recorded(), 0u);  // sampler ran
+}
+
+TEST(TraceIntegration, SpansAreWellFormed) {
+  obs::TraceRecorder recorder;
+  auto sink = std::make_unique<obs::MemorySink>();
+  obs::MemorySink* mem = sink.get();
+  recorder.add_sink(std::move(sink));
+  (void)exp::run_scenario(small_scenario(), &recorder);
+  for (const auto& span : mem->spans()) {
+    EXPECT_GE(span.end_ms, span.start_ms) << span.name;
+    EXPECT_GE(span.start_ms, 0.0) << span.name;
+  }
+}
+
+TEST(TraceIntegration, TracingDoesNotPerturbTheRun) {
+  const exp::Scenario scenario = small_scenario();
+  const exp::RunOutput bare = exp::run_scenario(scenario, nullptr);
+
+  obs::TraceRecorder recorder;
+  recorder.add_sink(std::make_unique<obs::MemorySink>());
+  const exp::RunOutput traced = exp::run_scenario(scenario, &recorder);
+
+  EXPECT_EQ(completions_csv(bare), completions_csv(traced));
+  EXPECT_EQ(bare.metrics.cold_starts, traced.metrics.cold_starts);
+  EXPECT_DOUBLE_EQ(bare.metrics.total_cost, traced.metrics.total_cost);
+}
+
+TEST(TraceIntegration, RepeatedRunsAreByteIdentical) {
+  // The determinism regression: same scenario + seed, twice, must yield
+  // byte-identical trace JSON and completions CSV.
+  const exp::Scenario scenario = small_scenario();
+
+  auto run_once = [&](std::string& trace_out, std::string& csv_out) {
+    std::ostringstream trace_stream;
+    obs::TraceRecorder recorder;
+    recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(trace_stream));
+    const exp::RunOutput output = exp::run_scenario(scenario, &recorder);
+    trace_out = trace_stream.str();
+    csv_out = completions_csv(output);
+  };
+
+  std::string trace_a;
+  std::string csv_a;
+  std::string trace_b;
+  std::string csv_b;
+  run_once(trace_a, csv_a);
+  run_once(trace_b, csv_b);
+
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_TRUE(test_json::is_valid_json(trace_a));
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(csv_a, csv_b);
+}
+
+}  // namespace
+}  // namespace esg

@@ -151,6 +151,83 @@ TEST(Simulator, PendingCountsLiveEvents) {
   EXPECT_EQ(sim.pending(), 1u);
 }
 
+TEST(Simulator, CancelAfterFiringKeepsPendingConsistent) {
+  // Regression: cancelling a fired handle used to record a cancellation with
+  // no heap entry, so pending() undercounted (and underflowed on empty).
+  Simulator sim;
+  const EventHandle h = sim.schedule_in(1.0, [] {});
+  sim.run();
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  bool fired = false;
+  sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, DoubleCancelKeepsPendingConsistent) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  sim.cancel(h);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, SameTimestampTieBreakSurvivesCancellations) {
+  // Five events at the same instant; cancelling the 2nd and 4th must leave
+  // the rest firing in insertion order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 1; i <= 5; ++i) {
+    handles.push_back(sim.schedule_in(3.0, [&order, i] { order.push_back(i); }));
+  }
+  sim.cancel(handles[1]);
+  sim.cancel(handles[3]);
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(Simulator, HandlerCancelsLaterSameTimestampEvent) {
+  // A handler firing at time t cancels a sibling also scheduled at t: the
+  // sibling must not fire, and insertion order holds for the survivors.
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle second;
+  sim.schedule_in(3.0, [&] {
+    order.push_back(1);
+    sim.cancel(second);
+  });
+  second = sim.schedule_in(3.0, [&] { order.push_back(2); });
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, HandlerCancelsEarlierFiredSibling) {
+  // Cancelling a same-timestamp sibling that already fired is a no-op and
+  // must not disturb pending() for the remaining events.
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle first = sim.schedule_in(3.0, [&] { order.push_back(1); });
+  sim.schedule_in(3.0, [&] {
+    order.push_back(2);
+    sim.cancel(first);  // already fired this timestamp
+  });
+  sim.schedule_in(4.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, ZeroDelaySelfScheduleTerminates) {
   // A handler scheduling at now() must not starve later events forever when
   // it stops rescheduling.

@@ -33,7 +33,40 @@ int main(int argc, char** argv) {
               opts.scenario.horizon_ms, opts.scenario.warmup_ms,
               opts.scenario.nodes, opts.seeds.size());
 
-  const auto outputs = exp::run_replicas(opts.scenario, opts.seeds);
+  // With tracing the seeds run sequentially, each into its own file; the
+  // untraced path keeps the parallel replica runner.
+  std::vector<exp::RunOutput> outputs;
+  try {
+  if (opts.scenario.trace.enabled()) {
+    const auto per_seed = [&](const std::string& path, std::uint64_t seed) {
+      if (path.empty() || opts.seeds.size() == 1) return path;
+      const auto dot = path.rfind('.');
+      const std::string suffix = "_seed" + std::to_string(seed);
+      if (dot == std::string::npos || dot == 0) return path + suffix;
+      return path.substr(0, dot) + suffix + path.substr(dot);
+    };
+    for (const std::uint64_t seed : opts.seeds) {
+      exp::Scenario scenario = opts.scenario;
+      scenario.seed = seed;
+      scenario.trace.trace_path = per_seed(scenario.trace.trace_path, seed);
+      scenario.trace.stats_path = per_seed(scenario.trace.stats_path, seed);
+      outputs.push_back(exp::run_scenario(scenario));
+      if (!scenario.trace.trace_path.empty()) {
+        std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                    scenario.trace.trace_path.c_str());
+      }
+      if (!scenario.trace.stats_path.empty()) {
+        std::printf("stats written to %s\n", scenario.trace.stats_path.c_str());
+      }
+    }
+    std::printf("\n");
+  } else {
+    outputs = exp::run_replicas(opts.scenario, opts.seeds);
+  }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esg_sim: %s\n", e.what());
+    return 1;
+  }
   const auto agg = exp::aggregate(outputs);
 
   AsciiTable table({"seed", "requests", "SLO hit rate", "cost ($)",
