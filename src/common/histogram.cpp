@@ -34,6 +34,39 @@ double Histogram::fraction_at(std::size_t bin) const {
   return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
 }
 
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample the quantile falls on, in [0, total - 1] like the
+  // sorted-vector percentile(); then interpolate uniformly inside the bin
+  // that holds that rank.
+  const double rank = q * static_cast<double>(total_ - 1);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto in_bin = static_cast<double>(counts_[i]);
+    if (in_bin == 0.0) continue;
+    if (rank < seen + in_bin) {
+      // Position the rank among this bin's samples, treating them as evenly
+      // spread over the bin; one sample sits at the bin midpoint.
+      const double within = (rank - seen + 0.5) / in_bin;
+      return bin_lo(i) + within * (bin_hi(i) - bin_lo(i));
+    }
+    seen += in_bin;
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible shape");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 std::string Histogram::render(std::size_t bar_width) const {
   const std::size_t peak = counts_.empty()
                                ? 0

@@ -24,6 +24,16 @@ class Histogram {
   /// Fraction of samples in the bin; 0 if the histogram is empty.
   [[nodiscard]] double fraction_at(std::size_t bin) const;
 
+  /// Approximate quantile (q in [0, 1]) by linear interpolation inside the
+  /// bin where the cumulative count crosses q * total. An empty histogram
+  /// returns lo; a single sample returns the midpoint of its bin. q is
+  /// clamped into [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Adds another histogram's counts bin-by-bin. Both histograms must share
+  /// the same range and bin count; throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
   /// Multi-line bar rendering: one row per bin with counts and a bar.
   [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
 

@@ -99,6 +99,7 @@ platform::PlanResult EsgScheduler::plan(const platform::QueueView& view) {
   std::size_t nodes = unconstrained.stats.nodes_expanded;
 
   platform::PlanResult plan;
+  plan.planned_budget_ms = g_slo;
   const auto& want = unconstrained.config_pq.front();
   const std::uint16_t desired_batch = want.entries.front().config.batch;
 
@@ -183,6 +184,17 @@ platform::PlanResult EsgScheduler::plan(const platform::QueueView& view) {
   stats_.pruned_time += result.stats.pruned_time;
   stats_.pruned_cost += result.stats.pruned_cost;
   return plan;
+}
+
+std::vector<double> EsgScheduler::planned_stage_fractions(AppId app) const {
+  const SloDistribution& dist = distribution(app);
+  const auto dag_it = dags_.find(app);
+  check(dag_it != dags_.end(), "planned_stage_fractions: unknown app");
+  std::vector<double> fractions(dag_it->second->size(), 0.0);
+  for (workload::NodeIndex node = 0; node < fractions.size(); ++node) {
+    fractions[node] = dist.node_fraction(node);
+  }
+  return fractions;
 }
 
 std::optional<InvokerId> EsgScheduler::place(const platform::PlacementContext& ctx,

@@ -56,6 +56,11 @@ class EsgScheduler : public platform::Scheduler {
   std::optional<InvokerId> place(const platform::PlacementContext& ctx,
                                  const cluster::Cluster& cluster) override;
 
+  /// Dominator-based per-node SLO shares (Section 3.3), consumed by the
+  /// controller's kBudgetPlan trace instants.
+  [[nodiscard]] std::vector<double> planned_stage_fractions(
+      AppId app) const override;
+
   [[nodiscard]] const SloDistribution& distribution(AppId app) const;
   [[nodiscard]] const Options& options() const { return options_; }
 

@@ -85,6 +85,9 @@ usage: esg_sim [flags]
                          --seeds n>1 each seed gets a _seed<N> suffix
   --stats-out  <path>    write sampled gauges (occupancy, queue depth) as JSONL
   --stats-interval-ms <ms>  gauge sampling cadence      (default 100)
+  --report-out <path>    write the SLO-attribution report (critical-path
+                         latency decomposition + per-app miss causes) as JSON;
+                         esg_report produces the same file from a saved trace
   --help
 )";
 }
@@ -143,6 +146,8 @@ CliOptions parse_cli(std::span<const char* const> args) {
       opts.scenario.trace.trace_path = std::string(value);
     } else if (key == "--stats-out") {
       opts.scenario.trace.stats_path = std::string(value);
+    } else if (key == "--report-out") {
+      opts.scenario.trace.report_path = std::string(value);
     } else if (key == "--stats-interval-ms") {
       opts.scenario.trace.stats_interval_ms = parse_number(key, value);
       if (opts.scenario.trace.stats_interval_ms <= 0.0) {

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/dataset.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sinks.hpp"
 #include "sim/simulator.hpp"
@@ -97,7 +99,24 @@ RunOutput run_scenario(const Scenario& scenario) {
     }
     recorder.add_sink(std::make_unique<obs::JsonlStatsSink>(std::move(file)));
   }
-  return run_scenario(scenario, &recorder);
+  obs::analysis::AnalysisSink* analysis = nullptr;
+  if (!scenario.trace.report_path.empty()) {
+    auto sink = std::make_unique<obs::analysis::AnalysisSink>();
+    analysis = sink.get();
+    recorder.add_sink(std::move(sink));
+  }
+  RunOutput out = run_scenario(scenario, &recorder);
+  if (analysis != nullptr) {
+    std::ofstream file(scenario.trace.report_path);
+    if (!file) {
+      throw std::runtime_error("run_scenario: cannot open report file '" +
+                               scenario.trace.report_path + "'");
+    }
+    const obs::analysis::AttributionReport report =
+        obs::analysis::build_report(analysis->dataset());
+    obs::analysis::write_report_json(report, file);
+  }
+  return out;
 }
 
 RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {

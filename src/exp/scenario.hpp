@@ -29,12 +29,13 @@ enum class SchedulerKind { kEsg, kInfless, kFastGshare, kOrion, kAquatope };
 /// that want in-memory traces pass their own recorder to run_scenario
 /// instead.
 struct TraceConfig {
-  std::string trace_path;  ///< Chrome-trace-event JSON (Perfetto-loadable)
-  std::string stats_path;  ///< counter time series as JSON Lines
+  std::string trace_path;   ///< Chrome-trace-event JSON (Perfetto-loadable)
+  std::string stats_path;   ///< counter time series as JSON Lines
+  std::string report_path;  ///< SLO-attribution report JSON (--report-out)
   TimeMs stats_interval_ms = 100.0;
 
   [[nodiscard]] bool enabled() const {
-    return !trace_path.empty() || !stats_path.empty();
+    return !trace_path.empty() || !stats_path.empty() || !report_path.empty();
   }
 };
 

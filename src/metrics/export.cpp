@@ -1,6 +1,9 @@
 #include "metrics/export.hpp"
 
+#include <algorithm>
 #include <iomanip>
+
+#include "common/stats.hpp"
 
 namespace esg::metrics {
 
@@ -30,14 +33,42 @@ void write_summary_csv(const RunMetrics& metrics, const std::string& label,
   if (include_header) {
     out << "label,requests,slo_hit_rate,total_cost,tasks,cold_starts,"
            "warm_starts,local_inputs,remote_inputs,plan_uses,plan_misses,"
-           "mean_job_wait_ms\n";
+           "mean_job_wait_ms,latency_p50_ms,latency_p95_ms,latency_p99_ms\n";
   }
+  const std::vector<double> latencies = metrics.latencies();
   out << label << ',' << metrics.requests() << ',' << metrics.slo_hit_rate()
       << ',' << std::setprecision(10) << metrics.total_cost << ','
       << metrics.tasks << ',' << metrics.cold_starts << ','
       << metrics.warm_starts << ',' << metrics.local_inputs << ','
       << metrics.remote_inputs << ',' << metrics.plan_uses << ','
-      << metrics.plan_misses << ',' << metrics.mean_job_wait_ms() << '\n';
+      << metrics.plan_misses << ',' << metrics.mean_job_wait_ms() << ','
+      << percentile(latencies, 0.50) << ',' << percentile(latencies, 0.95)
+      << ',' << percentile(latencies, 0.99) << '\n';
+}
+
+void write_per_app_summary_csv(const RunMetrics& metrics,
+                               const std::string& label, std::ostream& out,
+                               bool include_header) {
+  if (include_header) {
+    out << "label,app,requests,slo_hit_rate,latency_p50_ms,latency_p95_ms,"
+           "latency_p99_ms,cost\n";
+  }
+  std::vector<AppId> apps;
+  for (const auto& c : metrics.completions) {
+    if (std::find(apps.begin(), apps.end(), c.app) == apps.end()) {
+      apps.push_back(c.app);
+    }
+  }
+  std::sort(apps.begin(), apps.end(),
+            [](AppId a, AppId b) { return a.get() < b.get(); });
+  for (const AppId app : apps) {
+    const std::vector<double> latencies = metrics.latencies(app);
+    out << label << ',' << app.get() << ',' << latencies.size() << ','
+        << metrics.slo_hit_rate(app) << ',' << percentile(latencies, 0.50)
+        << ',' << percentile(latencies, 0.95) << ','
+        << percentile(latencies, 0.99) << ',' << std::setprecision(10)
+        << metrics.cost_of(app) << '\n';
+  }
 }
 
 }  // namespace esg::metrics

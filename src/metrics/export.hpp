@@ -23,4 +23,11 @@ void write_task_trace_csv(const RunMetrics& metrics, std::ostream& out);
 void write_summary_csv(const RunMetrics& metrics, const std::string& label,
                        std::ostream& out, bool include_header = true);
 
+/// One row per application (sorted by app id), labelled with `label`:
+/// label,app,requests,slo_hit_rate,latency_p50_ms,latency_p95_ms,
+/// latency_p99_ms,cost
+void write_per_app_summary_csv(const RunMetrics& metrics,
+                               const std::string& label, std::ostream& out,
+                               bool include_header = true);
+
 }  // namespace esg::metrics

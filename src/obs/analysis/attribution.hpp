@@ -1,0 +1,131 @@
+// SloAttribution pass + AttributionReport rollup.
+//
+// The attribution pass joins each reconstructed request (critical_path.hpp)
+// with the planned per-stage SLO budgets the scheduler traced at arrival
+// (InstantKind::kBudgetPlan): every critical-path stage gets a signed budget
+// drift (actual - planned), and every SLO miss is classified by dominant
+// cause — the component that contributed most at the worst-drift stage:
+//
+//   queueing@stageK         capacity wait / deliberate defer dominated
+//   cold_start@stageK       container provisioning dominated
+//   batch_wait@stageK       waiting for batch-mates dominated
+//   transfer@stageK         input staging dominated
+//   sched_overhead@stageK   the scheduler's own planning latency dominated
+//   budget_undersized@stageK  execution alone exceeded the planned budget —
+//                             the planner under-provisioned the stage
+//
+// Requests with no traced budget plan (baseline schedulers plan no explicit
+// per-stage budgets) fall back to a uniform split of the SLO over the
+// critical path and are flagged `uniform_budget`.
+//
+// The report aggregates per app and overall: latency quantiles, component
+// means, miss-cause histograms, per-stage plan-vs-actual drift, relative
+// drift histograms (Histogram::merge folds apps into the overall view), and
+// the re-plan budget series (InstantKind::kBudgetReplan). Serialization is
+// deterministic — fixed key order, fixed float formatting — so the same
+// dataset always renders to byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "obs/analysis/critical_path.hpp"
+
+namespace esg::obs::analysis {
+
+/// Relative drift histogram shape: (actual - planned) / planned, clamped
+/// into [-1, 1) over 16 bins (Histogram clamps outliers into the edge bins).
+[[nodiscard]] Histogram make_drift_histogram();
+
+struct ComponentMeans {
+  double batch_wait = 0.0;
+  double cold_start = 0.0;
+  double queueing = 0.0;
+  double sched_overhead = 0.0;
+  double transfer = 0.0;
+  double exec = 0.0;
+};
+
+struct LatencyQuantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct StageReport {
+  std::size_t stage = 0;
+  std::size_t samples = 0;  ///< requests whose critical path included it
+  double planned_ms_mean = 0.0;
+  double actual_ms_mean = 0.0;
+  double drift_ms_mean = 0.0;
+  double drift_ms_p95 = 0.0;
+  ComponentMeans components_mean_ms;
+};
+
+struct AppReport {
+  std::uint32_t app = 0;
+  std::size_t requests = 0;
+  std::size_t misses = 0;
+  std::size_t uniform_budget_requests = 0;
+  double slo_ms = 0.0;
+  LatencyQuantiles latency_ms;
+  ComponentMeans components_mean_ms;  ///< per-request critical-path totals
+  std::map<std::string, std::size_t> miss_causes;
+  std::vector<StageReport> stages;  ///< sorted by stage index
+  Histogram drift_histogram = make_drift_histogram();
+
+  [[nodiscard]] double hit_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(requests - misses) /
+                     static_cast<double>(requests);
+  }
+};
+
+struct ReplanReport {
+  std::uint32_t app = 0;
+  std::size_t stage = 0;
+  std::size_t count = 0;
+  double budget_ms_mean = 0.0;
+  double budget_ms_min = 0.0;
+  double budget_ms_max = 0.0;
+};
+
+struct AttributionReport {
+  std::size_t requests = 0;
+  std::size_t misses = 0;
+  std::size_t unreconstructed = 0;
+  LatencyQuantiles latency_ms;
+  ComponentMeans components_mean_ms;
+  std::map<std::string, std::size_t> miss_causes;
+  std::vector<AppReport> apps;  ///< sorted by app id
+  std::vector<ReplanReport> replans;  ///< sorted by (app, stage)
+  Histogram drift_histogram = make_drift_histogram();
+
+  [[nodiscard]] double hit_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(requests - misses) /
+                     static_cast<double>(requests);
+  }
+};
+
+/// Attributes budgets and miss causes in place: fills planned_ms per stage,
+/// uniform_budget, and miss_cause on every missed request.
+void attribute_slo_budgets(CriticalPathResult& paths,
+                           const TraceDataset& dataset);
+
+/// Full pipeline: critical path -> attribution -> aggregate report.
+[[nodiscard]] AttributionReport build_report(const TraceDataset& dataset);
+
+/// Deterministic JSON serialization (sorted keys, "%.6f" floats).
+void write_report_json(const AttributionReport& report, std::ostream& out);
+
+/// Human-readable summary: per-app rollup plus the worst-drift stage table.
+[[nodiscard]] std::string render_report_table(const AttributionReport& report);
+
+}  // namespace esg::obs::analysis

@@ -1,0 +1,218 @@
+#include "obs/analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace esg::obs::analysis {
+
+namespace {
+
+/// Chain-link matching tolerance. Pre-quantisation the endpoints are equal
+/// doubles; quantisation moves each endpoint by at most 5e-7 ms, so 1e-4 ms
+/// is far above any rounding wobble and far below the simulator's event
+/// granularity.
+constexpr TimeMs kLinkEps = 1e-4;
+
+std::uint64_t arg_u64(const ArgList& args, std::string_view key) {
+  return static_cast<std::uint64_t>(arg_double(args, key, 0.0));
+}
+
+struct StageSpans {
+  const Span* wait = nullptr;
+  const Span* run = nullptr;
+};
+
+struct TaskSpans {
+  const Span* exec = nullptr;
+  const Span* staging = nullptr;
+  /// Latest queue-wait start among the task's batch (the enqueue time of the
+  /// job the batch waited for).
+  TimeMs max_enqueue_ms = -std::numeric_limits<TimeMs>::infinity();
+};
+
+}  // namespace
+
+CriticalPathResult reconstruct_critical_paths(const TraceDataset& dataset) {
+  // Per-request stage spans, task-level joins, and provisioning intervals.
+  std::map<std::uint32_t, const Span*> request_spans;
+  std::map<std::uint32_t, std::map<std::size_t, StageSpans>> stage_spans;
+  std::unordered_map<std::uint64_t, TaskSpans> task_spans;
+  // (invoker pid, function) -> provisioning intervals.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::vector<std::pair<TimeMs, TimeMs>>>
+      cold_spans;
+
+  for (const Span& span : dataset.spans) {
+    switch (span.kind) {
+      case SpanKind::kRequest:
+        request_spans[span.track.tid] = &span;
+        break;
+      case SpanKind::kQueueWait: {
+        const auto stage = static_cast<std::size_t>(arg_u64(span.args, "stage"));
+        stage_spans[span.track.tid][stage].wait = &span;
+        TaskSpans& task = task_spans[arg_u64(span.args, "task")];
+        task.max_enqueue_ms = std::max(task.max_enqueue_ms, span.start_ms);
+        break;
+      }
+      case SpanKind::kStage: {
+        const auto stage = static_cast<std::size_t>(arg_u64(span.args, "stage"));
+        stage_spans[span.track.tid][stage].run = &span;
+        break;
+      }
+      case SpanKind::kExec:
+        task_spans[arg_u64(span.args, "task")].exec = &span;
+        break;
+      case SpanKind::kStaging:
+        task_spans[arg_u64(span.args, "task")].staging = &span;
+        break;
+      case SpanKind::kColdStart:
+        cold_spans[{span.track.pid, arg_u64(span.args, "function")}]
+            .emplace_back(span.start_ms, span.end_ms);
+        break;
+      default:
+        break;  // slice occupancy / keep-alive / prewarm are not lifecycle
+    }
+  }
+
+  CriticalPathResult result;
+  for (const auto& [request_id, request_span] : request_spans) {
+    const auto stages_it = stage_spans.find(request_id);
+    if (stages_it == stage_spans.end() || stages_it->second.empty()) {
+      ++result.unreconstructed;
+      continue;
+    }
+    const auto& stages = stages_it->second;
+
+    // Usable stages need both halves of the (wait, run) pair.
+    bool complete = true;
+    for (const auto& [stage, spans] : stages) {
+      if (spans.wait == nullptr || spans.run == nullptr) complete = false;
+    }
+    if (!complete) {
+      ++result.unreconstructed;
+      continue;
+    }
+
+    // Terminal stage: latest run end (the completion that finished the
+    // request); ties break to the lowest stage index for determinism.
+    std::size_t terminal = stages.begin()->first;
+    for (const auto& [stage, spans] : stages) {
+      if (spans.run->end_ms > stages.at(terminal).run->end_ms) terminal = stage;
+    }
+
+    // Backward chain: each stage's wait started when its critical
+    // predecessor's run ended; the entry stage's wait started at arrival.
+    const TimeMs arrival = request_span->start_ms;
+    std::vector<std::size_t> chain{terminal};
+    bool stitched = true;
+    while (true) {
+      const TimeMs boundary = stages.at(chain.back()).wait->start_ms;
+      if (std::abs(boundary - arrival) <= kLinkEps) break;
+      std::size_t pred = stages.size();  // sentinel
+      bool found = false;
+      for (const auto& [stage, spans] : stages) {
+        if (std::find(chain.begin(), chain.end(), stage) != chain.end()) {
+          continue;
+        }
+        if (std::abs(spans.run->end_ms - boundary) <= kLinkEps &&
+            (!found || stage < pred)) {
+          pred = stage;
+          found = true;
+        }
+      }
+      if (!found) {
+        stitched = false;
+        break;
+      }
+      chain.push_back(pred);
+    }
+    if (!stitched) {
+      ++result.unreconstructed;
+      continue;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    RequestBreakdown breakdown;
+    breakdown.request = request_id;
+    breakdown.app = static_cast<std::uint32_t>(
+        arg_double(request_span->args, "app", 0.0));
+    breakdown.arrival_ms = arrival;
+    breakdown.slo_ms = arg_double(request_span->args, "slo_ms", 0.0);
+    breakdown.hit = arg_value(request_span->args, "hit") == "true";
+
+    // Forward pass: charge each stage from the previous link's end so the
+    // component sums telescope to the end-to-end latency exactly.
+    TimeMs cursor = arrival;
+    for (const std::size_t stage : chain) {
+      const StageSpans& spans = stages.at(stage);
+      StageBreakdown sb;
+      sb.stage = stage;
+      sb.task = arg_u64(spans.run->args, "task");
+      sb.start_ms = cursor;
+      sb.dispatch_ms = spans.run->start_ms;
+      sb.end_ms = spans.run->end_ms;
+
+      const TimeMs wait = sb.dispatch_ms - sb.start_ms;
+      const TimeMs wait_floor = std::max(wait, 0.0);
+      const auto task_it = task_spans.find(sb.task);
+      const TaskSpans* task =
+          task_it == task_spans.end() ? nullptr : &task_it->second;
+
+      // Batch wait: the slice of the queue wait spent waiting for the last
+      // batch-mate to arrive.
+      if (task != nullptr && task->max_enqueue_ms > sb.start_ms) {
+        sb.batch_wait_ms =
+            std::min(task->max_enqueue_ms - sb.start_ms, wait_floor);
+      }
+
+      // Cold start: overlap of this function's provisioning on the invoker
+      // that ran the task with the remaining wait window.
+      if (task != nullptr && task->exec != nullptr) {
+        const std::uint32_t invoker_pid = task->exec->track.pid;
+        const std::uint64_t function = arg_u64(task->exec->args, "function");
+        const auto cold_it = cold_spans.find({invoker_pid, function});
+        if (cold_it != cold_spans.end()) {
+          const TimeMs lo = sb.start_ms + sb.batch_wait_ms;
+          const TimeMs hi = sb.dispatch_ms;
+          TimeMs overlap = 0.0;
+          for (const auto& [cs, ce] : cold_it->second) {
+            overlap += std::max(0.0, std::min(ce, hi) - std::max(cs, lo));
+          }
+          sb.cold_start_ms =
+              std::min(overlap, wait_floor - sb.batch_wait_ms);
+        }
+      }
+      sb.queueing_ms = wait - sb.batch_wait_ms - sb.cold_start_ms;
+
+      // Run split: [dispatch .. work start] is scheduling overhead, then the
+      // staging span, then execution; exec is the residual so the three sum
+      // to the run duration exactly.
+      const TimeMs run = sb.end_ms - sb.dispatch_ms;
+      if (task != nullptr && task->exec != nullptr) {
+        const TimeMs work_start = task->staging != nullptr
+                                      ? task->staging->start_ms
+                                      : task->exec->start_ms;
+        sb.sched_overhead_ms =
+            std::clamp(work_start - sb.dispatch_ms, 0.0, run);
+        if (task->staging != nullptr) {
+          sb.transfer_ms =
+              std::clamp(task->staging->end_ms - task->staging->start_ms, 0.0,
+                         run - sb.sched_overhead_ms);
+        }
+      }
+      sb.exec_ms = run - sb.sched_overhead_ms - sb.transfer_ms;
+
+      cursor = sb.end_ms;
+      breakdown.path.push_back(sb);
+    }
+    breakdown.completion_ms = cursor;
+    result.requests.push_back(std::move(breakdown));
+  }
+  return result;
+}
+
+}  // namespace esg::obs::analysis

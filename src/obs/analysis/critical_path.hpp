@@ -1,0 +1,88 @@
+// CriticalPath pass: reconstructs each traced request's end-to-end timeline
+// from its spans and decomposes the latency into named components.
+//
+// Span chaining exploits an invariant of the controller's instrumentation:
+// a stage's queue-wait starts exactly when its last-finishing predecessor
+// stage completed (that completion is what enqueued the job), and the entry
+// stage's wait starts exactly at the request arrival. The request's critical
+// path is therefore the backward chain of (run, wait) spans whose endpoints
+// meet, and charging each link from the previous link's end makes the
+// component sum telescope to the end-to-end latency *exactly* — the 1e-6 ms
+// decomposition invariant the tests enforce.
+//
+// Per critical-path stage the elapsed time splits into:
+//   batch_wait     waiting for later-arriving jobs that joined the batch
+//   cold_start     overlap with container provisioning for this function on
+//                  the invoker that ran the task
+//   queueing       the rest of the queue wait (no capacity / deliberate defer)
+//   sched_overhead scheduling latency charged by the strategy
+//   transfer       input staging (batch waits for the slowest fetch)
+//   exec           model execution
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/dataset.hpp"
+
+namespace esg::obs::analysis {
+
+struct StageBreakdown {
+  std::size_t stage = 0;
+  std::uint64_t task = 0;
+  TimeMs start_ms = 0.0;     ///< previous link's end (arrival for the entry)
+  TimeMs dispatch_ms = 0.0;  ///< queue-wait end / run start
+  TimeMs end_ms = 0.0;       ///< run end (successor's wait starts here)
+
+  TimeMs batch_wait_ms = 0.0;
+  TimeMs cold_start_ms = 0.0;
+  TimeMs queueing_ms = 0.0;
+  TimeMs sched_overhead_ms = 0.0;
+  TimeMs transfer_ms = 0.0;
+  TimeMs exec_ms = 0.0;
+
+  /// Planned SLO budget for this stage (filled by the attribution pass).
+  TimeMs planned_ms = 0.0;
+
+  [[nodiscard]] TimeMs actual_ms() const { return end_ms - start_ms; }
+  [[nodiscard]] TimeMs drift_ms() const { return actual_ms() - planned_ms; }
+  [[nodiscard]] TimeMs component_sum_ms() const {
+    return batch_wait_ms + cold_start_ms + queueing_ms + sched_overhead_ms +
+           transfer_ms + exec_ms;
+  }
+};
+
+struct RequestBreakdown {
+  std::uint32_t request = 0;
+  std::uint32_t app = 0;
+  TimeMs arrival_ms = 0.0;
+  TimeMs completion_ms = 0.0;
+  TimeMs slo_ms = 0.0;
+  bool hit = true;
+  /// True when no planner budget was traced for this request and the
+  /// attribution fell back to a uniform split over the critical path.
+  bool uniform_budget = false;
+  /// Critical-path stages in execution order; component sums telescope to
+  /// completion_ms - arrival_ms exactly.
+  std::vector<StageBreakdown> path;
+  /// Dominant miss cause, e.g. "cold_start@stage2" (empty while hit, filled
+  /// by the attribution pass).
+  std::string miss_cause;
+
+  [[nodiscard]] TimeMs latency_ms() const { return completion_ms - arrival_ms; }
+};
+
+struct CriticalPathResult {
+  std::vector<RequestBreakdown> requests;  ///< sorted by request id
+  /// Requests whose span chain could not be stitched back together (should
+  /// be zero for traces produced by this build; non-zero flags a trace from
+  /// an incompatible producer).
+  std::size_t unreconstructed = 0;
+};
+
+/// Runs the pass over a dataset (from AnalysisSink or read_chrome_trace).
+[[nodiscard]] CriticalPathResult reconstruct_critical_paths(
+    const TraceDataset& dataset);
+
+}  // namespace esg::obs::analysis

@@ -1,0 +1,48 @@
+#include "obs/analysis/dataset.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace esg::obs::analysis {
+
+TimeMs quantize_ms(TimeMs ms) {
+  // Mirror ChromeTraceSink exactly: times serialize as "%.3f"-formatted
+  // microseconds, so the reader's double is strtod of that string. Doing the
+  // same format/parse round-trip here guarantees bit-equality with the
+  // offline path (plain rounding arithmetic would not, in the cases where
+  // the decimal string is not exactly representable).
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms * 1000.0);
+  return std::strtod(buf, nullptr) / 1000.0;
+}
+
+std::string_view arg_value(const ArgList& args, std::string_view key) {
+  for (const auto& [k, v] : args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+double arg_double(const ArgList& args, std::string_view key, double fallback) {
+  const std::string_view v = arg_value(args, key);
+  if (v.empty()) return fallback;
+  // Arg values are NUL-terminated std::strings, so data() is safe for strtod.
+  char* end = nullptr;
+  const double parsed = std::strtod(v.data(), &end);
+  return end == v.data() ? fallback : parsed;
+}
+
+void AnalysisSink::on_span(const Span& span) {
+  Span q = span;
+  q.start_ms = quantize_ms(span.start_ms);
+  q.end_ms = q.start_ms + quantize_ms(span.end_ms - span.start_ms);
+  dataset_.spans.push_back(std::move(q));
+}
+
+void AnalysisSink::on_instant(const Instant& instant) {
+  Instant q = instant;
+  q.at_ms = quantize_ms(instant.at_ms);
+  dataset_.instants.push_back(std::move(q));
+}
+
+}  // namespace esg::obs::analysis

@@ -1,0 +1,27 @@
+// Reads a serialized Chrome-trace-event JSON file (what ChromeTraceSink
+// wrote) back into a TraceDataset, so the analysis passes can run offline
+// over a saved trace.json exactly as they run in-process during a live run.
+//
+// Only the event shapes our sink emits are materialised: complete ("X")
+// events become spans, instant ("i") events become instants; metadata ("M")
+// and counter ("C") events are skipped. Events whose category string is not
+// part of this build's vocabulary are skipped too, so newer traces degrade
+// gracefully instead of failing.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "obs/analysis/dataset.hpp"
+
+namespace esg::obs::analysis {
+
+/// Parses the trace JSON from a stream. Throws std::runtime_error on
+/// malformed JSON or a top-level shape other than an event array.
+[[nodiscard]] TraceDataset read_chrome_trace(std::istream& in);
+
+/// Convenience: opens and parses `path`. Throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] TraceDataset read_chrome_trace_file(const std::string& path);
+
+}  // namespace esg::obs::analysis

@@ -42,8 +42,35 @@ std::string_view to_string(InstantKind kind) {
       return "prewarm_issued";
     case InstantKind::kPrewarmSkipped:
       return "prewarm_skipped";
+    case InstantKind::kBudgetPlan:
+      return "budget_plan";
+    case InstantKind::kBudgetReplan:
+      return "budget_replan";
   }
   return "unknown";
+}
+
+std::optional<SpanKind> span_kind_from_string(std::string_view s) {
+  static constexpr SpanKind kAll[] = {
+      SpanKind::kRequest,   SpanKind::kQueueWait, SpanKind::kStage,
+      SpanKind::kStaging,   SpanKind::kExec,      SpanKind::kSliceOccupied,
+      SpanKind::kColdStart, SpanKind::kKeepAlive, SpanKind::kPrewarm};
+  for (const SpanKind kind : kAll) {
+    if (to_string(kind) == s) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<InstantKind> instant_kind_from_string(std::string_view s) {
+  static constexpr InstantKind kAll[] = {
+      InstantKind::kDispatch,       InstantKind::kNoPlacement,
+      InstantKind::kDefer,          InstantKind::kForcedMinDispatch,
+      InstantKind::kPrewarmIssued,  InstantKind::kPrewarmSkipped,
+      InstantKind::kBudgetPlan,     InstantKind::kBudgetReplan};
+  for (const InstantKind kind : kAll) {
+    if (to_string(kind) == s) return kind;
+  }
+  return std::nullopt;
 }
 
 void TraceRecorder::add_sink(std::unique_ptr<TraceSink> sink) {

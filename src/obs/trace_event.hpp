@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -42,10 +43,18 @@ enum class InstantKind : std::uint8_t {
   kForcedMinDispatch,  ///< recheck-list escape hatch fired
   kPrewarmIssued,
   kPrewarmSkipped,
+  kBudgetPlan,    ///< per-stage SLO budgets fixed at request arrival
+  kBudgetReplan,  ///< renormalised group budget from a mid-workflow re-plan
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind);
 [[nodiscard]] std::string_view to_string(InstantKind kind);
+
+/// Inverse of to_string, for reading serialized traces back (the offline
+/// analysis path). Returns nullopt for categories this build does not know.
+[[nodiscard]] std::optional<SpanKind> span_kind_from_string(std::string_view s);
+[[nodiscard]] std::optional<InstantKind> instant_kind_from_string(
+    std::string_view s);
 
 struct Track {
   std::uint32_t pid = 0;

@@ -138,6 +138,21 @@ RequestId Controller::inject_request(AppId app) {
     rec_->name_thread(obs::request_track(id),
                       "req " + std::to_string(id.get()) + " (app " +
                           std::to_string(app.get()) + ")");
+    // Fix the per-stage SLO budgets the strategy plans with at arrival —
+    // the baseline the attribution passes measure drift against. Strategies
+    // without an explicit distribution emit nothing (uniform fallback).
+    const std::vector<double> fractions =
+        scheduler_.planned_stage_fractions(app);
+    if (!fractions.empty()) {
+      obs::ArgList args{{"app", std::to_string(app.get())},
+                        {"slo_ms", std::to_string(slo_of(app))}};
+      for (std::size_t stage = 0; stage < fractions.size(); ++stage) {
+        args.emplace_back("b" + std::to_string(stage),
+                          std::to_string(slo_of(app) * fractions[stage]));
+      }
+      rec_->instant(obs::InstantKind::kBudgetPlan, "budget plan",
+                    obs::request_track(id), sim_.now(), std::move(args));
+    }
   }
 
   scheduler_.on_request(id, app, sim_.now());
@@ -280,6 +295,14 @@ void Controller::process_queue(std::size_t qi) {
                     sim_.now(),
                     {{"app", std::to_string(queue.app.get())},
                      {"stage", std::to_string(queue.stage)},
+                     {"queue_len", std::to_string(queue.jobs.size())}});
+    }
+    if (plan.planned_budget_ms > 0.0 && traced_now()) {
+      rec_->instant(obs::InstantKind::kBudgetReplan, "budget replan",
+                    obs::controller_track(), sim_.now(),
+                    {{"app", std::to_string(queue.app.get())},
+                     {"stage", std::to_string(queue.stage)},
+                     {"budget_ms", std::to_string(plan.planned_budget_ms)},
                      {"queue_len", std::to_string(queue.jobs.size())}});
     }
   }
@@ -500,10 +523,12 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
       rec_->span(obs::SpanKind::kQueueWait, "wait " + stage_tag, req_track,
                  job.enqueue_ms, sim_.now(),
                  {{"job", std::to_string(job.id.get())},
+                  {"stage", std::to_string(task.stage)},
                   {"task", std::to_string(task.id.get())}});
       rec_->span(obs::SpanKind::kStage, "run " + stage_tag, req_track,
                  sim_.now(), done,
                  {{"task", std::to_string(task.id.get())},
+                  {"stage", std::to_string(task.stage)},
                   {"invoker", std::to_string(invoker_id.get())},
                   {"batch", std::to_string(config.batch)},
                   {"overhead_ms", std::to_string(overhead_ms)}});

@@ -54,6 +54,11 @@ struct PlanResult {
   /// True when the pre-planned configuration did not apply (batch larger
   /// than the queue) and had to be clamped.
   bool preplanned_miss = false;
+  /// Renormalised latency budget this plan targeted for the remaining group
+  /// stages (ESG's adaptive g_slo). 0 means the strategy plans no explicit
+  /// budget; the controller traces non-zero values as kBudgetReplan instants
+  /// for the SLO-attribution passes.
+  TimeMs planned_budget_ms = 0.0;
 };
 
 /// Context for invoker selection.
@@ -87,6 +92,17 @@ class Scheduler {
     (void)request;
     (void)app;
     (void)now_ms;
+  }
+
+  /// Per-DAG-node share of the end-to-end SLO this strategy plans with
+  /// (index = NodeIndex; shares along any root-to-sink path sum to ~1).
+  /// Empty means the strategy distributes no per-stage budgets — the
+  /// attribution passes then fall back to a uniform split. ESG returns its
+  /// dominator-based distribution (Section 3.3).
+  [[nodiscard]] virtual std::vector<double> planned_stage_fractions(
+      AppId app) const {
+    (void)app;
+    return {};
   }
 
   /// Whether warm-container selection should break ties towards the

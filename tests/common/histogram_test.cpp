@@ -52,6 +52,61 @@ TEST(Histogram, EmptyFractionIsZero) {
   EXPECT_EQ(h.fraction_at(0), 0.0);
 }
 
+TEST(Histogram, QuantileOfEmptyIsLowerBound) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileOfSingleSampleStaysInItsBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0);  // bin 1 = [2, 4)
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 2.0) << q;
+    EXPECT_LT(h.quantile(q), 4.0) << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);  // midpoint of the bin
+}
+
+TEST(Histogram, QuantileInterpolatesAndIsMonotone) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 5.0);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << q;
+    prev = cur;
+  }
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, MergeAddsCountsBinwise) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(5.0);
+  b.add(5.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count_at(0), 1u);
+  EXPECT_EQ(a.count_at(2), 2u);
+  EXPECT_EQ(a.count_at(4), 1u);
+  EXPECT_EQ(b.total(), 2u);  // the source is untouched
+}
+
+TEST(Histogram, MergeRejectsIncompatibleShapes) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(-1.0, 10.0, 5)), std::invalid_argument);
+}
+
 TEST(Histogram, RenderContainsEveryBin) {
   Histogram h(0.0, 4.0, 4);
   h.add(0.5);

@@ -100,6 +100,25 @@ TEST(Cli, TracingOffByDefault) {
   EXPECT_FALSE(parse({}).scenario.trace.enabled());
 }
 
+TEST(Cli, ParsesReportOut) {
+  const CliOptions opts = parse({"--report-out", "report.json"});
+  EXPECT_EQ(opts.scenario.trace.report_path, "report.json");
+  // --report-out alone must enable the traced (sequential) run path.
+  EXPECT_TRUE(opts.scenario.trace.enabled());
+  EXPECT_NE(cli_usage().find("--report-out"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagNamesItselfAndPointsAtHelp) {
+  try {
+    (void)parse({"--no-such-flag", "1"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--no-such-flag"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
 TEST(Cli, RejectsBadStatsInterval) {
   EXPECT_THROW(parse({"--stats-interval-ms", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--stats-interval-ms", "-5"}), std::invalid_argument);

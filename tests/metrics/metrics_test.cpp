@@ -99,5 +99,36 @@ TEST(Export, SummaryCsv) {
   EXPECT_EQ(no_header.str().find("label,"), std::string::npos);
 }
 
+TEST(Export, SummaryCsvCarriesLatencyPercentiles) {
+  std::ostringstream out;
+  write_summary_csv(sample_metrics(), "x", out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("latency_p50_ms,latency_p95_ms,latency_p99_ms"),
+            std::string::npos);
+  // Latencies {400, 500, 900}: p50 = 500, p95/p99 interpolate towards 900.
+  EXPECT_NE(csv.find(",500,"), std::string::npos);
+}
+
+TEST(Export, PerAppSummaryCsv) {
+  std::ostringstream out;
+  write_per_app_summary_csv(sample_metrics(), "seed42", out);
+  const std::string csv = out.str();
+  EXPECT_NE(
+      csv.find("label,app,requests,slo_hit_rate,latency_p50_ms,latency_p95_ms,"
+               "latency_p99_ms,cost"),
+      std::string::npos);
+  // App 0: two requests {500, 900}, one hit; p50 = 700 by interpolation.
+  EXPECT_NE(csv.find("seed42,0,2,0.5,700,"), std::string::npos);
+  // App 1: one request, always hit, all percentiles 400.
+  EXPECT_NE(csv.find("seed42,1,1,1,400,400,400,0.2"), std::string::npos);
+  // Header + one row per app, apps in id order.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_LT(csv.find("seed42,0,"), csv.find("seed42,1,"));
+
+  std::ostringstream no_header;
+  write_per_app_summary_csv(sample_metrics(), "x", no_header, false);
+  EXPECT_EQ(no_header.str().find("label,"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace esg::metrics

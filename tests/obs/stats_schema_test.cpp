@@ -1,0 +1,120 @@
+// Schema validation for the StatsSampler's JSONL output: every line must be
+// standalone parseable JSON with exactly the documented field names, known
+// gauge names, and non-decreasing timestamps — the contract downstream
+// pandas/jq pipelines depend on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "mini_json.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
+
+namespace esg {
+namespace {
+
+std::vector<std::string> run_stats_lines() {
+  exp::Scenario scenario;
+  scenario.nodes = 4;
+  scenario.horizon_ms = 1'000.0;
+  scenario.seed = 11;
+  scenario.trace.stats_interval_ms = 50.0;
+
+  std::ostringstream stats_stream;
+  obs::TraceRecorder recorder;
+  recorder.add_sink(std::make_unique<obs::JsonlStatsSink>(stats_stream));
+  (void)exp::run_scenario(scenario, &recorder);
+
+  std::vector<std::string> lines;
+  std::istringstream in(stats_stream.str());
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Extracts the raw text of a `"key":value` field; empty when absent.
+std::string field_text(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  auto end = start;
+  int depth = 0;
+  bool in_string = false;
+  for (; end < line.size(); ++end) {
+    const char c = line[end];
+    if (in_string) {
+      if (c == '"' && line[end - 1] != '\\') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (c == ',' && depth == 0) break;
+  }
+  return line.substr(start, end - start);
+}
+
+TEST(StatsSchema, EveryLineIsParseableJson) {
+  const auto lines = run_stats_lines();
+  ASSERT_GT(lines.size(), 0u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(test_json::is_valid_json(line)) << line;
+  }
+}
+
+TEST(StatsSchema, FieldNamesAreExactlyTheDocumentedSet) {
+  const auto lines = run_stats_lines();
+  ASSERT_GT(lines.size(), 0u);
+  for (const auto& line : lines) {
+    // The sink's documented schema: {"ts_ms":..,"pid":..,"name":..,"value":..}
+    EXPECT_NE(line.find("{\"ts_ms\":"), std::string::npos) << line;
+    EXPECT_NE(line.find(",\"pid\":"), std::string::npos) << line;
+    EXPECT_NE(line.find(",\"name\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find(",\"value\":"), std::string::npos) << line;
+  }
+}
+
+TEST(StatsSchema, GaugeNamesAreKnown) {
+  const std::set<std::string> known = {"used_vcpus",  "used_vgpus",
+                                       "warm_containers", "free_vcpus",
+                                       "free_vgpus",  "queued_jobs"};
+  const auto lines = run_stats_lines();
+  ASSERT_GT(lines.size(), 0u);
+  std::set<std::string> seen;
+  for (const auto& line : lines) {
+    std::string name = field_text(line, "name");
+    ASSERT_GE(name.size(), 2u) << line;
+    name = name.substr(1, name.size() - 2);  // strip quotes
+    EXPECT_TRUE(known.count(name) == 1) << "unknown gauge '" << name << "'";
+    seen.insert(name);
+  }
+  // The sampler emits every documented gauge at least once.
+  EXPECT_EQ(seen, known);
+}
+
+TEST(StatsSchema, TimestampsAreMonotoneNonDecreasing) {
+  const auto lines = run_stats_lines();
+  ASSERT_GT(lines.size(), 1u);
+  double prev = -1.0;
+  for (const auto& line : lines) {
+    const std::string ts = field_text(line, "ts_ms");
+    ASSERT_FALSE(ts.empty()) << line;
+    const double value = std::strtod(ts.c_str(), nullptr);
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace esg

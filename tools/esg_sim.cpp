@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
       scenario.seed = seed;
       scenario.trace.trace_path = per_seed(scenario.trace.trace_path, seed);
       scenario.trace.stats_path = per_seed(scenario.trace.stats_path, seed);
+      scenario.trace.report_path = per_seed(scenario.trace.report_path, seed);
       outputs.push_back(exp::run_scenario(scenario));
       if (!scenario.trace.trace_path.empty()) {
         std::printf("trace written to %s (open in ui.perfetto.dev)\n",
@@ -57,6 +58,10 @@ int main(int argc, char** argv) {
       }
       if (!scenario.trace.stats_path.empty()) {
         std::printf("stats written to %s\n", scenario.trace.stats_path.c_str());
+      }
+      if (!scenario.trace.report_path.empty()) {
+        std::printf("report written to %s (inspect with tools/esg_report)\n",
+                    scenario.trace.report_path.c_str());
       }
     }
     std::printf("\n");
@@ -97,10 +102,14 @@ int main(int argc, char** argv) {
       metrics::write_task_trace_csv(outputs[i].metrics, tasks);
     }
     std::ofstream summary(opts.csv_dir + "/summary.csv");
+    std::ofstream per_app(opts.csv_dir + "/per_app.csv");
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       metrics::write_summary_csv(outputs[i].metrics,
                                  "seed" + std::to_string(opts.seeds[i]), summary,
                                  i == 0);
+      metrics::write_per_app_summary_csv(
+          outputs[i].metrics, "seed" + std::to_string(opts.seeds[i]), per_app,
+          i == 0);
     }
     std::printf("CSVs written to %s/\n", opts.csv_dir.c_str());
   }
