@@ -1,0 +1,113 @@
+// Resilience sweep: SLO attainment degradation under increasing fault
+// intensity, for each scheduler. Faults (transient dispatch failures,
+// cold-start failures, invoker crashes, GPU-slice stragglers) are injected
+// deterministically from a --fault-spec-style string; the controller's
+// recovery policy (timeout -> capped-backoff retry on a different invoker,
+// orphaned-resource release, ESG re-plan) decides how much attainment
+// survives. A traced ESG re-run at each non-zero intensity attributes the
+// misses (fault@stageK / retry_exhausted@stageK vs the ordinary causes).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fault/fault_spec.hpp"
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/dataset.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+struct Intensity {
+  const char* name;
+  const char* spec;  // parse_fault_spec grammar; invoker ids < 16
+};
+
+// Cold-start probabilities stay well below 1: a provision that can never
+// succeed would leave forced dispatches waiting for a warm container forever.
+constexpr Intensity kIntensities[] = {
+    {"none", ""},
+    {"low", "dispatch:prob=0.01;coldstart:prob=0.05"},
+    {"medium",
+     "dispatch:prob=0.05;coldstart:prob=0.15;"
+     "slow:invoker=3,at=1000,for=4000,factor=3"},
+    {"high",
+     "dispatch:prob=0.12;coldstart:prob=0.3;"
+     "crash:invoker=1,at=2000,down=2000;crash:invoker=5,at=4000,down=1500;"
+     "slow:invoker=2,at=500,for=5000,factor=4"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace esg;
+  bench::print_banner(
+      "Resilience: SLO attainment vs fault intensity",
+      "ESG's re-planned budgets and retry-aware margins degrade more "
+      "gracefully than the static baselines as faults intensify");
+
+  const exp::SettingCombo combo = exp::paper_combos()[1];  // moderate-normal
+  std::printf("setting: %s\n\n", exp::combo_name(combo).c_str());
+
+  // One grid row per scheduler x intensity (seeds aggregated by run_grid).
+  std::vector<exp::Scenario> grid;
+  for (const auto kind : exp::all_schedulers()) {
+    for (const Intensity& level : kIntensities) {
+      exp::Scenario s = bench::make_scenario(kind, combo);
+      s.fault = fault::parse_fault_spec(level.spec);
+      grid.push_back(s);
+    }
+  }
+  const auto results = bench::run_grid(grid);
+
+  constexpr std::size_t kLevels = std::size(kIntensities);
+  AsciiTable table({"scheduler", "intensity", "hit rate", "degradation",
+                    "cost ($)", "retries", "aborted", "mean wait (ms)"});
+  for (std::size_t si = 0; si < exp::all_schedulers().size(); ++si) {
+    const double baseline_hit = results[si * kLevels].aggregate.slo_hit_rate;
+    for (std::size_t li = 0; li < kLevels; ++li) {
+      const auto& result = results[si * kLevels + li];
+      std::size_t retries = 0, aborted = 0;
+      for (const auto& run : result.replicas) {
+        retries += run.metrics.retries;
+        aborted += run.metrics.retries_exhausted;
+      }
+      const auto& agg = result.aggregate;
+      table.add_row(
+          {std::string(exp::to_string(grid[si * kLevels].scheduler)),
+           kIntensities[li].name, AsciiTable::pct(agg.slo_hit_rate),
+           li == 0 ? std::string("-")
+                   : AsciiTable::pct(agg.slo_hit_rate - baseline_hit),
+           AsciiTable::num(agg.total_cost, 4), std::to_string(retries),
+           std::to_string(aborted), AsciiTable::num(agg.mean_job_wait_ms, 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Miss-cause attribution: traced ESG run per non-zero intensity on the
+  // first seed. fault@stageK / retry_exhausted@stageK only appear here.
+  for (std::size_t li = 1; li < kLevels; ++li) {
+    obs::TraceRecorder recorder;
+    auto sink = std::make_unique<obs::analysis::AnalysisSink>();
+    const auto* analysis = sink.get();
+    recorder.add_sink(std::move(sink));
+    exp::Scenario traced = bench::make_scenario(exp::SchedulerKind::kEsg, combo);
+    traced.fault = fault::parse_fault_spec(kIntensities[li].spec);
+    traced.seed = bench::seeds().front();
+    (void)exp::run_scenario(traced, &recorder);
+    const auto report = obs::analysis::build_report(analysis->dataset());
+
+    std::string breakdown;
+    for (const auto& [cause, count] : report.miss_causes) {
+      if (!breakdown.empty()) breakdown += ", ";
+      breakdown += cause + " x" + std::to_string(count);
+    }
+    if (breakdown.empty()) breakdown = "-";
+    std::printf("ESG @ %s: %zu requests, %zu misses — %s\n",
+                kIntensities[li].name, report.requests, report.misses,
+                breakdown.c_str());
+  }
+  return 0;
+}

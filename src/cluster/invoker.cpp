@@ -57,8 +57,34 @@ bool Invoker::acquire_warm(FunctionId function, TimeMs now) {
 }
 
 void Invoker::add_warm(FunctionId function, TimeMs now, TimeMs keep_alive) {
+  // A dead node cannot park containers: in-flight prewarm/provisioning
+  // events that land during a crash window are silently dropped.
+  if (!alive_) return;
   warm_[function].push_back(WarmEntry{now + keep_alive, now});
 }
+
+void Invoker::crash(TimeMs now) {
+  if (warm_callback_) {
+    // Sorted function order: warm_ is an unordered_map and the callback
+    // feeds the trace, which must stay byte-reproducible.
+    std::vector<FunctionId> functions;
+    functions.reserve(warm_.size());
+    for (const auto& [fn, _] : warm_) functions.push_back(fn);
+    std::sort(functions.begin(), functions.end());
+    for (FunctionId fn : functions) {
+      for (const WarmEntry& e : warm_.at(fn)) {
+        // Entries that had already expired are reported as such; the rest
+        // die with the node.
+        warm_callback_(id_, fn, e.since, std::min(e.expiry, now),
+                       e.expiry <= now ? WarmEnd::kExpired : WarmEnd::kCrashed);
+      }
+    }
+  }
+  warm_.clear();
+  alive_ = false;
+}
+
+void Invoker::rejoin() { alive_ = true; }
 
 void Invoker::flush_warm_spans(TimeMs now) const {
   if (!warm_callback_) return;

@@ -31,6 +31,7 @@ enum class WarmEnd : std::uint8_t {
   kAcquired,  ///< consumed by a dispatch (warm start)
   kExpired,   ///< keep-alive window ran out unused
   kOpen,      ///< still parked when the trace was flushed
+  kCrashed,   ///< lost when the invoker crashed (fault injection)
 };
 
 /// Observer invoked whenever a keep-alive window closes: (invoker, function,
@@ -56,8 +57,23 @@ class Invoker {
   [[nodiscard]] std::uint16_t used_vgpus() const { return used_vgpus_; }
 
   [[nodiscard]] bool can_fit(std::uint16_t vcpus, std::uint16_t vgpus) const {
-    return vcpus <= free_vcpus() && vgpus <= free_vgpus();
+    return alive_ && vcpus <= free_vcpus() && vgpus <= free_vgpus();
   }
+
+  /// False while a fault-injected crash window is open. A dead invoker fits
+  /// nothing, parks no warm containers, and serves no warm start; its used
+  /// vCPU/vGPU counters keep working so the controller can release the
+  /// resources of the tasks it kills.
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Crashes the node: drops every warm container (reported as
+  /// WarmEnd::kCrashed) and marks the node dead. The caller is responsible
+  /// for failing the tasks that were running here and releasing their
+  /// resources.
+  void crash(TimeMs now);
+
+  /// Brings a crashed node back, alive and with an empty warm pool.
+  void rejoin();
 
   /// Reserves resources for a task. Throws std::logic_error on over-commit.
   void allocate(std::uint16_t vcpus, std::uint16_t vgpus);
@@ -99,6 +115,7 @@ class Invoker {
   NodeCapacity capacity_;
   std::uint16_t used_vcpus_ = 0;
   std::uint16_t used_vgpus_ = 0;
+  bool alive_ = true;
   // function -> idle warm containers (unsorted, tiny lists).
   // Mutable: const queries prune expired entries lazily.
   mutable std::unordered_map<FunctionId, std::vector<WarmEntry>> warm_;

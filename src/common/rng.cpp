@@ -90,4 +90,14 @@ RngStream RngFactory::stream(std::string_view label, std::uint64_t index) const 
   return RngStream(sm.next());
 }
 
+RngFactory RngFactory::scoped(std::string_view label) const {
+  // A fixed index keeps scoped("x") distinct from every stream("x", i): the
+  // stream seed is SplitMix64(seed ^ hash(label, i)).next() while the scoped
+  // master is derived with this reserved index, so label reuse across the
+  // two namespaces cannot collide.
+  constexpr std::uint64_t kScopeIndex = 0x5c09edf5c09edf00ull;
+  SplitMix64 sm(master_seed_ ^ hash_label(label, kScopeIndex));
+  return RngFactory(sm.next());
+}
+
 }  // namespace esg

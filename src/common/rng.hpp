@@ -81,6 +81,13 @@ class RngFactory {
   /// Stream for a named component (e.g. "arrivals", "noise").
   [[nodiscard]] RngStream stream(std::string_view label, std::uint64_t index = 0) const;
 
+  /// Derived factory for a named subsystem: every stream drawn from the
+  /// scoped factory is independent of every stream of this factory (and of
+  /// any differently-labelled scope). Optional subsystems — fault injection,
+  /// future what-if knobs — draw through a scope so that enabling them
+  /// cannot perturb the base streams (arrivals, noise, ...) of a run.
+  [[nodiscard]] RngFactory scoped(std::string_view label) const;
+
   [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
 
  private:

@@ -67,7 +67,17 @@ platform::PlanResult EsgScheduler::plan(const platform::QueueView& view) {
   check(remaining_share > 0.0, "plan: zero remaining share");
   const TimeMs raw_target =
       budget * std::min(1.0, group_share / remaining_share) - transfer_est;
-  const TimeMs margined_target = raw_target * (1.0 - options_.noise_margin);
+  // Fault pressure widens the margin (capped) so a re-planned stage leaves
+  // headroom for another failed attempt; it halves on each plan so a burst
+  // does not permanently pessimise the app. At zero pressure the expression
+  // is bit-identical to the plain margin (x * 1.0 == x).
+  double pressure = 0.0;
+  if (auto pit = retry_pressure_.find(view.app); pit != retry_pressure_.end()) {
+    pressure = pit->second;
+    pit->second *= 0.5;
+  }
+  const double margin = std::min(0.5, options_.noise_margin * (1.0 + pressure));
+  const TimeMs margined_target = raw_target * (1.0 - margin);
 
   // Three regimes: optimise with full safety margin when it is affordable;
   // drop the noise margin and race when only the raw budget fits (a noisy
@@ -195,6 +205,14 @@ std::vector<double> EsgScheduler::planned_stage_fractions(AppId app) const {
     fractions[node] = dist.node_fraction(node);
   }
   return fractions;
+}
+
+void EsgScheduler::on_stage_retry(AppId app, workload::NodeIndex stage,
+                                  TimeMs now_ms) {
+  (void)stage;
+  (void)now_ms;
+  double& pressure = retry_pressure_[app];
+  pressure = std::min(4.0, pressure + 1.0);
 }
 
 std::optional<InvokerId> EsgScheduler::place(const platform::PlacementContext& ctx,

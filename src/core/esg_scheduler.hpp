@@ -61,6 +61,14 @@ class EsgScheduler : public platform::Scheduler {
   [[nodiscard]] std::vector<double> planned_stage_fractions(
       AppId app) const override;
 
+  /// Fault recovery feedback: each retry of one of the app's stages bumps a
+  /// pressure counter that temporarily widens the noise margin (capped),
+  /// so re-planned budgets leave room for another failure. The pressure
+  /// halves on every subsequent plan — at zero it is bit-identical to the
+  /// plain margin, keeping fault-free runs untouched.
+  void on_stage_retry(AppId app, workload::NodeIndex stage,
+                      TimeMs now_ms) override;
+
   [[nodiscard]] const SloDistribution& distribution(AppId app) const;
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -73,6 +81,8 @@ class EsgScheduler : public platform::Scheduler {
   std::unordered_map<AppId, SloDistribution> distributions_;
   std::unordered_map<AppId, const workload::AppDag*> dags_;
   SearchStats stats_;
+  /// Per-app fault pressure (see on_stage_retry); absent = 0.
+  std::unordered_map<AppId, double> retry_pressure_;
 
   /// The functions of `view`'s group from the current stage onward.
   [[nodiscard]] std::vector<workload::NodeIndex> remaining_group_stages(

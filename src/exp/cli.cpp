@@ -1,8 +1,11 @@
 #include "exp/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <stdexcept>
 #include <string_view>
+
+#include "fault/fault_spec.hpp"
 
 namespace esg::exp {
 
@@ -38,19 +41,28 @@ double parse_number(std::string_view key, std::string_view v) {
   double out = 0.0;
   const auto* end = v.data() + v.size();
   const auto [ptr, ec] = std::from_chars(v.data(), end, out);
-  if (ec != std::errc{} || ptr != end) {
+  // from_chars happily parses "nan" and "inf"; neither is a usable knob
+  // value anywhere in the CLI, and NaN in particular slips through every
+  // `< 0` range check below.
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out)) {
     throw std::invalid_argument("malformed value for " + std::string(key) +
                                 ": '" + std::string(v) + "'");
   }
   return out;
 }
 
-std::uint64_t parse_unsigned(std::string_view key, std::string_view v) {
+/// For time-like knobs: finite and >= 0 (parse_number already rejects
+/// NaN/inf, whose casts to integers would be undefined behaviour anyway).
+double parse_nonnegative(std::string_view key, std::string_view v) {
   const double d = parse_number(key, v);
   if (d < 0.0) {
     throw std::invalid_argument(std::string(key) + " must be non-negative");
   }
-  return static_cast<std::uint64_t>(d);
+  return d;
+}
+
+std::uint64_t parse_unsigned(std::string_view key, std::string_view v) {
+  return static_cast<std::uint64_t>(parse_nonnegative(key, v));
 }
 
 bool parse_bool(std::string_view key, std::string_view v) {
@@ -88,6 +100,14 @@ usage: esg_sim [flags]
   --report-out <path>    write the SLO-attribution report (critical-path
                          latency decomposition + per-app miss causes) as JSON;
                          esg_report produces the same file from a saved trace
+  --fault-spec <spec>    deterministic fault injection; `@file` reads the
+                         spec from a file. Clauses are `;`-separated:
+                           crash:invoker=3,at=2000,down=1500
+                           dispatch:prob=0.05[,function=2]
+                           coldstart:prob=0.2[,function=1]
+                           slow:invoker=1,at=500,for=4000,factor=3
+                         A zero-rate spec reproduces the fault-free run
+                         byte-for-byte.
   --help
 )";
 }
@@ -114,9 +134,9 @@ CliOptions parse_cli(std::span<const char* const> args) {
     } else if (key == "--slo") {
       opts.scenario.slo = parse_slo(value);
     } else if (key == "--horizon-ms") {
-      opts.scenario.horizon_ms = parse_number(key, value);
+      opts.scenario.horizon_ms = parse_nonnegative(key, value);
     } else if (key == "--warmup-ms") {
-      opts.scenario.warmup_ms = parse_number(key, value);
+      opts.scenario.warmup_ms = parse_nonnegative(key, value);
     } else if (key == "--nodes") {
       opts.scenario.nodes = static_cast<std::size_t>(parse_unsigned(key, value));
       if (opts.scenario.nodes == 0) {
@@ -153,6 +173,8 @@ CliOptions parse_cli(std::span<const char* const> args) {
       if (opts.scenario.trace.stats_interval_ms <= 0.0) {
         throw std::invalid_argument("--stats-interval-ms must be positive");
       }
+    } else if (key == "--fault-spec") {
+      opts.scenario.fault = fault::load_fault_spec(value);
     } else {
       throw std::invalid_argument("unknown flag '" + std::string(key) +
                                   "' (see --help)");

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/fault_engine.hpp"
 #include "obs/analysis/attribution.hpp"
 #include "obs/analysis/dataset.hpp"
 #include "obs/sampler.hpp"
@@ -139,6 +140,7 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
       if (end <= since) return;
       const char* state = reason == cluster::WarmEnd::kAcquired ? "acquired"
                           : reason == cluster::WarmEnd::kExpired ? "expired"
+                          : reason == cluster::WarmEnd::kCrashed ? "crashed"
                                                                  : "open";
       recorder->span(obs::SpanKind::kKeepAlive,
                      "warm f" + std::to_string(fn.get()),
@@ -148,9 +150,32 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
     });
   }
 
+  // Fault injection: an inert spec creates no engine at all, so the
+  // controller runs the exact fault-free code path (byte-identical outputs).
+  // The engine draws from a factory scoped off the master seed, never from
+  // the base streams, so arrivals and noise are unperturbed by faults.
+  std::unique_ptr<fault::FaultEngine> fault_engine;
+  if (!scenario.fault.inert()) {
+    for (const auto& crash : scenario.fault.crashes) {
+      if (crash.invoker.get() >= scenario.nodes) {
+        throw std::invalid_argument(
+            "run_scenario: fault-spec crash invoker out of range");
+      }
+    }
+    for (const auto& slow : scenario.fault.slowdowns) {
+      if (slow.invoker.get() >= scenario.nodes) {
+        throw std::invalid_argument(
+            "run_scenario: fault-spec slow invoker out of range");
+      }
+    }
+    fault_engine = std::make_unique<fault::FaultEngine>(scenario.fault,
+                                                        rng.scoped("fault"));
+  }
+
   platform::ControllerOptions controller_options = scenario.controller;
   controller_options.metrics_warmup_ms = scenario.warmup_ms;
   controller_options.recorder = recorder;
+  controller_options.fault = fault_engine.get();
   platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
                                   *scheduler, rng, controller_options);
 

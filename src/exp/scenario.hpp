@@ -14,6 +14,7 @@
 #include "baselines/infless.hpp"
 #include "baselines/orion.hpp"
 #include "core/esg_scheduler.hpp"
+#include "fault/fault_spec.hpp"
 #include "metrics/run_metrics.hpp"
 #include "platform/controller.hpp"
 #include "profile/profile_table.hpp"
@@ -59,6 +60,10 @@ struct Scenario {
 
   platform::ControllerOptions controller;
   TraceConfig trace;
+  /// Fault injection (--fault-spec). An inert spec (the default) runs the
+  /// exact fault-free code path: outputs are byte-identical to a run with no
+  /// spec at all.
+  fault::FaultSpec fault;
   profile::ConfigSpaceOptions config_space;
   core::EsgScheduler::Options esg;
   baselines::InflessScheduler::Options infless;

@@ -1,0 +1,69 @@
+#include "fault/fault_engine.hpp"
+
+#include "common/check.hpp"
+
+namespace esg::fault {
+
+void FaultEngine::install(sim::Simulator& sim) {
+  check(!installed_, "FaultEngine::install called twice");
+  installed_ = true;
+  for (const CrashWindow& c : spec_.crashes) {
+    // The crash is scheduled before its rejoin, so a zero-length down window
+    // still fires crash-then-rejoin (the simulator breaks ties by insertion
+    // order).
+    sim.schedule_at(c.at_ms, [this, c] {
+      if (crash_handler_) crash_handler_(c.invoker, c.at_ms + c.down_ms);
+    });
+    sim.schedule_at(c.at_ms + c.down_ms, [this, c] {
+      if (rejoin_handler_) rejoin_handler_(c.invoker);
+    });
+  }
+}
+
+RngStream& FaultEngine::stream_for(
+    std::unordered_map<std::uint32_t, RngStream>& streams,
+    std::string_view label, FunctionId function) {
+  auto it = streams.find(function.get());
+  if (it == streams.end()) {
+    it = streams.emplace(function.get(), rng_.stream(label, function.get()))
+             .first;
+  }
+  return it->second;
+}
+
+bool FaultEngine::dispatch_fails(FunctionId function) {
+  double survive = 1.0;
+  for (const DispatchFault& f : spec_.dispatch) {
+    if (!f.function.has_value() || *f.function == function) {
+      survive *= 1.0 - f.prob;
+    }
+  }
+  const double prob = 1.0 - survive;
+  if (prob <= 0.0) return false;
+  return stream_for(dispatch_streams_, "dispatch", function).chance(prob);
+}
+
+bool FaultEngine::cold_start_fails(FunctionId function) {
+  double survive = 1.0;
+  for (const ColdStartFault& f : spec_.cold_start) {
+    if (!f.function.has_value() || *f.function == function) {
+      survive *= 1.0 - f.prob;
+    }
+  }
+  const double prob = 1.0 - survive;
+  if (prob <= 0.0) return false;
+  return stream_for(cold_streams_, "coldstart", function).chance(prob);
+}
+
+double FaultEngine::slowdown_factor(InvokerId invoker, TimeMs now) const {
+  double factor = 1.0;
+  for (const SlowdownWindow& w : spec_.slowdowns) {
+    if (w.invoker == invoker && now >= w.at_ms &&
+        now < w.at_ms + w.duration_ms) {
+      factor *= w.factor;
+    }
+  }
+  return factor;
+}
+
+}  // namespace esg::fault

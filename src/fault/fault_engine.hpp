@@ -1,0 +1,78 @@
+// Deterministic, seed-isolated fault-injection engine.
+//
+// The engine turns a FaultSpec into concrete fault decisions:
+//
+//  - install() schedules the crash/rejoin events of every CrashWindow on the
+//    simulator; the platform reacts through the registered handlers.
+//  - dispatch_fails()/cold_start_fails() draw Bernoulli outcomes from
+//    *per-function* RNG substreams, so the decision sequence of one function
+//    is independent of how often any other function dispatches.
+//  - slowdown_factor() is a pure window lookup (no randomness).
+//
+// Determinism contract (DESIGN.md §9): the engine owns an RngFactory scoped
+// off the run's master seed (RngFactory::scoped("fault")), so (a) the same
+// seed + spec reproduces the exact same fault sequence, and (b) enabling
+// faults consumes nothing from the base streams — a zero-rate spec leaves
+// the whole run byte-identical to a fault-free one.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace esg::fault {
+
+class FaultEngine {
+ public:
+  /// (invoker, rejoin time) — fired when a CrashWindow begins.
+  using CrashHandler = std::function<void(InvokerId, TimeMs)>;
+  /// Fired when the invoker's down window ends.
+  using RejoinHandler = std::function<void(InvokerId)>;
+
+  /// `rng` should be the run factory's scoped("fault") derivation.
+  FaultEngine(FaultSpec spec, RngFactory rng)
+      : spec_(std::move(spec)), rng_(rng) {}
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] bool enabled() const { return !spec_.inert(); }
+
+  void set_crash_handler(CrashHandler handler) {
+    crash_handler_ = std::move(handler);
+  }
+  void set_rejoin_handler(RejoinHandler handler) {
+    rejoin_handler_ = std::move(handler);
+  }
+
+  /// Schedules every crash and rejoin event. Call once, after the handlers
+  /// are registered; the controller does this in its constructor.
+  void install(sim::Simulator& sim);
+
+  /// Draws whether the next dispatched task of `function` fails mid-run.
+  [[nodiscard]] bool dispatch_fails(FunctionId function);
+  /// Draws whether the next container provisioning of `function` fails.
+  [[nodiscard]] bool cold_start_fails(FunctionId function);
+
+  /// Combined straggler multiplier of the slowdown windows covering
+  /// (invoker, now); 1.0 outside every window.
+  [[nodiscard]] double slowdown_factor(InvokerId invoker, TimeMs now) const;
+
+ private:
+  FaultSpec spec_;
+  RngFactory rng_;
+  CrashHandler crash_handler_;
+  RejoinHandler rejoin_handler_;
+  bool installed_ = false;
+  // Lazily created per-function substreams. Seeding depends only on
+  // (master seed, label, function id), never on creation order.
+  std::unordered_map<std::uint32_t, RngStream> dispatch_streams_;
+  std::unordered_map<std::uint32_t, RngStream> cold_streams_;
+
+  RngStream& stream_for(std::unordered_map<std::uint32_t, RngStream>& streams,
+                        std::string_view label, FunctionId function);
+};
+
+}  // namespace esg::fault

@@ -1,0 +1,217 @@
+#include "fault/fault_spec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace esg::fault {
+
+namespace {
+
+[[noreturn]] void bad_clause(std::string_view clause, const std::string& why) {
+  throw std::invalid_argument("fault-spec clause '" + std::string(clause) +
+                              "': " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+double parse_double(std::string_view clause, std::string_view key,
+                    std::string_view v) {
+  double out = 0.0;
+  const auto* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out)) {
+    bad_clause(clause, "malformed number for '" + std::string(key) + "': '" +
+                           std::string(v) + "'");
+  }
+  return out;
+}
+
+/// Key/value map of one clause body; duplicate keys are rejected.
+std::map<std::string, std::string, std::less<>> parse_kv(
+    std::string_view clause, std::string_view body) {
+  std::map<std::string, std::string, std::less<>> kv;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = std::min(body.find(',', pos), body.size());
+    const std::string_view pair = trim(body.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == pair.size()) {
+      bad_clause(clause, "expected key=value, got '" + std::string(pair) + "'");
+    }
+    const auto [_, inserted] = kv.emplace(trim(pair.substr(0, eq)),
+                                          trim(pair.substr(eq + 1)));
+    if (!inserted) {
+      bad_clause(clause, "duplicate key '" + std::string(trim(pair.substr(0, eq))) + "'");
+    }
+  }
+  return kv;
+}
+
+/// Pops `key` from the map as a number; `required` keys must be present.
+std::optional<double> take(std::map<std::string, std::string, std::less<>>& kv,
+                           std::string_view clause, std::string_view key,
+                           bool required) {
+  auto it = kv.find(key);
+  if (it == kv.end()) {
+    if (required) bad_clause(clause, "missing key '" + std::string(key) + "'");
+    return std::nullopt;
+  }
+  const double v = parse_double(clause, key, it->second);
+  kv.erase(it);
+  return v;
+}
+
+void reject_leftovers(
+    const std::map<std::string, std::string, std::less<>>& kv,
+    std::string_view clause) {
+  if (!kv.empty()) {
+    bad_clause(clause, "unknown key '" + kv.begin()->first + "'");
+  }
+}
+
+TimeMs nonneg_time(std::string_view clause, std::string_view key, double v) {
+  if (v < 0.0) bad_clause(clause, std::string(key) + " must be >= 0");
+  return v;
+}
+
+double probability(std::string_view clause, double v) {
+  if (v < 0.0 || v > 1.0) bad_clause(clause, "prob must be in [0, 1]");
+  return v;
+}
+
+std::uint32_t id_value(std::string_view clause, std::string_view key, double v) {
+  if (v < 0.0 || v != std::floor(v) || v >= 4294967295.0) {
+    bad_clause(clause, std::string(key) + " must be a small non-negative integer");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+void parse_clause(FaultSpec& spec, std::string_view clause) {
+  const std::size_t colon = clause.find(':');
+  if (colon == std::string_view::npos) {
+    bad_clause(clause, "expected kind:key=value,...");
+  }
+  const std::string_view kind = trim(clause.substr(0, colon));
+  auto kv = parse_kv(clause, clause.substr(colon + 1));
+
+  if (kind == "crash") {
+    CrashWindow c;
+    c.invoker = InvokerId(id_value(clause, "invoker", *take(kv, clause, "invoker", true)));
+    c.at_ms = nonneg_time(clause, "at", *take(kv, clause, "at", true));
+    c.down_ms = nonneg_time(clause, "down", *take(kv, clause, "down", true));
+    reject_leftovers(kv, clause);
+    spec.crashes.push_back(c);
+  } else if (kind == "dispatch" || kind == "coldstart") {
+    const double prob = probability(clause, *take(kv, clause, "prob", true));
+    std::optional<FunctionId> function;
+    if (const auto fn = take(kv, clause, "function", false)) {
+      function = FunctionId(id_value(clause, "function", *fn));
+    }
+    reject_leftovers(kv, clause);
+    if (kind == "dispatch") {
+      spec.dispatch.push_back(DispatchFault{prob, function});
+    } else {
+      spec.cold_start.push_back(ColdStartFault{prob, function});
+    }
+  } else if (kind == "slow") {
+    SlowdownWindow w;
+    w.invoker = InvokerId(id_value(clause, "invoker", *take(kv, clause, "invoker", true)));
+    w.at_ms = nonneg_time(clause, "at", *take(kv, clause, "at", true));
+    w.duration_ms = nonneg_time(clause, "for", *take(kv, clause, "for", true));
+    w.factor = *take(kv, clause, "factor", true);
+    if (w.factor < 1.0) bad_clause(clause, "factor must be >= 1");
+    reject_leftovers(kv, clause);
+    spec.slowdowns.push_back(w);
+  } else {
+    bad_clause(clause, "unknown kind '" + std::string(kind) +
+                           "' (crash|dispatch|coldstart|slow)");
+  }
+}
+
+std::string fmt_ms(TimeMs v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool FaultSpec::inert() const {
+  if (!crashes.empty()) return false;
+  for (const auto& d : dispatch) {
+    if (d.prob > 0.0) return false;
+  }
+  for (const auto& c : cold_start) {
+    if (c.prob > 0.0) return false;
+  }
+  for (const auto& s : slowdowns) {
+    if (s.factor > 1.0) return false;
+  }
+  return true;
+}
+
+FaultSpec parse_fault_spec(std::string_view text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t sep = std::min(text.find_first_of(";\n", pos), text.size());
+    const std::string_view clause = trim(text.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (clause.empty() || clause.front() == '#') continue;
+    parse_clause(spec, clause);
+  }
+  return spec;
+}
+
+FaultSpec load_fault_spec(std::string_view arg) {
+  if (arg.empty() || arg.front() != '@') return parse_fault_spec(arg);
+  const std::string path(arg.substr(1));
+  std::ifstream file(path);
+  if (!file) {
+    throw std::invalid_argument("fault-spec file '" + path + "' is unreadable");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_fault_spec(text.str());
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::string out;
+  const auto clause = [&out](const std::string& s) {
+    if (!out.empty()) out += ';';
+    out += s;
+  };
+  for (const auto& c : spec.crashes) {
+    clause("crash:invoker=" + std::to_string(c.invoker.get()) +
+           ",at=" + fmt_ms(c.at_ms) + ",down=" + fmt_ms(c.down_ms));
+  }
+  for (const auto& d : spec.dispatch) {
+    std::string s = "dispatch:prob=" + fmt_ms(d.prob);
+    if (d.function) s += ",function=" + std::to_string(d.function->get());
+    clause(s);
+  }
+  for (const auto& c : spec.cold_start) {
+    std::string s = "coldstart:prob=" + fmt_ms(c.prob);
+    if (c.function) s += ",function=" + std::to_string(c.function->get());
+    clause(s);
+  }
+  for (const auto& w : spec.slowdowns) {
+    clause("slow:invoker=" + std::to_string(w.invoker.get()) +
+           ",at=" + fmt_ms(w.at_ms) + ",for=" + fmt_ms(w.duration_ms) +
+           ",factor=" + fmt_ms(w.factor));
+  }
+  return out;
+}
+
+}  // namespace esg::fault

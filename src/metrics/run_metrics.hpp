@@ -36,7 +36,8 @@ struct CompletionRecord {
   TimeMs completion_ms = 0.0;
   TimeMs latency_ms = 0.0;
   TimeMs slo_ms = 0.0;
-  bool hit = false;  ///< latency <= SLO
+  bool hit = false;     ///< latency <= SLO
+  bool failed = false;  ///< aborted after exhausting its retry budget
 };
 
 struct RunMetrics {
@@ -65,6 +66,14 @@ struct RunMetrics {
   std::size_t plan_misses = 0;
 
   std::size_t forced_min_dispatches = 0;  ///< recheck-list escape hatch fired
+
+  // Fault-injection & recovery counters (all zero without a fault spec).
+  std::size_t task_failures = 0;        ///< tasks that did not complete
+  std::size_t task_timeouts = 0;        ///< failures detected by the watchdog
+  std::size_t retries = 0;              ///< jobs re-enqueued after a failure
+  std::size_t retries_exhausted = 0;    ///< requests aborted out of retries
+  std::size_t cold_start_failures = 0;  ///< provisioning attempts that failed
+  std::size_t invoker_crashes = 0;      ///< crash windows that opened
 
   [[nodiscard]] std::size_t requests() const { return completions.size(); }
   [[nodiscard]] double slo_hit_rate() const;

@@ -35,6 +35,32 @@ std::map<std::uint32_t, BudgetPlan> collect_budget_plans(
   return plans;
 }
 
+/// Fault/abort markers a request's track carried (fault-injection runs).
+struct FaultMarks {
+  std::map<std::size_t, std::size_t> faults_by_stage;
+  bool aborted = false;
+  std::size_t abort_stage = 0;
+};
+
+std::map<std::uint32_t, FaultMarks> collect_fault_marks(
+    const TraceDataset& dataset) {
+  std::map<std::uint32_t, FaultMarks> marks;
+  for (const Instant& instant : dataset.instants) {
+    if (instant.track.pid != kRequestsPid) continue;
+    if (instant.kind == InstantKind::kFault) {
+      const auto stage =
+          static_cast<std::size_t>(arg_double(instant.args, "stage", 0.0));
+      ++marks[instant.track.tid].faults_by_stage[stage];
+    } else if (instant.kind == InstantKind::kRetryExhausted) {
+      FaultMarks& mark = marks[instant.track.tid];
+      mark.aborted = true;
+      mark.abort_stage =
+          static_cast<std::size_t>(arg_double(instant.args, "stage", 0.0));
+    }
+  }
+  return marks;
+}
+
 std::string classify_miss(const RequestBreakdown& request) {
   // Blame the stage with the worst signed drift; ties go to the earliest
   // stage so the classification is deterministic.
@@ -147,6 +173,7 @@ Histogram make_drift_histogram() { return Histogram(-1.0, 1.0, 16); }
 void attribute_slo_budgets(CriticalPathResult& paths,
                            const TraceDataset& dataset) {
   const auto plans = collect_budget_plans(dataset);
+  const auto fault_marks = collect_fault_marks(dataset);
   for (RequestBreakdown& request : paths.requests) {
     const auto plan_it = plans.find(request.request);
     const BudgetPlan* plan =
@@ -165,7 +192,27 @@ void attribute_slo_budgets(CriticalPathResult& paths,
       }
     }
     if (!request.hit && !request.path.empty()) {
-      request.miss_cause = classify_miss(request);
+      // Fault causes take precedence: a fault explains the miss better than
+      // the drift it left behind.
+      const auto mark_it = fault_marks.find(request.request);
+      if (mark_it != fault_marks.end() && mark_it->second.aborted) {
+        request.miss_cause =
+            "retry_exhausted@stage" + std::to_string(mark_it->second.abort_stage);
+      } else {
+        const StageBreakdown* faulted = nullptr;
+        if (mark_it != fault_marks.end()) {
+          for (const StageBreakdown& stage : request.path) {
+            if (mark_it->second.faults_by_stage.count(stage.stage) == 0) continue;
+            if (faulted == nullptr || stage.drift_ms() > faulted->drift_ms()) {
+              faulted = &stage;
+            }
+          }
+        }
+        request.miss_cause =
+            faulted != nullptr
+                ? "fault@stage" + std::to_string(faulted->stage)
+                : classify_miss(request);
+      }
     }
   }
 }

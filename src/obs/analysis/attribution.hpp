@@ -14,6 +14,16 @@
 //   budget_undersized@stageK  execution alone exceeded the planned budget —
 //                             the planner under-provisioned the stage
 //
+// Fault-injection runs add two causes that take precedence over the drift
+// classification (a fault explains the miss better than the drift it left
+// behind):
+//
+//   retry_exhausted@stageK  the request was aborted at stage K after its
+//                           retry budget ran out (InstantKind::kRetryExhausted)
+//   fault@stageK            a critical-path stage suffered fault-injected
+//                           failures (InstantKind::kFault) and the request
+//                           missed; K is the worst-drift faulted stage
+//
 // Requests with no traced budget plan (baseline schedulers plan no explicit
 // per-stage budgets) fall back to a uniform split of the SLO over the
 // critical path and are flagged `uniform_budget`.

@@ -24,6 +24,8 @@ std::string_view to_string(SpanKind kind) {
       return "keep_alive";
     case SpanKind::kPrewarm:
       return "prewarm";
+    case SpanKind::kInvokerDown:
+      return "invoker_down";
   }
   return "unknown";
 }
@@ -46,6 +48,18 @@ std::string_view to_string(InstantKind kind) {
       return "budget_plan";
     case InstantKind::kBudgetReplan:
       return "budget_replan";
+    case InstantKind::kFault:
+      return "fault";
+    case InstantKind::kRetry:
+      return "retry";
+    case InstantKind::kRetryExhausted:
+      return "retry_exhausted";
+    case InstantKind::kInvokerCrash:
+      return "invoker_crash";
+    case InstantKind::kInvokerRejoin:
+      return "invoker_rejoin";
+    case InstantKind::kColdStartFailure:
+      return "cold_start_failure";
   }
   return "unknown";
 }
@@ -54,7 +68,8 @@ std::optional<SpanKind> span_kind_from_string(std::string_view s) {
   static constexpr SpanKind kAll[] = {
       SpanKind::kRequest,   SpanKind::kQueueWait, SpanKind::kStage,
       SpanKind::kStaging,   SpanKind::kExec,      SpanKind::kSliceOccupied,
-      SpanKind::kColdStart, SpanKind::kKeepAlive, SpanKind::kPrewarm};
+      SpanKind::kColdStart, SpanKind::kKeepAlive, SpanKind::kPrewarm,
+      SpanKind::kInvokerDown};
   for (const SpanKind kind : kAll) {
     if (to_string(kind) == s) return kind;
   }
@@ -66,7 +81,10 @@ std::optional<InstantKind> instant_kind_from_string(std::string_view s) {
       InstantKind::kDispatch,       InstantKind::kNoPlacement,
       InstantKind::kDefer,          InstantKind::kForcedMinDispatch,
       InstantKind::kPrewarmIssued,  InstantKind::kPrewarmSkipped,
-      InstantKind::kBudgetPlan,     InstantKind::kBudgetReplan};
+      InstantKind::kBudgetPlan,     InstantKind::kBudgetReplan,
+      InstantKind::kFault,          InstantKind::kRetry,
+      InstantKind::kRetryExhausted, InstantKind::kInvokerCrash,
+      InstantKind::kInvokerRejoin,  InstantKind::kColdStartFailure};
   for (const InstantKind kind : kAll) {
     if (to_string(kind) == s) return kind;
   }

@@ -34,6 +34,7 @@ enum class SpanKind : std::uint8_t {
   kColdStart,      ///< container provisioning (create + model load)
   kKeepAlive,      ///< idle warm container parked in the keep-alive pool
   kPrewarm,        ///< proactive warm-up issued by the prewarm manager
+  kInvokerDown,    ///< fault-injected crash window (crash -> rejoin)
 };
 
 enum class InstantKind : std::uint8_t {
@@ -45,6 +46,12 @@ enum class InstantKind : std::uint8_t {
   kPrewarmSkipped,
   kBudgetPlan,    ///< per-stage SLO budgets fixed at request arrival
   kBudgetReplan,  ///< renormalised group budget from a mid-workflow re-plan
+  kFault,             ///< a job's task failed (transient/timeout/crash)
+  kRetry,             ///< failed jobs re-enqueued after backoff
+  kRetryExhausted,    ///< retry budget spent; the request was aborted
+  kInvokerCrash,      ///< fault-injected node loss observed by the controller
+  kInvokerRejoin,     ///< crashed node returned to service
+  kColdStartFailure,  ///< container provisioning burned its time and failed
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -31,7 +32,8 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       scheduler_(scheduler),
       options_(options),
       noise_rng_(rng.stream("controller-noise")),
-      rec_(options.recorder) {
+      rec_(options.recorder),
+      fault_(options.fault) {
   if (apps.empty()) throw std::invalid_argument("Controller: no applications");
 
   // Apps are indexed by AppId value; ids must be dense starting at 0.
@@ -76,6 +78,26 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
           .add_warm(queue.function, 0.0, options_.keep_alive_ms);
     }
   }
+
+  if (fault_ != nullptr) {
+    fault_->set_crash_handler([this](InvokerId id, TimeMs rejoin_at) {
+      on_invoker_crash(id, rejoin_at);
+    });
+    fault_->set_rejoin_handler([this](InvokerId id) { on_invoker_rejoin(id); });
+    fault_->install(sim_);
+  }
+}
+
+std::string_view Controller::cause_name(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kTransient:
+      return "transient";
+    case FailureCause::kTimeout:
+      return "timeout";
+    case FailureCause::kCrash:
+      return "crash";
+  }
+  return "unknown";
 }
 
 void Controller::announce_trace_tracks() {
@@ -359,11 +381,29 @@ void Controller::process_queue(std::size_t qi) {
     ctx.config = config;
     ctx.predecessor_invoker = majority_input_location(queue, config.batch);
 
+    // Retried jobs must avoid the invoker their last attempt failed on.
+    // Escape hatches: a single-node cluster has nowhere else to go, and a
+    // forced dispatch prioritises progress over placement hygiene.
+    ctx.excluded_invoker = InvokerId{};
+    if (!forced && cluster_.size() > 1) {
+      std::uint16_t scanned = 0;
+      for (const Job& job : queue.jobs) {
+        if (scanned++ == config.batch) break;
+        if (job.exclude_invoker.valid()) {
+          ctx.excluded_invoker = job.exclude_invoker;
+          break;
+        }
+      }
+    }
+
     // Phase A — reuse: any fitting invoker that already holds a warm
     // container serves the task (that is what keep-alive instances are
     // for, on every platform); locality breaks ties.
     const std::optional<InvokerId> warm_fit = [&]() -> std::optional<InvokerId> {
       const auto fits_warm = [&](InvokerId id) {
+        if (ctx.excluded_invoker.valid() && id == ctx.excluded_invoker) {
+          return false;
+        }
         const auto& inv = cluster_.invoker(id);
         return inv.can_fit(config.vcpus, config.vgpus) &&
                inv.has_warm(queue.function, sim_.now());
@@ -493,14 +533,28 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
   // the analytical model directly (not the table): batch clamping and the
   // ablation overrides can produce configurations outside the enumerated
   // space (e.g. more vGPU slices than jobs), which still execute fine.
+  const TimeMs nominal_ms = profile::PerfModel::latency_ms(spec, config);
   const double noise =
       std::max(kNoiseFloor, noise_rng_.gaussian(1.0, options_.noise_cv));
-  task.exec_ms = profile::PerfModel::latency_ms(spec, config) * noise;
+  task.exec_ms = nominal_ms * noise;
+
+  // Fault injection: stretch the execution by any slowdown window covering
+  // this invoker, then draw whether this task dies mid-run. Both are absent
+  // (no branch, no draw) on fault-free runs.
+  bool will_fail = false;
+  if (fault_ != nullptr) {
+    task.exec_ms = profile::PerfModel::degraded_ms(
+        task.exec_ms, fault_->slowdown_factor(invoker_id, sim_.now()));
+    will_fail = fault_->dispatch_fails(task.function);
+  }
 
   ++active_by_function_[task.function];
 
   task.cost = prices_.cost(config.vcpus, config.vgpus, task.occupancy_ms());
-  if (measured) {
+  // Fault runs account the task when its outcome is known: a completed task
+  // books here retroactively from finish_inflight(); a failed one bills only
+  // the occupancy it actually held, in fail_inflight().
+  if (measured && fault_ == nullptr) {
     metrics_.total_cost += task.cost;
     metrics_.cost_by_app[task.app] += task.cost;
     ++metrics_.tasks;
@@ -510,53 +564,21 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
         task.dispatch_ms, task.transfer_ms, task.exec_ms, task.cost});
   }
 
+  const TimeMs start = sim_.now() + overhead_ms;  // work begins post-overhead
+  const TimeMs done = start + task.occupancy_ms();
   if (traced_now()) {
-    const TimeMs start = sim_.now() + overhead_ms;  // work begins post-overhead
-    const TimeMs done = start + task.occupancy_ms();
+    task.trace_lanes = trace_gpu_lanes_.acquire(invoker_id.get(), config.vgpus);
+  }
+  // Fault runs emit the task spans when the outcome is known, so the spans
+  // show what actually happened (a failure cuts them short).
+  if (fault_ == nullptr) {
+    emit_task_spans(task, overhead_ms, done, false, {});
+  }
+  if (traced_now()) {
     std::string stage_tag = "a";
     stage_tag += std::to_string(task.app.get());
     stage_tag += "/s";
     stage_tag += std::to_string(task.stage);
-
-    for (const Job& job : task.jobs) {
-      const obs::Track req_track = obs::request_track(job.request);
-      rec_->span(obs::SpanKind::kQueueWait, "wait " + stage_tag, req_track,
-                 job.enqueue_ms, sim_.now(),
-                 {{"job", std::to_string(job.id.get())},
-                  {"stage", std::to_string(task.stage)},
-                  {"task", std::to_string(task.id.get())}});
-      rec_->span(obs::SpanKind::kStage, "run " + stage_tag, req_track,
-                 sim_.now(), done,
-                 {{"task", std::to_string(task.id.get())},
-                  {"stage", std::to_string(task.stage)},
-                  {"invoker", std::to_string(invoker_id.get())},
-                  {"batch", std::to_string(config.batch)},
-                  {"overhead_ms", std::to_string(overhead_ms)}});
-    }
-
-    task.trace_lanes = trace_gpu_lanes_.acquire(invoker_id.get(), config.vgpus);
-    const std::uint32_t primary =
-        task.trace_lanes.empty() ? 0u : task.trace_lanes.front();
-    const obs::Track exec_track = obs::invoker_track(invoker_id, primary);
-    if (task.transfer_ms > 0.0) {
-      rec_->span(obs::SpanKind::kStaging, "staging " + stage_tag, exec_track,
-                 start, start + task.transfer_ms,
-                 {{"task", std::to_string(task.id.get())}});
-    }
-    rec_->span(obs::SpanKind::kExec, "exec " + stage_tag, exec_track,
-               start + task.transfer_ms, done,
-               {{"task", std::to_string(task.id.get())},
-                {"function", std::to_string(task.function.get())},
-                {"batch", std::to_string(config.batch)},
-                {"vcpus", std::to_string(config.vcpus)},
-                {"vgpus", std::to_string(config.vgpus)},
-                {"cost_usd", std::to_string(task.cost)}});
-    for (std::size_t i = 1; i < task.trace_lanes.size(); ++i) {
-      rec_->span(obs::SpanKind::kSliceOccupied, "slice " + stage_tag,
-                 obs::invoker_track(invoker_id, task.trace_lanes[i]), start,
-                 done, {{"task", std::to_string(task.id.get())}});
-    }
-
     rec_->instant(obs::InstantKind::kDispatch, "dispatch " + stage_tag,
                   obs::controller_track(), sim_.now(),
                   {{"app", std::to_string(task.app.get())},
@@ -585,29 +607,376 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
   // The scheduling overhead delays the start of the work; the resources are
   // reserved now (the controller has committed them) but the occupancy bill
   // covers only the task itself.
-  const TimeMs completion = sim_.now() + overhead_ms + task.occupancy_ms();
-  sim_.schedule_at(completion, [this, task = std::move(task)] {
-    complete_task(task);
+  if (fault_ == nullptr) {
+    const TimeMs completion = sim_.now() + overhead_ms + task.occupancy_ms();
+    sim_.schedule_at(completion, [this, task = std::move(task)] {
+      complete_task(task);
+    });
+    return;
+  }
+
+  // Fault run: book the task in flight and race its outcome against the
+  // watchdog. The outcome is scheduled first, so an exact tie (completion on
+  // the watchdog deadline) resolves as the outcome.
+  InFlightTask entry;
+  entry.overhead_ms = overhead_ms;
+  const std::uint32_t tid = task.id.get();
+  if (will_fail) {
+    // An injected failure surfaces halfway through the execution.
+    const TimeMs fail_at = start + task.transfer_ms + 0.5 * task.exec_ms;
+    entry.outcome = sim_.schedule_at(fail_at, [this, tid] {
+      fail_inflight(tid, FailureCause::kTransient);
+    });
+  } else {
+    entry.outcome = sim_.schedule_at(done, [this, tid] { finish_inflight(tid); });
+  }
+  // The watchdog runs off the noise-free expectation: a straggler stretched
+  // past `factor` x nominal is killed and retried even though it would have
+  // finished eventually.
+  const TimeMs watchdog_ms =
+      std::max(options_.task_timeout_floor_ms,
+               options_.task_timeout_factor * (task.transfer_ms + nominal_ms));
+  entry.timeout = sim_.schedule_at(start + watchdog_ms, [this, tid] {
+    fail_inflight(tid, FailureCause::kTimeout);
   });
+  entry.task = std::move(task);
+  inflight_.emplace(tid, std::move(entry));
+}
+
+void Controller::emit_task_spans(const Task& task, TimeMs overhead_ms,
+                                 TimeMs done, bool failed,
+                                 std::string_view cause) {
+  if (rec_ == nullptr || !rec_->is_enabled() ||
+      task.dispatch_ms < options_.metrics_warmup_ms) {
+    return;
+  }
+  const TimeMs start = task.dispatch_ms + overhead_ms;
+  std::string stage_tag = "a";
+  stage_tag += std::to_string(task.app.get());
+  stage_tag += "/s";
+  stage_tag += std::to_string(task.stage);
+
+  for (const Job& job : task.jobs) {
+    const obs::Track req_track = obs::request_track(job.request);
+    rec_->span(obs::SpanKind::kQueueWait, "wait " + stage_tag, req_track,
+               job.enqueue_ms, task.dispatch_ms,
+               {{"job", std::to_string(job.id.get())},
+                {"stage", std::to_string(task.stage)},
+                {"task", std::to_string(task.id.get())}});
+    obs::ArgList run_args{{"task", std::to_string(task.id.get())},
+                          {"stage", std::to_string(task.stage)},
+                          {"invoker", std::to_string(task.invoker.get())},
+                          {"batch", std::to_string(task.config.batch)},
+                          {"overhead_ms", std::to_string(overhead_ms)}};
+    if (failed) {
+      run_args.emplace_back("failed", "true");
+      run_args.emplace_back("cause", std::string(cause));
+      run_args.emplace_back("attempt", std::to_string(job.attempts));
+    }
+    rec_->span(obs::SpanKind::kStage, "run " + stage_tag, req_track,
+               task.dispatch_ms, done, std::move(run_args));
+  }
+
+  const std::uint32_t primary =
+      task.trace_lanes.empty() ? 0u : task.trace_lanes.front();
+  const obs::Track exec_track = obs::invoker_track(task.invoker, primary);
+  if (task.transfer_ms > 0.0) {
+    rec_->span(obs::SpanKind::kStaging, "staging " + stage_tag, exec_track,
+               start, std::min(start + task.transfer_ms, done),
+               {{"task", std::to_string(task.id.get())}});
+  }
+  if (done > start + task.transfer_ms) {
+    obs::ArgList exec_args{{"task", std::to_string(task.id.get())},
+                           {"function", std::to_string(task.function.get())},
+                           {"batch", std::to_string(task.config.batch)},
+                           {"vcpus", std::to_string(task.config.vcpus)},
+                           {"vgpus", std::to_string(task.config.vgpus)},
+                           {"cost_usd", std::to_string(task.cost)}};
+    if (failed) {
+      exec_args.emplace_back("failed", "true");
+      exec_args.emplace_back("cause", std::string(cause));
+    }
+    rec_->span(obs::SpanKind::kExec, "exec " + stage_tag, exec_track,
+               start + task.transfer_ms, done, std::move(exec_args));
+  }
+  for (std::size_t i = 1; i < task.trace_lanes.size(); ++i) {
+    rec_->span(obs::SpanKind::kSliceOccupied, "slice " + stage_tag,
+               obs::invoker_track(task.invoker, task.trace_lanes[i]), start,
+               done, {{"task", std::to_string(task.id.get())}});
+  }
+}
+
+void Controller::finish_inflight(std::uint32_t task_id) {
+  auto it = inflight_.find(task_id);
+  check(it != inflight_.end(), "finish_inflight: task not in flight");
+  InFlightTask entry = std::move(it->second);
+  inflight_.erase(it);
+  sim_.cancel(entry.timeout);
+  const Task& task = entry.task;
+
+  if (task.dispatch_ms >= options_.metrics_warmup_ms) {
+    metrics_.total_cost += task.cost;
+    metrics_.cost_by_app[task.app] += task.cost;
+    ++metrics_.tasks;
+    metrics_.task_trace.push_back(metrics::TaskRecord{
+        task.id, task.app, task.stage, task.function, task.invoker,
+        task.config.batch, task.config.vcpus, task.config.vgpus,
+        task.dispatch_ms, task.transfer_ms, task.exec_ms, task.cost});
+  }
+  emit_task_spans(task, entry.overhead_ms, sim_.now(), false, {});
+  complete_task(task);
+}
+
+void Controller::fail_inflight(std::uint32_t task_id, FailureCause cause) {
+  auto it = inflight_.find(task_id);
+  if (it == inflight_.end()) return;  // raced with a crash that killed it
+  InFlightTask entry = std::move(it->second);
+  inflight_.erase(it);
+  sim_.cancel(entry.outcome);
+  sim_.cancel(entry.timeout);
+  Task& task = entry.task;
+
+  // Release everything the task held. The container itself is lost — no
+  // warm entry returns to the pool, unlike a completion.
+  auto& invoker = cluster_.invoker(task.invoker);
+  invoker.release(task.config.vcpus, task.config.vgpus);
+  if (!task.trace_lanes.empty()) {
+    trace_gpu_lanes_.release(task.invoker.get(), task.trace_lanes);
+  }
+  auto active = active_by_function_.find(task.function);
+  check(active != active_by_function_.end() && active->second > 0,
+        "fail_inflight: active-task accounting underflow");
+  --active->second;
+
+  // Bill the occupancy actually held (post-overhead up to the failure).
+  const TimeMs start = task.dispatch_ms + entry.overhead_ms;
+  const TimeMs held_ms = std::max(0.0, sim_.now() - start);
+  task.cost = prices_.cost(task.config.vcpus, task.config.vgpus, held_ms);
+  if (task.dispatch_ms >= options_.metrics_warmup_ms) {
+    metrics_.total_cost += task.cost;
+    metrics_.cost_by_app[task.app] += task.cost;
+    ++metrics_.task_failures;
+    if (cause == FailureCause::kTimeout) ++metrics_.task_timeouts;
+  }
+
+  emit_task_spans(task, entry.overhead_ms, sim_.now(), true, cause_name(cause));
+  retry_or_abort(task, cause);
+  ensure_scan_scheduled();
+}
+
+void Controller::retry_or_abort(const Task& task, FailureCause cause) {
+  const TimeMs now = sim_.now();
+  const auto& dag = dag_of(task.app);
+  const std::vector<double> fractions =
+      scheduler_.planned_stage_fractions(task.app);
+  const double fraction = (task.stage < fractions.size())
+                              ? fractions[task.stage]
+                              : 1.0 / static_cast<double>(dag.size());
+  const TimeMs stage_budget_ms = slo_of(task.app) * fraction;
+
+  bool budget_eaten = false;
+  for (const Job& job : task.jobs) {
+    if (now - job.enqueue_ms > stage_budget_ms) budget_eaten = true;
+    if (aborted_requests_.count(job.request.get()) > 0) continue;
+
+    Job retry = job;
+    ++retry.attempts;
+    retry.exclude_invoker = task.invoker;
+
+    if (traced_now()) {
+      rec_->instant(obs::InstantKind::kFault, "fault",
+                    obs::request_track(job.request), now,
+                    {{"stage", std::to_string(task.stage)},
+                     {"cause", std::string(cause_name(cause))},
+                     {"attempt", std::to_string(retry.attempts)},
+                     {"invoker", std::to_string(task.invoker.get())},
+                     {"task", std::to_string(task.id.get())}});
+    }
+
+    if (static_cast<int>(retry.attempts) > options_.max_task_retries) {
+      if (traced_now()) {
+        rec_->instant(obs::InstantKind::kRetryExhausted, "retry exhausted",
+                      obs::request_track(job.request), now,
+                      {{"stage", std::to_string(task.stage)},
+                       {"attempts", std::to_string(retry.attempts)}});
+      }
+      abort_request(job.request, task.stage, now);
+      continue;
+    }
+
+    if (now >= options_.metrics_warmup_ms) ++metrics_.retries;
+    const TimeMs backoff_ms =
+        std::min(options_.retry_backoff_cap_ms,
+                 options_.retry_backoff_base_ms *
+                     std::exp2(static_cast<double>(retry.attempts - 1)));
+    if (traced_now()) {
+      rec_->instant(obs::InstantKind::kRetry, "retry",
+                    obs::controller_track(), now,
+                    {{"app", std::to_string(task.app.get())},
+                     {"stage", std::to_string(task.stage)},
+                     {"attempt", std::to_string(retry.attempts)},
+                     {"backoff_ms", std::to_string(backoff_ms)},
+                     {"exclude", std::to_string(task.invoker.get())}});
+    }
+    sim_.schedule_in(backoff_ms, [this, retry] { requeue_job(retry); });
+  }
+
+  scheduler_.on_stage_retry(task.app, task.stage, now);
+
+  if (budget_eaten) {
+    // The failed attempt consumed the stage's SLO share: force the next scan
+    // to re-plan this queue (ESG renormalises the remaining budget against
+    // the elapsed time — its natural re-plan path).
+    auto qit = queue_index_.find(queue_key(task.app, task.stage));
+    if (qit != queue_index_.end()) {
+      AfwQueue& queue = queues_[qit->second];
+      queue.planned_length = AfwQueue::kNoPlan;
+      queue.replan_at_ms = now;
+    }
+  }
+}
+
+void Controller::requeue_job(const Job& job) {
+  if (aborted_requests_.count(job.request.get()) > 0) return;
+  auto it = queue_index_.find(queue_key(job.app, job.stage));
+  check(it != queue_index_.end(), "requeue_job: unknown queue");
+  AfwQueue& queue = queues_[it->second];
+  // Front of the queue: the retried job is the oldest work this stage has.
+  queue.jobs.push_front(job);
+  queue.planned_length = AfwQueue::kNoPlan;
+  ensure_scan_scheduled();
+}
+
+void Controller::abort_request(RequestId request, workload::NodeIndex stage,
+                               TimeMs now) {
+  auto it = requests_.find(request);
+  if (it == requests_.end()) return;
+  aborted_requests_.insert(request.get());
+
+  // Drop the request's queued jobs everywhere (parallel DAG branches may
+  // have siblings waiting at other stages).
+  for (AfwQueue& queue : queues_) {
+    const std::size_t before = queue.jobs.size();
+    std::erase_if(queue.jobs,
+                  [request](const Job& j) { return j.request == request; });
+    if (queue.jobs.size() != before) queue.planned_length = AfwQueue::kNoPlan;
+  }
+
+  const RequestState req = it->second;
+  requests_.erase(it);
+
+  if (req.arrival_ms < options_.metrics_warmup_ms) return;
+
+  ++metrics_.retries_exhausted;
+  metrics::CompletionRecord record;
+  record.request = request;
+  record.app = req.app;
+  record.arrival_ms = req.arrival_ms;
+  record.completion_ms = now;
+  record.latency_ms = now - req.arrival_ms;
+  record.slo_ms = req.slo_ms;
+  record.hit = false;
+  record.failed = true;
+  metrics_.completions.push_back(record);
+
+  if (rec_ != nullptr && rec_->is_enabled()) {
+    rec_->span(obs::SpanKind::kRequest,
+               "request " + std::to_string(request.get()),
+               obs::request_track(request), req.arrival_ms, now,
+               {{"app", std::to_string(req.app.get())},
+                {"latency_ms", std::to_string(record.latency_ms)},
+                {"slo_ms", std::to_string(req.slo_ms)},
+                {"hit", "false"},
+                {"aborted", "true"},
+                {"abort_stage", std::to_string(stage)}});
+  }
+}
+
+void Controller::on_invoker_crash(InvokerId invoker, TimeMs rejoin_at_ms) {
+  const TimeMs now = sim_.now();
+  if (now >= options_.metrics_warmup_ms) ++metrics_.invoker_crashes;
+
+  if (traced_now()) {
+    rec_->instant(obs::InstantKind::kInvokerCrash, "invoker crash",
+                  obs::controller_track(), now,
+                  {{"invoker", std::to_string(invoker.get())},
+                   {"rejoin_at_ms", std::to_string(rejoin_at_ms)}});
+    rec_->span(obs::SpanKind::kInvokerDown,
+               "down invoker " + std::to_string(invoker.get()),
+               obs::invoker_track(invoker, obs::kProvisionLane), now,
+               rejoin_at_ms, {{"invoker", std::to_string(invoker.get())}});
+  }
+
+  // Fail every task running here. Sorted ids: inflight_ is an unordered_map
+  // and the failure path feeds the trace, which must stay byte-reproducible.
+  std::vector<std::uint32_t> victims;
+  for (const auto& [tid, entry] : inflight_) {
+    if (entry.task.invoker == invoker) victims.push_back(tid);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const std::uint32_t tid : victims) {
+    fail_inflight(tid, FailureCause::kCrash);
+  }
+
+  // Cancel in-flight container provisioning targeting the dead node.
+  for (auto pit = provisioning_.begin(); pit != provisioning_.end();) {
+    if (static_cast<std::uint32_t>(pit->first >> 32) == invoker.get()) {
+      sim_.cancel(pit->second);
+      pit = provisioning_.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+
+  // Finally drop the warm pool and mark the node dead.
+  cluster_.invoker(invoker).crash(now);
+}
+
+void Controller::on_invoker_rejoin(InvokerId invoker) {
+  cluster_.invoker(invoker).rejoin();
+  if (traced_now()) {
+    rec_->instant(obs::InstantKind::kInvokerRejoin, "invoker rejoin",
+                  obs::controller_track(), sim_.now(),
+                  {{"invoker", std::to_string(invoker.get())}});
+  }
+  ensure_scan_scheduled();
 }
 
 void Controller::provision_container(InvokerId invoker, FunctionId function) {
   const std::uint64_t key = (std::uint64_t{invoker.get()} << 32) | function.get();
-  if (!provisioning_.insert(key).second) return;  // already underway
+  auto [slot, inserted] = provisioning_.emplace(key, sim::EventHandle{});
+  if (!inserted) return;  // already underway
   if (sim_.now() >= options_.metrics_warmup_ms) ++metrics_.cold_starts;
   const TimeMs cold = profiles_.table(function).spec().cold_start_ms;
+  // Fault injection: the provisioning burns the full cold-start time and
+  // then fails — no warm container joins the pool. Drawn up front so the
+  // trace can flag the doomed span.
+  const bool fails = fault_ != nullptr && fault_->cold_start_fails(function);
   if (traced_now()) {
+    obs::ArgList args{{"function", std::to_string(function.get())},
+                      {"cold_ms", std::to_string(cold)}};
+    if (fails) args.emplace_back("failed", "true");
     rec_->span(obs::SpanKind::kColdStart,
                "cold start f" + std::to_string(function.get()),
                obs::invoker_track(invoker, obs::kProvisionLane), sim_.now(),
-               sim_.now() + cold,
-               {{"function", std::to_string(function.get())},
-                {"cold_ms", std::to_string(cold)}});
+               sim_.now() + cold, std::move(args));
   }
-  sim_.schedule_in(cold, [this, key, invoker, function] {
+  slot->second = sim_.schedule_in(cold, [this, key, invoker, function, fails] {
     provisioning_.erase(key);
-    cluster_.invoker(invoker).add_warm(function, sim_.now(),
-                                       options_.keep_alive_ms);
+    if (fails) {
+      if (sim_.now() >= options_.metrics_warmup_ms) {
+        ++metrics_.cold_start_failures;
+      }
+      if (traced_now()) {
+        rec_->instant(obs::InstantKind::kColdStartFailure, "cold start failure",
+                      obs::invoker_track(invoker, obs::kProvisionLane),
+                      sim_.now(),
+                      {{"function", std::to_string(function.get())}});
+      }
+    } else {
+      cluster_.invoker(invoker).add_warm(function, sim_.now(),
+                                         options_.keep_alive_ms);
+    }
     ensure_scan_scheduled();
   });
 }
@@ -642,7 +1011,13 @@ void Controller::complete_task(const Task& task) {
 void Controller::advance_job(const Job& job, InvokerId ran_on,
                              TimeMs completion_ms) {
   auto req_it = requests_.find(job.request);
-  check(req_it != requests_.end(), "advance_job: unknown request");
+  if (req_it == requests_.end()) {
+    // The request was aborted (retries exhausted) while this sibling task
+    // was still in flight; its result has nowhere to go.
+    check(aborted_requests_.count(job.request.get()) > 0,
+          "advance_job: unknown request");
+    return;
+  }
   RequestState& req = req_it->second;
   const auto& dag = dag_of(job.app);
   const auto& node = dag.node(job.stage);

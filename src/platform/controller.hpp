@@ -10,13 +10,15 @@
 
 #include <deque>
 #include <memory>
-#include <set>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault_engine.hpp"
 #include "metrics/run_metrics.hpp"
 #include "obs/recorder.hpp"
 #include "platform/job.hpp"
@@ -70,6 +72,25 @@ struct ControllerOptions {
   /// instants follow the metrics warm-up window so trace counts line up
   /// with the exported CSVs.
   obs::TraceRecorder* recorder = nullptr;
+  /// Fault-injection engine (non-owning; nullptr = fault-free run, which
+  /// keeps every legacy code path untouched — traces stay byte-identical).
+  /// When set, the controller registers the crash/rejoin handlers, installs
+  /// the engine on the simulator, and tracks every task in flight so it can
+  /// fail, time out, and retry them.
+  fault::FaultEngine* fault = nullptr;
+  /// Recovery policy (only consulted when `fault` is set). A failed task's
+  /// jobs are re-enqueued with capped exponential backoff, excluding the
+  /// invoker that failed, at most `max_task_retries` times per job; after
+  /// that the request is aborted and counted as an SLO miss.
+  int max_task_retries = 3;
+  TimeMs retry_backoff_base_ms = 8.0;
+  TimeMs retry_backoff_cap_ms = 512.0;
+  /// Watchdog: a dispatched task that has not completed within
+  /// `task_timeout_factor` x its noise-free expected latency (with a floor
+  /// for very short stages) is declared failed — how the controller detects
+  /// crashes and fault-injected stragglers without an oracle.
+  double task_timeout_factor = 4.0;
+  TimeMs task_timeout_floor_ms = 50.0;
 };
 
 class Controller {
@@ -127,6 +148,23 @@ class Controller {
     std::size_t remaining_sinks = 0;
   };
 
+  /// Why a dispatched task failed (fault-injection runs only).
+  enum class FailureCause : std::uint8_t {
+    kTransient,  ///< fault-injected mid-run dispatch failure
+    kTimeout,    ///< watchdog fired before the task completed
+    kCrash,      ///< the hosting invoker crashed
+  };
+  [[nodiscard]] static std::string_view cause_name(FailureCause cause);
+
+  /// A dispatched task awaiting its outcome (fault-injection runs only: the
+  /// fault-free path schedules completion directly and never books here).
+  struct InFlightTask {
+    Task task;
+    TimeMs overhead_ms = 0.0;
+    sim::EventHandle outcome;  ///< completion or injected failure
+    sim::EventHandle timeout;  ///< the watchdog
+  };
+
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
   const profile::ProfileSet& profiles_;
@@ -153,8 +191,16 @@ class Controller {
   obs::LaneAllocator trace_gpu_lanes_;    ///< vGPU-slice rows for the trace
   /// Running tasks per function (any app) — drives the cold-start patience.
   std::unordered_map<FunctionId, std::size_t> active_by_function_;
-  /// (invoker, function) pairs with a container currently being provisioned.
-  std::set<std::uint64_t> provisioning_;
+  /// (invoker, function) pairs with a container currently being provisioned,
+  /// mapped to the landing event so a crash can cancel it.
+  std::unordered_map<std::uint64_t, sim::EventHandle> provisioning_;
+
+  fault::FaultEngine* fault_ = nullptr;  ///< = options_.fault
+  /// Tasks in flight, by TaskId value (fault-injection runs only).
+  std::unordered_map<std::uint32_t, InFlightTask> inflight_;
+  /// Requests aborted after exhausting their retry budget; sibling in-flight
+  /// jobs of these requests complete into the void.
+  std::unordered_set<std::uint32_t> aborted_requests_;
 
   /// Tracing is live and the current time is inside the measured window.
   [[nodiscard]] bool traced_now() const {
@@ -181,6 +227,22 @@ class Controller {
   void enqueue_job(RequestId request, AppId app, workload::NodeIndex stage,
                    InvokerId input_location, TimeMs now);
   void finish_request(RequestId request, TimeMs completion_ms);
+
+  /// Emits the per-job wait/run spans and the invoker staging/exec/slice
+  /// spans of a task ending (successfully or not) at `done`. Shared by the
+  /// fault-free dispatch path and the deferred fault-run outcome paths.
+  void emit_task_spans(const Task& task, TimeMs overhead_ms, TimeMs done,
+                       bool failed, std::string_view cause);
+  /// Outcome of a tracked task: success (cancel the watchdog, account, and
+  /// complete) or failure (release everything, bill the partial occupancy,
+  /// and retry or abort each job).
+  void finish_inflight(std::uint32_t task_id);
+  void fail_inflight(std::uint32_t task_id, FailureCause cause);
+  void retry_or_abort(const Task& task, FailureCause cause);
+  void requeue_job(const Job& job);
+  void abort_request(RequestId request, workload::NodeIndex stage, TimeMs now);
+  void on_invoker_crash(InvokerId invoker, TimeMs rejoin_at_ms);
+  void on_invoker_rejoin(InvokerId invoker);
 
   [[nodiscard]] QueueView make_view(const AfwQueue& queue) const;
   [[nodiscard]] profile::Config clamp_for_ablation(profile::Config c) const;

@@ -22,6 +22,12 @@ struct Job {
   /// Where this job's input currently lives: the invoker that ran the
   /// predecessor stage, or invalid for entry-stage jobs (input at ingress).
   InvokerId input_location;
+  /// Dispatch attempts already made for this stage (0 = first try). Bumped
+  /// by the recovery path; caps the retry loop.
+  std::uint8_t attempts = 0;
+  /// Invoker the previous attempt failed on (invalid on the first attempt);
+  /// placement must avoid it.
+  InvokerId exclude_invoker;
 };
 
 struct Task {

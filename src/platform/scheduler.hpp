@@ -70,6 +70,10 @@ struct PlacementContext {
   /// Invoker that produced most of this batch's inputs (invalid for entry).
   InvokerId predecessor_invoker;
   InvokerId home_invoker;
+  /// Invoker a retried job must avoid (the one its last attempt failed on);
+  /// invalid when the batch carries no retry. Strategies must not place
+  /// here — the recovery policy assumes the node may still be unhealthy.
+  InvokerId excluded_invoker;
   TimeMs now_ms = 0.0;
 };
 
@@ -91,6 +95,16 @@ class Scheduler {
   virtual void on_request(RequestId request, AppId app, TimeMs now_ms) {
     (void)request;
     (void)app;
+    (void)now_ms;
+  }
+
+  /// Notification that a task of (app, stage) failed and its jobs were
+  /// re-enqueued. Strategies that adapt their noise margin or budgets under
+  /// faults hook this; the default ignores it.
+  virtual void on_stage_retry(AppId app, workload::NodeIndex stage,
+                              TimeMs now_ms) {
+    (void)app;
+    (void)stage;
     (void)now_ms;
   }
 

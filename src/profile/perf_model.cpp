@@ -39,4 +39,8 @@ TimeMs PerfModel::latency_ms(const FunctionSpec& spec, const Config& config) {
   return t_cpu + t_gpu;
 }
 
+TimeMs PerfModel::degraded_ms(TimeMs nominal_ms, double factor) {
+  return factor <= 1.0 ? nominal_ms : nominal_ms * factor;
+}
+
 }  // namespace esg::profile

@@ -27,6 +27,12 @@ class PerfModel {
   /// GPU-side batching multiplier: time for a per-slice batch of n relative
   /// to a batch of 1, i.e. 1 + (n-1)*eta.
   [[nodiscard]] static double batch_multiplier(double eta, unsigned per_slice_batch);
+
+  /// Latency on a degraded GPU slice (fault-injected straggler): the nominal
+  /// latency stretched by `factor` (>= 1; values below 1 are clamped to no
+  /// slowdown). Routed through the model so the fault engine and any future
+  /// degradation curves share a single definition.
+  [[nodiscard]] static TimeMs degraded_ms(TimeMs nominal_ms, double factor);
 };
 
 }  // namespace esg::profile

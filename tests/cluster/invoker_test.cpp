@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace esg::cluster {
 namespace {
 
@@ -93,6 +96,91 @@ TEST(Invoker, AcquireTakesSoonestExpiring) {
   EXPECT_TRUE(inv.acquire_warm(fn(1), 10.0));  // takes the 100 one
   // The remaining container must still be alive at t=200.
   EXPECT_TRUE(inv.has_warm(fn(1), 200.0));
+}
+
+TEST(Invoker, WarmExpiresExactlyAtKeepAliveBoundary) {
+  // Regression pin: at exactly t == start + keep-alive, the entry is expired
+  // — not acquirable, not counted, and reported as kExpired on flush.
+  Invoker inv(InvokerId(0), NodeCapacity{});
+  inv.add_warm(fn(1), 0.0);
+  EXPECT_EQ(inv.warm_count(fn(1), kKeepAliveMs), 0u);
+  EXPECT_FALSE(inv.has_warm(fn(1), kKeepAliveMs));
+  inv.add_warm(fn(1), 0.0);
+  EXPECT_FALSE(inv.acquire_warm(fn(1), kKeepAliveMs));
+
+  // Same boundary with a custom keep-alive window.
+  Invoker custom(InvokerId(1), NodeCapacity{});
+  custom.add_warm(fn(2), 100.0, 50.0);
+  EXPECT_FALSE(custom.acquire_warm(fn(2), 150.0));
+  EXPECT_EQ(custom.warm_count(fn(2), 150.0), 0u);
+}
+
+TEST(Invoker, FlushReportsBoundaryEntryAsExpired) {
+  Invoker inv(InvokerId(3), NodeCapacity{});
+  std::vector<WarmEnd> ends;
+  TimeMs reported_end = -1.0;
+  inv.set_warm_span_callback(
+      [&](InvokerId, FunctionId, TimeMs, TimeMs end, WarmEnd how) {
+        ends.push_back(how);
+        reported_end = end;
+      });
+  inv.add_warm(fn(1), 0.0, 100.0);
+  inv.flush_warm_spans(100.0);  // exactly at expiry
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], WarmEnd::kExpired);
+  EXPECT_DOUBLE_EQ(reported_end, 100.0);
+}
+
+TEST(Invoker, CrashDropsWarmPoolAndMarksDead) {
+  Invoker inv(InvokerId(0), NodeCapacity{4, 2});
+  std::vector<std::pair<std::uint32_t, WarmEnd>> reported;
+  inv.set_warm_span_callback(
+      [&](InvokerId, FunctionId f, TimeMs, TimeMs, WarmEnd how) {
+        reported.emplace_back(f.get(), how);
+      });
+  inv.add_warm(fn(2), 0.0);
+  inv.add_warm(fn(1), 0.0);
+  inv.add_warm(fn(1), 10.0, 5.0);  // expires at 15, before the crash
+
+  EXPECT_TRUE(inv.alive());
+  inv.crash(50.0);
+  EXPECT_FALSE(inv.alive());
+  // Callbacks come in sorted function order; the already-expired entry is
+  // reported as expired, the live ones as crashed.
+  ASSERT_EQ(reported.size(), 3u);
+  EXPECT_EQ(reported[0].first, 1u);
+  EXPECT_EQ(reported[1].first, 1u);
+  EXPECT_EQ(reported[2].first, 2u);
+  std::size_t crashed = 0, expired = 0;
+  for (const auto& [_, how] : reported) {
+    crashed += how == WarmEnd::kCrashed;
+    expired += how == WarmEnd::kExpired;
+  }
+  EXPECT_EQ(crashed, 2u);
+  EXPECT_EQ(expired, 1u);
+
+  // Dead node: fits nothing, serves no warm starts, parks no containers.
+  EXPECT_FALSE(inv.can_fit(1, 0));
+  EXPECT_FALSE(inv.has_warm(fn(1), 51.0));
+  inv.add_warm(fn(1), 51.0);
+  EXPECT_EQ(inv.total_warm(52.0), 0u);
+
+  inv.rejoin();
+  EXPECT_TRUE(inv.alive());
+  EXPECT_TRUE(inv.can_fit(1, 0));
+  EXPECT_EQ(inv.total_warm(52.0), 0u);  // rejoins empty
+}
+
+TEST(Invoker, CrashKeepsResourceCountersForOrphanRelease) {
+  // The controller releases the resources of the tasks a crash killed; the
+  // counters must survive the crash so that release is well-defined.
+  Invoker inv(InvokerId(0), NodeCapacity{4, 2});
+  inv.allocate(3, 1);
+  inv.crash(10.0);
+  EXPECT_EQ(inv.used_vcpus(), 3);
+  EXPECT_EQ(inv.used_vgpus(), 1);
+  EXPECT_NO_THROW(inv.release(3, 1));
+  EXPECT_EQ(inv.used_vcpus(), 0);
 }
 
 TEST(Invoker, TotalWarmCountsAcrossFunctions) {

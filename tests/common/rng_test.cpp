@@ -138,5 +138,30 @@ TEST(RngFactory, DifferentMasterSeedsDiffer) {
   EXPECT_NE(f1.stream("x").uniform(), f2.stream("x").uniform());
 }
 
+TEST(RngFactory, ScopedFactoryIsDeterministic) {
+  RngFactory f(77);
+  RngStream a = f.scoped("fault").stream("dispatch");
+  RngStream b = f.scoped("fault").stream("dispatch");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngFactory, ScopedStreamsAreIndependentOfBaseStreams) {
+  // A scope's streams must not collide with the base factory's streams —
+  // even for the same label, and even when the scope label doubles as a
+  // base-stream label. Optional subsystems (fault injection) rely on this
+  // to leave arrival/noise draws untouched when enabled.
+  RngFactory f(77);
+  RngFactory scope = f.scoped("fault");
+  EXPECT_NE(scope.stream("dispatch").uniform(), f.stream("dispatch").uniform());
+  EXPECT_NE(scope.stream("dispatch").uniform(), f.stream("fault").uniform());
+  EXPECT_NE(scope.master_seed(), f.master_seed());
+}
+
+TEST(RngFactory, DifferentScopeLabelsDiffer) {
+  RngFactory f(9);
+  EXPECT_NE(f.scoped("fault").stream("x").uniform(),
+            f.scoped("whatif").stream("x").uniform());
+}
+
 }  // namespace
 }  // namespace esg

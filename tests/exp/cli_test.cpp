@@ -124,5 +124,40 @@ TEST(Cli, RejectsBadStatsInterval) {
   EXPECT_THROW(parse({"--stats-interval-ms", "-5"}), std::invalid_argument);
 }
 
+TEST(Cli, RejectsNegativeAndNonFiniteTimes) {
+  EXPECT_THROW(parse({"--horizon-ms", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--warmup-ms", "-0.5"}), std::invalid_argument);
+  // std::from_chars happily parses these; the CLI must not.
+  EXPECT_THROW(parse({"--horizon-ms", "nan"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--horizon-ms", "inf"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--warmup-ms", "nan"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stats-interval-ms", "nan"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "nan"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--noise-cv", "inf"}), std::invalid_argument);
+}
+
+TEST(Cli, FaultSpecOffByDefault) {
+  EXPECT_TRUE(parse({}).scenario.fault.inert());
+}
+
+TEST(Cli, ParsesFaultSpec) {
+  const CliOptions opts =
+      parse({"--fault-spec", "dispatch:prob=0.05;crash:invoker=3,at=2000,down=1500"});
+  EXPECT_FALSE(opts.scenario.fault.inert());
+  ASSERT_EQ(opts.scenario.fault.dispatch.size(), 1u);
+  EXPECT_DOUBLE_EQ(opts.scenario.fault.dispatch[0].prob, 0.05);
+  ASSERT_EQ(opts.scenario.fault.crashes.size(), 1u);
+  EXPECT_NE(cli_usage().find("--fault-spec"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedFaultSpec) {
+  EXPECT_THROW(parse({"--fault-spec", "explode:prob=0.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--fault-spec", "dispatch:prob=2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--fault-spec", "@/no/such/spec/file"}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace esg::exp

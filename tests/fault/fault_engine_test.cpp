@@ -1,0 +1,131 @@
+#include "fault/fault_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace esg::fault {
+namespace {
+
+FaultEngine make_engine(const char* spec, std::uint64_t seed = 5) {
+  return FaultEngine(parse_fault_spec(spec), RngFactory(seed).scoped("fault"));
+}
+
+std::vector<bool> dispatch_draws(FaultEngine& engine, FunctionId fn, int n) {
+  std::vector<bool> draws;
+  for (int i = 0; i < n; ++i) draws.push_back(engine.dispatch_fails(fn));
+  return draws;
+}
+
+TEST(FaultEngine, SameSeedSameSpecReproducesDraws) {
+  FaultEngine a = make_engine("dispatch:prob=0.3;coldstart:prob=0.4");
+  FaultEngine b = make_engine("dispatch:prob=0.3;coldstart:prob=0.4");
+  EXPECT_EQ(dispatch_draws(a, FunctionId(1), 200),
+            dispatch_draws(b, FunctionId(1), 200));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.cold_start_fails(FunctionId(0)),
+              b.cold_start_fails(FunctionId(0)));
+  }
+}
+
+TEST(FaultEngine, DifferentSeedsDiverge) {
+  FaultEngine a = make_engine("dispatch:prob=0.5", 1);
+  FaultEngine b = make_engine("dispatch:prob=0.5", 2);
+  EXPECT_NE(dispatch_draws(a, FunctionId(0), 200),
+            dispatch_draws(b, FunctionId(0), 200));
+}
+
+TEST(FaultEngine, ZeroProbabilityNeverFails) {
+  FaultEngine engine = make_engine("dispatch:prob=0;coldstart:prob=0");
+  EXPECT_FALSE(engine.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(engine.dispatch_fails(FunctionId(i % 3)));
+    EXPECT_FALSE(engine.cold_start_fails(FunctionId(i % 3)));
+  }
+}
+
+TEST(FaultEngine, CertainFailureAlwaysFails) {
+  FaultEngine engine = make_engine("dispatch:prob=1");
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(engine.dispatch_fails(FunctionId(0)));
+}
+
+TEST(FaultEngine, FunctionFilterTargetsOneFunction) {
+  FaultEngine engine = make_engine("dispatch:prob=1,function=2");
+  EXPECT_TRUE(engine.dispatch_fails(FunctionId(2)));
+  EXPECT_FALSE(engine.dispatch_fails(FunctionId(3)));
+}
+
+TEST(FaultEngine, PerFunctionSubstreamsAreIsolated) {
+  // The draw sequence of function 0 must not depend on how often any other
+  // function draws — substreams are keyed by function, not shared.
+  FaultEngine solo = make_engine("dispatch:prob=0.5");
+  const std::vector<bool> expected = dispatch_draws(solo, FunctionId(0), 100);
+
+  FaultEngine interleaved = make_engine("dispatch:prob=0.5");
+  std::vector<bool> observed;
+  for (int i = 0; i < 100; ++i) {
+    (void)interleaved.dispatch_fails(FunctionId(1));  // extra traffic
+    observed.push_back(interleaved.dispatch_fails(FunctionId(0)));
+    (void)interleaved.dispatch_fails(FunctionId(1));
+  }
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(FaultEngine, DispatchAndColdStartStreamsAreIndependent) {
+  FaultEngine a = make_engine("dispatch:prob=0.5;coldstart:prob=0.5");
+  FaultEngine b = make_engine("dispatch:prob=0.5;coldstart:prob=0.5");
+  // Burning cold-start draws must not shift the dispatch stream.
+  for (int i = 0; i < 37; ++i) (void)b.cold_start_fails(FunctionId(0));
+  EXPECT_EQ(dispatch_draws(a, FunctionId(0), 100),
+            dispatch_draws(b, FunctionId(0), 100));
+}
+
+TEST(FaultEngine, SlowdownFactorIsAWindowLookup) {
+  FaultEngine engine = make_engine("slow:invoker=1,at=500,for=4000,factor=3");
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(1), 499.9), 1.0);
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(1), 500.0), 3.0);  // start inclusive
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(1), 4499.9), 3.0);
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(1), 4500.0), 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(2), 1000.0), 1.0);  // other node
+}
+
+TEST(FaultEngine, OverlappingSlowdownsMultiply) {
+  FaultEngine engine = make_engine(
+      "slow:invoker=0,at=0,for=100,factor=2;slow:invoker=0,at=50,for=100,factor=3");
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(0), 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(0), 75.0), 6.0);
+  EXPECT_DOUBLE_EQ(engine.slowdown_factor(InvokerId(0), 125.0), 3.0);
+}
+
+TEST(FaultEngine, InstallSchedulesCrashThenRejoin) {
+  FaultEngine engine = make_engine("crash:invoker=3,at=2000,down=1500");
+  std::vector<std::pair<std::uint32_t, TimeMs>> crashes;
+  std::vector<std::uint32_t> rejoins;
+  engine.set_crash_handler([&](InvokerId id, TimeMs rejoin_at) {
+    crashes.emplace_back(id.get(), rejoin_at);
+  });
+  engine.set_rejoin_handler([&](InvokerId id) { rejoins.push_back(id.get()); });
+
+  sim::Simulator sim;
+  engine.install(sim);
+  sim.run_until(1999.0);
+  EXPECT_TRUE(crashes.empty());
+  sim.run_until(1e9);
+  ASSERT_EQ(crashes.size(), 1u);
+  EXPECT_EQ(crashes[0].first, 3u);
+  EXPECT_DOUBLE_EQ(crashes[0].second, 3500.0);
+  ASSERT_EQ(rejoins.size(), 1u);
+  EXPECT_EQ(rejoins[0], 3u);
+}
+
+TEST(FaultEngine, InstallTwiceIsAnError) {
+  FaultEngine engine = make_engine("crash:invoker=0,at=1,down=1");
+  sim::Simulator sim;
+  engine.install(sim);
+  EXPECT_THROW(engine.install(sim), std::logic_error);
+}
+
+}  // namespace
+}  // namespace esg::fault

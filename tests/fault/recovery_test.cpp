@@ -1,0 +1,260 @@
+// Acceptance suite for fault injection & recovery (DESIGN.md §9):
+//
+//  - a zero-rate FaultSpec reproduces the fault-free run byte-identically
+//    (trace bytes and metrics alike);
+//  - the same seed + spec reproduces the same faulted run byte-identically;
+//  - crashes leak no vCPU/vGPU and every request is accounted for;
+//  - the critical-path latency decomposition still telescopes exactly with
+//    retry spans in the trace;
+//  - fault-injected misses surface as fault@stageK in the attribution report;
+//  - a certain-failure spec terminates by exhausting retries, not by hanging.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "fault/fault_engine.hpp"
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/critical_path.hpp"
+#include "obs/analysis/dataset.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
+#include "platform/controller.hpp"
+#include "workload/applications.hpp"
+
+namespace esg {
+namespace {
+
+exp::Scenario small_scenario() {
+  exp::Scenario scenario;
+  scenario.nodes = 4;
+  scenario.horizon_ms = 2'000.0;
+  scenario.seed = 7;
+  return scenario;
+}
+
+/// Runs `scenario` capturing the Chrome trace bytes and the run output.
+struct TracedRun {
+  std::string trace;
+  exp::RunOutput output;
+};
+
+TracedRun traced_run(const exp::Scenario& scenario) {
+  std::ostringstream trace_stream;
+  TracedRun run;
+  {
+    obs::TraceRecorder recorder;
+    recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(trace_stream));
+    run.output = exp::run_scenario(scenario, &recorder);
+  }
+  run.trace = trace_stream.str();
+  return run;
+}
+
+obs::analysis::TraceDataset run_with_analysis(const exp::Scenario& scenario) {
+  obs::TraceRecorder recorder;
+  auto sink = std::make_unique<obs::analysis::AnalysisSink>();
+  const auto* analysis = sink.get();
+  recorder.add_sink(std::move(sink));
+  (void)exp::run_scenario(scenario, &recorder);
+  return analysis->dataset();
+}
+
+TEST(Recovery, ZeroRateSpecIsByteIdenticalToNoSpec) {
+  const TracedRun baseline = traced_run(small_scenario());
+
+  exp::Scenario zero_rate = small_scenario();
+  zero_rate.fault = fault::parse_fault_spec(
+      "dispatch:prob=0;coldstart:prob=0;slow:invoker=0,at=0,for=1000,factor=1");
+  ASSERT_TRUE(zero_rate.fault.inert());
+  const TracedRun inert = traced_run(zero_rate);
+
+  ASSERT_GT(baseline.trace.size(), 0u);
+  EXPECT_EQ(baseline.trace, inert.trace);
+  EXPECT_EQ(baseline.output.metrics.total_cost, inert.output.metrics.total_cost);
+  EXPECT_EQ(baseline.output.metrics.requests(), inert.output.metrics.requests());
+  ASSERT_EQ(baseline.output.metrics.completions.size(),
+            inert.output.metrics.completions.size());
+  for (std::size_t i = 0; i < baseline.output.metrics.completions.size(); ++i) {
+    EXPECT_EQ(baseline.output.metrics.completions[i].latency_ms,
+              inert.output.metrics.completions[i].latency_ms);
+  }
+  EXPECT_EQ(inert.output.metrics.task_failures, 0u);
+  EXPECT_EQ(inert.output.metrics.retries, 0u);
+}
+
+TEST(Recovery, SameSeedSameSpecReplaysByteIdentically) {
+  exp::Scenario faulted = small_scenario();
+  faulted.fault = fault::parse_fault_spec(
+      "dispatch:prob=0.15;crash:invoker=1,at=800,down=500;"
+      "slow:invoker=0,at=200,for=1000,factor=2");
+  const TracedRun a = traced_run(faulted);
+  const TracedRun b = traced_run(faulted);
+  ASSERT_GT(a.trace.size(), 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.output.metrics.total_cost, b.output.metrics.total_cost);
+  EXPECT_EQ(a.output.metrics.task_failures, b.output.metrics.task_failures);
+  EXPECT_EQ(a.output.metrics.retries, b.output.metrics.retries);
+  // The crash must actually have fired, or the replay proves little.
+  EXPECT_EQ(a.output.metrics.invoker_crashes, 1u);
+}
+
+TEST(Recovery, FaultsChangeTheRun) {
+  const TracedRun baseline = traced_run(small_scenario());
+  exp::Scenario faulted = small_scenario();
+  faulted.fault = fault::parse_fault_spec("dispatch:prob=0.3");
+  const TracedRun run = traced_run(faulted);
+  EXPECT_GT(run.output.metrics.task_failures, 0u);
+  EXPECT_GT(run.output.metrics.retries, 0u);
+  EXPECT_NE(baseline.trace, run.trace);
+}
+
+TEST(Recovery, OutOfRangeCrashInvokerIsRejected) {
+  exp::Scenario scenario = small_scenario();  // 4 nodes
+  scenario.fault = fault::parse_fault_spec("crash:invoker=7,at=100,down=100");
+  EXPECT_THROW((void)exp::run_scenario(scenario), std::invalid_argument);
+  scenario.fault = fault::parse_fault_spec("slow:invoker=7,at=0,for=1,factor=2");
+  EXPECT_THROW((void)exp::run_scenario(scenario), std::invalid_argument);
+}
+
+// --- controller-level recovery invariants ------------------------------
+
+/// Deterministic one-config strategy (mirrors the platform test harness).
+class FixedScheduler : public platform::Scheduler {
+ public:
+  std::string_view name() const override { return "fixed"; }
+  platform::PlanResult plan(const platform::QueueView& view) override {
+    (void)view;
+    platform::PlanResult r;
+    r.candidates.push_back(profile::kMinConfig);
+    return r;
+  }
+  std::optional<InvokerId> place(const platform::PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override {
+    return platform::locality_first_place(ctx, cluster);
+  }
+};
+
+struct World {
+  profile::ProfileSet profiles = profile::ProfileSet::builtin();
+  std::vector<workload::AppDag> apps = workload::builtin_applications();
+  sim::Simulator sim;
+  cluster::Cluster cluster{4};
+  RngFactory rng{7};
+};
+
+platform::ControllerOptions quiet_options(fault::FaultEngine* engine) {
+  platform::ControllerOptions o;
+  o.noise_cv = 0.0;
+  o.enable_prewarm = false;
+  o.fault = engine;
+  return o;
+}
+
+TEST(Recovery, CrashLeaksNoResourcesAndRejoins) {
+  World w;
+  fault::FaultEngine engine(
+      fault::parse_fault_spec("crash:invoker=0,at=4000,down=1000"),
+      w.rng.scoped("fault"));
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kModerate, sched, w.rng,
+                           quiet_options(&engine));
+  for (int i = 0; i < 6; ++i) ctl.inject_request(w.apps[i % 4].id());
+  ctl.run_to_completion();
+
+  EXPECT_EQ(ctl.metrics().invoker_crashes, 1u);
+  // Every request finished or was aborted; nothing is stuck in flight.
+  EXPECT_EQ(ctl.metrics().completions.size(), 6u);
+  EXPECT_EQ(ctl.inflight_requests(), 0u);
+  // The crash released every orphaned vCPU/vGPU and the node rejoined.
+  for (const auto& inv : w.cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0) << inv.id().get();
+    EXPECT_EQ(inv.used_vgpus(), 0) << inv.id().get();
+    EXPECT_TRUE(inv.alive()) << inv.id().get();
+  }
+}
+
+TEST(Recovery, TransientFaultsRetryAndRecover) {
+  World w;
+  fault::FaultEngine engine(fault::parse_fault_spec("dispatch:prob=0.4"),
+                            w.rng.scoped("fault"));
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kModerate, sched, w.rng,
+                           quiet_options(&engine));
+  for (int i = 0; i < 8; ++i) ctl.inject_request(w.apps[i % 4].id());
+  ctl.run_to_completion();
+
+  EXPECT_EQ(ctl.metrics().completions.size(), 8u);
+  EXPECT_GT(ctl.metrics().task_failures, 0u);
+  EXPECT_GT(ctl.metrics().retries, 0u);
+  for (const auto& inv : w.cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0) << inv.id().get();
+    EXPECT_EQ(inv.used_vgpus(), 0) << inv.id().get();
+  }
+}
+
+TEST(Recovery, CertainFailureTerminatesByExhaustingRetries) {
+  World w;
+  fault::FaultEngine engine(fault::parse_fault_spec("dispatch:prob=1"),
+                            w.rng.scoped("fault"));
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kModerate, sched, w.rng,
+                           quiet_options(&engine));
+  for (int i = 0; i < 3; ++i) ctl.inject_request(w.apps[0].id());
+  ctl.run_to_completion();  // must not hang
+
+  EXPECT_EQ(ctl.metrics().retries_exhausted, 3u);
+  ASSERT_EQ(ctl.metrics().completions.size(), 3u);
+  for (const auto& rec : ctl.metrics().completions) {
+    EXPECT_TRUE(rec.failed);
+    EXPECT_FALSE(rec.hit);
+  }
+  for (const auto& inv : w.cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0) << inv.id().get();
+    EXPECT_EQ(inv.used_vgpus(), 0) << inv.id().get();
+  }
+}
+
+// --- trace-level invariants under faults --------------------------------
+
+TEST(Recovery, DecompositionStillTelescopesWithRetries) {
+  exp::Scenario scenario = small_scenario();
+  scenario.fault = fault::parse_fault_spec("dispatch:prob=0.3");
+  const obs::analysis::TraceDataset dataset = run_with_analysis(scenario);
+  const obs::analysis::CriticalPathResult paths =
+      obs::analysis::reconstruct_critical_paths(dataset);
+  ASSERT_GT(paths.requests.size(), 0u);
+  for (const auto& request : paths.requests) {
+    double component_sum = 0.0;
+    for (const auto& stage : request.path) component_sum += stage.component_sum_ms();
+    EXPECT_NEAR(component_sum, request.latency_ms(), 1e-6)
+        << "request " << request.request;
+  }
+}
+
+TEST(Recovery, FaultsSurfaceInMissCauseAttribution) {
+  exp::Scenario scenario = small_scenario();
+  scenario.fault = fault::parse_fault_spec("dispatch:prob=0.5");
+  const obs::analysis::TraceDataset dataset = run_with_analysis(scenario);
+  const obs::analysis::AttributionReport report =
+      obs::analysis::build_report(dataset);
+  ASSERT_GT(report.requests, 0u);
+  EXPECT_GT(report.misses, 0u);
+  bool fault_cause = false;
+  for (const auto& [cause, count] : report.miss_causes) {
+    if (cause.rfind("fault@stage", 0) == 0 ||
+        cause.rfind("retry_exhausted@stage", 0) == 0) {
+      fault_cause = true;
+      EXPECT_GT(count, 0u);
+    }
+  }
+  EXPECT_TRUE(fault_cause);
+}
+
+}  // namespace
+}  // namespace esg

@@ -90,6 +90,25 @@ int main(int argc, char** argv) {
   std::printf("aggregate: hit rate %.1f%%, mean cost $%.4f over %zu seed(s)\n",
               100.0 * agg.slo_hit_rate, agg.total_cost, opts.seeds.size());
 
+  // Fault-injection rollup. All-zero counters mean no fault ever fired, so
+  // the line is suppressed — keeps fault-free stdout byte-identical to runs
+  // without --fault-spec.
+  std::size_t failures = 0, timeouts = 0, retries = 0, exhausted = 0,
+              cold_fails = 0, crashes = 0;
+  for (const auto& out : outputs) {
+    failures += out.metrics.task_failures;
+    timeouts += out.metrics.task_timeouts;
+    retries += out.metrics.retries;
+    exhausted += out.metrics.retries_exhausted;
+    cold_fails += out.metrics.cold_start_failures;
+    crashes += out.metrics.invoker_crashes;
+  }
+  if (failures + timeouts + retries + exhausted + cold_fails + crashes > 0) {
+    std::printf("faults: %zu task failures (%zu timeouts), %zu retries, "
+                "%zu aborted, %zu cold-start failures, %zu invoker crashes\n",
+                failures, timeouts, retries, exhausted, cold_fails, crashes);
+  }
+
   if (!opts.csv_dir.empty()) {
     namespace fs = std::filesystem;
     fs::create_directories(opts.csv_dir);
