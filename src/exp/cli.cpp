@@ -1,11 +1,13 @@
 #include "exp/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <stdexcept>
 #include <string_view>
 
 #include "fault/fault_spec.hpp"
+#include "trace/workload_trace.hpp"
 
 namespace esg::exp {
 
@@ -72,6 +74,156 @@ bool parse_bool(std::string_view key, std::string_view v) {
                               ": '" + std::string(v) + "' (on|off)");
 }
 
+/// --seeds accepts either a replica count (`3` -> seeds 42,43,44) or an
+/// explicit comma-separated list (`7,8,9`; a trailing comma marks a
+/// single-element list: `7,`). Empty lists and duplicate seeds are errors.
+std::vector<std::uint64_t> parse_seeds(std::string_view v) {
+  const auto parse_one = [](std::string_view item) {
+    std::uint64_t out = 0;
+    const auto* end = item.data() + item.size();
+    const auto [ptr, ec] = std::from_chars(item.data(), end, out);
+    if (ec != std::errc{} || ptr != end) {
+      throw std::invalid_argument("malformed seed '" + std::string(item) +
+                                  "' in --seeds (non-negative integer)");
+    }
+    return out;
+  };
+
+  if (v.find(',') == std::string_view::npos) {
+    const std::size_t count = static_cast<std::size_t>(
+        parse_unsigned("--seeds", v));
+    if (count == 0) {
+      throw std::invalid_argument("--seeds must be positive");
+    }
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < count; ++i) seeds.push_back(42 + i);
+    return seeds;
+  }
+
+  std::vector<std::uint64_t> seeds;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const std::size_t comma = std::min(v.find(',', pos), v.size());
+    const std::string_view item = v.substr(pos, comma - pos);
+    const bool last = comma == v.size();
+    pos = comma + 1;
+    if (item.empty()) {
+      // A single trailing comma is the explicit-list marker; any other
+      // empty element means a malformed (or entirely empty) list.
+      if (last && !seeds.empty()) break;
+      throw std::invalid_argument("--seeds list must not have empty entries");
+    }
+    seeds.push_back(parse_one(item));
+  }
+  if (seeds.empty()) {
+    throw std::invalid_argument("--seeds list must not be empty");
+  }
+  std::vector<std::uint64_t> sorted = seeds;
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    throw std::invalid_argument("--seeds list contains duplicate seed " +
+                                std::to_string(*dup));
+  }
+  return seeds;
+}
+
+workload::BurstProfile parse_burst_profile(std::string_view body) {
+  workload::BurstProfile profile;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = std::min(body.find(',', pos), body.size());
+    const std::string_view pair = body.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("--arrivals bursty: expected key=value, got '" +
+                                  std::string(pair) + "'");
+    }
+    const std::string_view k = pair.substr(0, eq);
+    const std::string_view val = pair.substr(eq + 1);
+    if (k == "calm") {
+      profile.calm = parse_load(val);
+    } else if (k == "burst") {
+      profile.burst = parse_load(val);
+    } else if (k == "calm-ms") {
+      profile.mean_calm_ms = parse_number("--arrivals calm-ms", val);
+    } else if (k == "burst-ms") {
+      profile.mean_burst_ms = parse_number("--arrivals burst-ms", val);
+    } else {
+      throw std::invalid_argument("--arrivals bursty: unknown key '" +
+                                  std::string(k) +
+                                  "' (calm|burst|calm-ms|burst-ms)");
+    }
+  }
+  if (profile.mean_calm_ms <= 0.0 || profile.mean_burst_ms <= 0.0) {
+    throw std::invalid_argument(
+        "--arrivals bursty: phase lengths must be positive");
+  }
+  return profile;
+}
+
+/// `synthetic` | `bursty[:k=v,...]` | `trace:@file[,rate-scale=..,time-scale=..]`.
+/// Trace files are loaded (and validated) eagerly so a bad trace fails at
+/// parse time, and replicas share one parsed trace.
+ArrivalConfig parse_arrivals(std::string_view v) {
+  ArrivalConfig config;
+  if (v == "synthetic") return config;
+  if (v == "bursty" || v.starts_with("bursty:")) {
+    config.mode = ArrivalMode::kBursty;
+    if (v.starts_with("bursty:")) {
+      config.burst = parse_burst_profile(v.substr(7));
+    }
+    return config;
+  }
+  if (v.starts_with("trace:")) {
+    config.mode = ArrivalMode::kTrace;
+    std::string_view body = v.substr(6);
+    const std::size_t comma = body.find(',');
+    const std::string_view file = body.substr(0, comma);
+    if (!file.starts_with("@") || file.size() == 1) {
+      throw std::invalid_argument(
+          "--arrivals trace: expected 'trace:@<file>', got '" + std::string(v) +
+          "'");
+    }
+    config.trace_path = std::string(file.substr(1));
+    std::size_t pos = comma == std::string_view::npos ? body.size() + 1
+                                                      : comma + 1;
+    while (pos <= body.size()) {
+      const std::size_t next = std::min(body.find(',', pos), body.size());
+      const std::string_view pair = body.substr(pos, next - pos);
+      pos = next + 1;
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument(
+            "--arrivals trace: expected key=value, got '" + std::string(pair) +
+            "'");
+      }
+      const std::string_view k = pair.substr(0, eq);
+      const std::string_view val = pair.substr(eq + 1);
+      if (k == "rate-scale") {
+        config.replay.rate_scale = parse_nonnegative("--arrivals rate-scale", val);
+      } else if (k == "time-scale") {
+        config.replay.time_scale = parse_number("--arrivals time-scale", val);
+        if (config.replay.time_scale <= 0.0) {
+          throw std::invalid_argument("--arrivals time-scale must be positive");
+        }
+      } else {
+        throw std::invalid_argument("--arrivals trace: unknown key '" +
+                                    std::string(k) +
+                                    "' (rate-scale|time-scale)");
+      }
+    }
+    config.trace = std::make_shared<const trace::WorkloadTrace>(
+        trace::load_workload_trace(config.trace_path));
+    return config;
+  }
+  throw std::invalid_argument("unknown --arrivals '" + std::string(v) +
+                              "' (synthetic|bursty[:...]|trace:@file[,...])");
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -82,10 +234,19 @@ usage: esg_sim [flags]
   --scheduler  esg|infless|fast-gshare|orion|aquatope   (default esg)
   --load       light|normal|heavy                       (default light)
   --slo        strict|moderate|relaxed                  (default strict)
+  --arrivals   <spec>    arrival process                (default synthetic)
+                           synthetic — paper Sec. 4.1 ranges per --load
+                           bursty[:calm=light,burst=heavy,calm-ms=8000,burst-ms=2000]
+                           trace:@file[,rate-scale=1,time-scale=1]
+                         trace replay drives the run with a production
+                         workload trace (esg.trace.v1 CSV or JSONL; generate
+                         one with tools/esg_tracegen); still clipped to
+                         --horizon-ms
   --horizon-ms <ms>      arrival window                 (default 30000)
   --warmup-ms  <ms>      steady-state measurement start (default 0)
   --nodes      <n>       invoker count                  (default 16)
-  --seeds      <n>       replicas, seeds 42..42+n-1     (default 1)
+  --seeds      <n>|<s1,s2,...>  replica count (seeds 42..42+n-1) or an
+                         explicit seed list; `7,` is the one-seed list 7
   --k          <n>       ESG configPQ length            (default 5)
   --group-size <n>       ESG max function-group size    (default 3)
   --gpu-sharing on|off   ablation switch                (default on)
@@ -114,7 +275,6 @@ usage: esg_sim [flags]
 
 CliOptions parse_cli(std::span<const char* const> args) {
   CliOptions opts;
-  std::size_t seed_count = 1;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string_view key = args[i];
@@ -143,10 +303,9 @@ CliOptions parse_cli(std::span<const char* const> args) {
         throw std::invalid_argument("--nodes must be positive");
       }
     } else if (key == "--seeds") {
-      seed_count = static_cast<std::size_t>(parse_unsigned(key, value));
-      if (seed_count == 0) {
-        throw std::invalid_argument("--seeds must be positive");
-      }
+      opts.seeds = parse_seeds(value);
+    } else if (key == "--arrivals") {
+      opts.scenario.arrivals = parse_arrivals(value);
     } else if (key == "--k") {
       opts.scenario.esg.k = static_cast<std::size_t>(parse_unsigned(key, value));
     } else if (key == "--group-size") {
@@ -181,8 +340,6 @@ CliOptions parse_cli(std::span<const char* const> args) {
     }
   }
 
-  opts.seeds.clear();
-  for (std::size_t i = 0; i < seed_count; ++i) opts.seeds.push_back(42 + i);
   return opts;
 }
 

@@ -17,6 +17,18 @@
 
 namespace esg::exp {
 
+std::string_view to_string(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kSynthetic:
+      return "synthetic";
+    case ArrivalMode::kBursty:
+      return "bursty";
+    case ArrivalMode::kTrace:
+      return "trace";
+  }
+  throw std::invalid_argument("to_string: bad ArrivalMode");
+}
+
 std::string_view to_string(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kEsg:
@@ -79,6 +91,33 @@ std::unique_ptr<platform::Scheduler> make_scheduler(
 }
 
 }  // namespace
+
+std::unique_ptr<workload::ArrivalSource> make_arrival_source(
+    const Scenario& scenario, std::vector<AppId> apps, const RngFactory& rng) {
+  switch (scenario.arrivals.mode) {
+    case ArrivalMode::kSynthetic:
+      return std::make_unique<workload::ArrivalGenerator>(
+          scenario.load, std::move(apps), rng.stream("arrivals"));
+    case ArrivalMode::kBursty:
+      return std::make_unique<workload::BurstyArrivalGenerator>(
+          scenario.arrivals.burst, std::move(apps), rng.stream("arrivals"));
+    case ArrivalMode::kTrace: {
+      std::shared_ptr<const trace::WorkloadTrace> t = scenario.arrivals.trace;
+      if (t == nullptr) {
+        if (scenario.arrivals.trace_path.empty()) {
+          throw std::invalid_argument(
+              "make_arrival_source: trace mode needs a trace or trace_path");
+        }
+        t = std::make_shared<const trace::WorkloadTrace>(
+            trace::load_workload_trace(scenario.arrivals.trace_path));
+      }
+      return std::make_unique<trace::TraceArrivalGenerator>(
+          std::move(t), std::move(apps), scenario.arrivals.replay,
+          rng.scoped("trace").stream("replay"));
+    }
+  }
+  throw std::invalid_argument("make_arrival_source: bad ArrivalMode");
+}
 
 RunOutput run_scenario(const Scenario& scenario) {
   if (!scenario.trace.enabled()) return run_scenario(scenario, nullptr);
@@ -192,9 +231,8 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   std::vector<AppId> app_ids;
   app_ids.reserve(apps.size());
   for (const auto& app : apps) app_ids.push_back(app.id());
-  workload::ArrivalGenerator generator(scenario.load, app_ids,
-                                       rng.stream("arrivals"));
-  controller.inject(generator.generate_until(scenario.horizon_ms));
+  const auto source = make_arrival_source(scenario, std::move(app_ids), rng);
+  controller.inject(source->generate_until(scenario.horizon_ms));
   controller.run_to_completion();
 
   if (tracing) {

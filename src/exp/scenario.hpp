@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -18,12 +19,37 @@
 #include "metrics/run_metrics.hpp"
 #include "platform/controller.hpp"
 #include "profile/profile_table.hpp"
+#include "trace/replay.hpp"
 #include "workload/applications.hpp"
+#include "workload/arrival_source.hpp"
 #include "workload/arrivals.hpp"
+#include "workload/bursty_arrivals.hpp"
 
 namespace esg::exp {
 
 enum class SchedulerKind { kEsg, kInfless, kFastGshare, kOrion, kAquatope };
+
+/// Which arrival process drives the run (--arrivals).
+enum class ArrivalMode {
+  kSynthetic,  ///< paper Section 4.1 uniform ranges per --load
+  kBursty,     ///< calm/burst phase switching (BurstyArrivalGenerator)
+  kTrace,      ///< production-trace replay (src/trace)
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalMode mode);
+
+struct ArrivalConfig {
+  ArrivalMode mode = ArrivalMode::kSynthetic;
+  /// kBursty: phase profile (load settings + mean phase lengths).
+  workload::BurstProfile burst;
+  /// kTrace: source file (for display / lazy loading) and replay knobs.
+  std::string trace_path;
+  trace::ReplayOptions replay;
+  /// kTrace: the parsed trace. parse_cli loads it eagerly (fail fast, and
+  /// replicas share one parse); run_scenario loads from trace_path when the
+  /// pointer is null so programmatic callers can set just the path.
+  std::shared_ptr<const trace::WorkloadTrace> trace;
+};
 
 /// File-backed tracing knobs (the CLI's --trace-out / --stats-out /
 /// --stats-interval-ms). Empty paths leave tracing off; tests and benches
@@ -49,6 +75,9 @@ struct Scenario {
   SchedulerKind scheduler = SchedulerKind::kEsg;
   workload::LoadSetting load = workload::LoadSetting::kLight;
   workload::SloSetting slo = workload::SloSetting::kStrict;
+  /// Arrival process; the default (synthetic) reproduces the paper's
+  /// per-`load` uniform inter-arrival ranges exactly.
+  ArrivalConfig arrivals;
 
   std::size_t nodes = 16;          ///< paper testbed: 16 invokers
   TimeMs horizon_ms = 30'000.0;    ///< arrival window (requests drain after)
@@ -87,6 +116,15 @@ struct RunOutput {
   TimeMs simulated_end_ms = 0.0;
   double wall_seconds = 0.0;
 };
+
+/// Builds the arrival source a scenario asks for. Synthetic and bursty
+/// sources draw from rng.stream("arrivals"); trace replay draws from the
+/// rng.scoped("trace") substream, so enabling trace mode cannot perturb any
+/// other stream of the run. Throws std::invalid_argument when a trace
+/// scenario has no trace (and no readable trace_path), or when the trace
+/// references more apps than `apps` provides.
+[[nodiscard]] std::unique_ptr<workload::ArrivalSource> make_arrival_source(
+    const Scenario& scenario, std::vector<AppId> apps, const RngFactory& rng);
 
 /// Builds the platform, injects the generated arrivals, runs to completion.
 /// When scenario.trace names output files, a recorder with the matching

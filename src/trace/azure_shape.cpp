@@ -1,0 +1,120 @@
+#include "trace/azure_shape.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace esg::trace {
+
+namespace {
+
+void check_options(const AzureShapeOptions& o) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("azure-shape: " + why);
+  };
+  if (o.apps == 0 || o.apps > kMaxTraceApps) fail("apps out of range");
+  if (o.bins == 0 || o.bins > kMaxTraceBins) fail("bins out of range");
+  if (!std::isfinite(o.bin_ms) || o.bin_ms <= 0.0) {
+    fail("bin_ms must be positive");
+  }
+  if (!std::isfinite(o.mean_rate_per_bin) || o.mean_rate_per_bin < 0.0) {
+    fail("mean-rate must be >= 0");
+  }
+  if (!std::isfinite(o.diurnal_amplitude) || o.diurnal_amplitude < 0.0 ||
+      o.diurnal_amplitude >= 1.0) {
+    fail("diurnal-amplitude must be in [0, 1)");
+  }
+  if (!std::isfinite(o.diurnal_period_bins) || o.diurnal_period_bins < 0.0) {
+    fail("diurnal-period must be >= 0");
+  }
+  if (!std::isfinite(o.zipf_s) || o.zipf_s < 0.0) {
+    fail("zipf-s must be >= 0");
+  }
+  if (!std::isfinite(o.burst_factor) || o.burst_factor < 1.0) {
+    fail("burst-factor must be >= 1");
+  }
+  if (!std::isfinite(o.burst_fraction) || o.burst_fraction < 0.0 ||
+      o.burst_fraction > 1.0) {
+    fail("burst-fraction must be in [0, 1]");
+  }
+}
+
+/// Deterministic Poisson sample: Knuth's product method for small lambda, a
+/// clamped normal approximation once the product would underflow.
+double poisson(RngStream& rng, double lambda) {
+  if (lambda <= 0.0) return 0.0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double product = 1.0;
+    double k = -1.0;
+    do {
+      ++k;
+      product *= rng.uniform();
+    } while (product > limit);
+    return k;
+  }
+  return std::max(0.0, std::round(rng.gaussian(lambda, std::sqrt(lambda))));
+}
+
+}  // namespace
+
+WorkloadTrace generate_azure_shaped(const AzureShapeOptions& options,
+                                    RngStream rng) {
+  check_options(options);
+
+  // Zipf popularity, normalised to sum 1.
+  std::vector<double> weight(options.apps, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t a = 0; a < options.apps; ++a) {
+    weight[a] = std::pow(static_cast<double>(a + 1), -options.zipf_s);
+    weight_sum += weight[a];
+  }
+  for (double& w : weight) w /= weight_sum;
+
+  // Diurnal intensity profile; mean of 1 + A*sin over a full cycle is 1, so
+  // mean_rate_per_bin stays the mean offered rate.
+  const double period = options.diurnal_period_bins > 0.0
+                            ? options.diurnal_period_bins
+                            : static_cast<double>(options.bins);
+  std::vector<double> intensity(options.bins, 0.0);
+  for (std::size_t b = 0; b < options.bins; ++b) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(b) / period;
+    intensity[b] =
+        options.mean_rate_per_bin *
+        (1.0 + options.diurnal_amplitude * std::sin(phase));
+  }
+
+  // Burst episodes: random start, exponential length, multiplicative lift.
+  for (std::size_t e = 0; e < options.burst_count; ++e) {
+    const auto start = static_cast<std::size_t>(rng.below(options.bins));
+    const double mean_len =
+        options.burst_fraction * static_cast<double>(options.bins);
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    const auto len = static_cast<std::size_t>(
+        std::ceil(std::max(1.0, mean_len * -std::log(u))));
+    for (std::size_t b = start; b < std::min(start + len, options.bins); ++b) {
+      intensity[b] *= options.burst_factor;
+    }
+  }
+
+  WorkloadTrace trace;
+  trace.bin_ms = options.bin_ms;
+  trace.app_count = options.apps;
+  for (std::size_t b = 0; b < options.bins; ++b) {
+    for (std::size_t a = 0; a < options.apps; ++a) {
+      const double expected = intensity[b] * weight[a];
+      const double count =
+          options.integer_counts ? poisson(rng, expected) : expected;
+      if (count <= 0.0) continue;
+      trace.rows.push_back(
+          TraceBinRow{b, static_cast<std::uint32_t>(a), count});
+    }
+  }
+  validate(trace);
+  return trace;
+}
+
+}  // namespace esg::trace

@@ -1,0 +1,40 @@
+// Synthetic Azure-Functions-shaped trace generator: the diurnal sinusoid,
+// Zipf-skewed per-app popularity, and short multiplicative burst episodes
+// that characterise the production traces the paper samples its load
+// settings from (Section 4.1). Deterministic for a given RNG stream, so
+// benches and CI can regenerate identical traces instead of shipping large
+// files.
+#pragma once
+
+#include "common/rng.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace esg::trace {
+
+struct AzureShapeOptions {
+  std::size_t apps = 4;          ///< builtin workload size
+  std::size_t bins = 120;        ///< trace length in bins
+  TimeMs bin_ms = 1'000.0;       ///< bin width
+  /// Mean invocations per bin summed over all apps (before bursts).
+  double mean_rate_per_bin = 60.0;
+  /// Diurnal sinusoid depth in [0, 1): 0 = flat, 0.9 = near-silent troughs.
+  double diurnal_amplitude = 0.6;
+  /// Bins per diurnal cycle; 0 = one full cycle across the whole trace.
+  double diurnal_period_bins = 0.0;
+  /// Zipf exponent for app popularity: weight of app a is (a+1)^-s.
+  double zipf_s = 1.1;
+  std::size_t burst_count = 3;   ///< burst episodes scattered over the trace
+  double burst_factor = 4.0;     ///< intensity multiplier inside an episode
+  /// Mean episode length as a fraction of the trace (exponential lengths).
+  double burst_fraction = 0.05;
+  /// Poisson-sample integer counts (realistic recorded trace) instead of
+  /// storing the fractional expected counts directly.
+  bool integer_counts = true;
+};
+
+/// Throws std::invalid_argument on out-of-range options. The returned trace
+/// always passes validate().
+[[nodiscard]] WorkloadTrace generate_azure_shaped(const AzureShapeOptions& options,
+                                                  RngStream rng);
+
+}  // namespace esg::trace

@@ -1,0 +1,92 @@
+#include "trace/replay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace esg::trace {
+
+TraceArrivalGenerator::TraceArrivalGenerator(
+    std::shared_ptr<const WorkloadTrace> trace, std::vector<AppId> apps,
+    ReplayOptions options, RngStream rng)
+    : trace_(std::move(trace)),
+      apps_(std::move(apps)),
+      options_(options),
+      rng_(std::move(rng)) {
+  if (trace_ == nullptr) {
+    throw std::invalid_argument("TraceArrivalGenerator: null trace");
+  }
+  validate(*trace_);
+  if (apps_.empty()) {
+    throw std::invalid_argument("TraceArrivalGenerator: need at least one app");
+  }
+  if (trace_->app_count > apps_.size()) {
+    throw std::invalid_argument(
+        "TraceArrivalGenerator: trace declares " +
+        std::to_string(trace_->app_count) + " apps but only " +
+        std::to_string(apps_.size()) + " are available");
+  }
+  if (!std::isfinite(options_.rate_scale) || options_.rate_scale < 0.0) {
+    throw std::invalid_argument(
+        "TraceArrivalGenerator: rate_scale must be finite and >= 0");
+  }
+  if (!std::isfinite(options_.time_scale) || options_.time_scale <= 0.0) {
+    throw std::invalid_argument(
+        "TraceArrivalGenerator: time_scale must be finite and positive");
+  }
+
+  scaled_bin_ms_ = trace_->bin_ms * options_.time_scale;
+  end_ms_ = static_cast<double>(trace_->bin_count()) * scaled_bin_ms_;
+
+  // Expected arrivals in bin b: rate_scale * total_b, spread uniformly over
+  // the (time-scaled) bin -> intensity per ms.
+  bin_rate_.assign(trace_->bin_count(), 0.0);
+  bin_app_cdf_.assign(trace_->bin_count(), {});
+  for (const TraceBinRow& row : trace_->rows) {
+    if (row.count <= 0.0) continue;  // zero rows never produce arrivals
+    auto& cdf = bin_app_cdf_[row.bin];
+    const double prev = cdf.empty() ? 0.0 : cdf.back().second;
+    cdf.emplace_back(row.app, prev + row.count);
+  }
+  for (std::size_t b = 0; b < bin_rate_.size(); ++b) {
+    const double total = bin_app_cdf_[b].empty() ? 0.0
+                                                 : bin_app_cdf_[b].back().second;
+    bin_rate_[b] = options_.rate_scale * total / scaled_bin_ms_;
+    lambda_max_ = std::max(lambda_max_, bin_rate_[b]);
+  }
+  if (lambda_max_ <= 0.0) exhausted_ = true;  // empty or zero-scaled trace
+}
+
+std::optional<workload::Arrival> TraceArrivalGenerator::try_next() {
+  if (exhausted_) return std::nullopt;
+  for (;;) {
+    // Exponential gap of the homogeneous lambda_max envelope; u is clamped
+    // away from 0 so the gap stays positive (strictly increasing times).
+    double u = rng_.uniform();
+    while (u <= 0.0) u = rng_.uniform();
+    clock_ms_ += -std::log(u) / lambda_max_;
+    if (clock_ms_ >= end_ms_) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    const auto bin = static_cast<std::size_t>(clock_ms_ / scaled_bin_ms_);
+    const double rate = bin_rate_[std::min(bin, bin_rate_.size() - 1)];
+    // Thinning: accept with probability rate / lambda_max. The rejection
+    // draw happens even when rate == lambda_max so the draw sequence is
+    // identical for every bin (determinism does not depend on which bin
+    // happens to be the envelope).
+    if (rng_.uniform() * lambda_max_ >= rate) continue;
+    const auto& cdf = bin_app_cdf_[std::min(bin, bin_app_cdf_.size() - 1)];
+    const double pick = rng_.uniform() * cdf.back().second;
+    std::uint32_t app = cdf.back().first;
+    for (const auto& [candidate, cumulative] : cdf) {
+      if (pick < cumulative) {
+        app = candidate;
+        break;
+      }
+    }
+    return workload::Arrival{clock_ms_, apps_[app]};
+  }
+}
+
+}  // namespace esg::trace

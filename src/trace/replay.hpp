@@ -1,0 +1,64 @@
+// Trace replay: turns a WorkloadTrace into an ArrivalSource by treating the
+// per-bin counts as the intensity of a non-homogeneous Poisson process and
+// sampling it with per-bin thinning. Replay draws from its own scoped RNG
+// substream, so switching a run from synthetic to trace arrivals never
+// perturbs the noise/fault draws of the rest of the simulation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/workload_trace.hpp"
+#include "workload/arrival_source.hpp"
+
+namespace esg::trace {
+
+struct ReplayOptions {
+  /// Multiplies every bin's expected count (offered-load knob). 0 yields an
+  /// immediately-exhausted source (no arrivals at all).
+  double rate_scale = 1.0;
+  /// Stretches the bin duration: 2 replays the trace at half speed over
+  /// twice the wall time (same counts, half the intensity); 0.5 compresses.
+  double time_scale = 1.0;
+};
+
+/// Replays a trace as arrivals with strictly increasing times. Bin b of the
+/// trace covers simulated time [b, b+1) * bin_ms * time_scale and receives
+/// Poisson(rate_scale * count) arrivals in expectation; within a bin, the
+/// app of each arrival is drawn categorically by the bin's per-app counts.
+/// The source is exhausted once simulated time passes the last bin.
+class TraceArrivalGenerator final : public workload::ArrivalSource {
+ public:
+  /// `apps`: live application ids; trace app index i maps to apps[i]. The
+  /// trace must not declare more apps than the list provides.
+  TraceArrivalGenerator(std::shared_ptr<const WorkloadTrace> trace,
+                        std::vector<AppId> apps, ReplayOptions options,
+                        RngStream rng);
+
+  [[nodiscard]] std::optional<workload::Arrival> try_next() override;
+
+  /// Replay end: trace duration stretched by time_scale.
+  [[nodiscard]] TimeMs duration_ms() const { return end_ms_; }
+  [[nodiscard]] const ReplayOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const WorkloadTrace> trace_;
+  std::vector<AppId> apps_;
+  ReplayOptions options_;
+  RngStream rng_;
+
+  TimeMs scaled_bin_ms_ = 0.0;
+  TimeMs end_ms_ = 0.0;
+  double lambda_max_ = 0.0;           ///< thinning envelope, arrivals per ms
+  std::vector<double> bin_rate_;      ///< accepted rate per bin, per ms
+  /// Per-bin cumulative (app-index, cumulative-count) for categorical draws.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> bin_app_cdf_;
+
+  TimeMs clock_ms_ = 0.0;
+  bool exhausted_ = false;
+};
+
+}  // namespace esg::trace

@@ -1,0 +1,15 @@
+#include "workload/arrival_source.hpp"
+
+namespace esg::workload {
+
+std::vector<Arrival> ArrivalSource::generate_until(TimeMs horizon_ms) {
+  std::vector<Arrival> out;
+  for (;;) {
+    const std::optional<Arrival> a = try_next();
+    if (!a.has_value() || a->time_ms >= horizon_ms) break;
+    out.push_back(*a);
+  }
+  return out;
+}
+
+}  // namespace esg::workload

@@ -1,0 +1,36 @@
+// Common interface over every arrival process that can drive the platform:
+// the paper's stationary per-setting generator, the bursty phase-switching
+// generator, and production-trace replay (src/trace). Scenario selects a
+// source polymorphically instead of branching on load-setting enums.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esg::workload {
+
+/// One application invocation entering the system.
+struct Arrival {
+  TimeMs time_ms;
+  AppId app;
+};
+
+/// A deterministic, strictly-increasing stream of arrivals. Synthetic
+/// sources are endless; trace replay is exhausted once the trace ends.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Next arrival (strictly increasing times), or nullopt once the source
+  /// is exhausted. Exhaustion is permanent.
+  [[nodiscard]] virtual std::optional<Arrival> try_next() = 0;
+
+  /// All remaining arrivals with time < horizon_ms. Matches the historical
+  /// ArrivalGenerator::generate_until contract: the first arrival at or
+  /// beyond the horizon is drawn (advancing the stream) and discarded.
+  [[nodiscard]] std::vector<Arrival> generate_until(TimeMs horizon_ms);
+};
+
+}  // namespace esg::workload

@@ -44,14 +44,4 @@ Arrival ArrivalGenerator::next() {
   return Arrival{clock_ms_, app};
 }
 
-std::vector<Arrival> ArrivalGenerator::generate_until(TimeMs horizon_ms) {
-  std::vector<Arrival> out;
-  for (;;) {
-    const Arrival a = next();
-    if (a.time_ms >= horizon_ms) break;
-    out.push_back(a);
-  }
-  return out;
-}
-
 }  // namespace esg::workload

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "workload/arrival_source.hpp"
 
 namespace esg::workload {
 
@@ -25,14 +27,8 @@ struct IntervalRange {
 
 [[nodiscard]] IntervalRange interval_range(LoadSetting s);
 
-/// One application invocation entering the system.
-struct Arrival {
-  TimeMs time_ms;
-  AppId app;
-};
-
-/// Deterministic arrival-sequence generator.
-class ArrivalGenerator {
+/// Deterministic arrival-sequence generator (endless).
+class ArrivalGenerator final : public ArrivalSource {
  public:
   /// `apps`: the ids to sample from (uniformly). Must be non-empty.
   ArrivalGenerator(LoadSetting setting, std::vector<AppId> apps, RngStream rng);
@@ -40,8 +36,8 @@ class ArrivalGenerator {
   /// Next arrival; strictly increasing times.
   Arrival next();
 
-  /// All arrivals with time < horizon_ms.
-  [[nodiscard]] std::vector<Arrival> generate_until(TimeMs horizon_ms);
+  /// ArrivalSource: same draws as next(); never exhausted.
+  [[nodiscard]] std::optional<Arrival> try_next() override { return next(); }
 
   [[nodiscard]] LoadSetting setting() const { return setting_; }
 

@@ -23,13 +23,15 @@ struct BurstProfile {
 /// Generates arrivals whose inter-arrival distribution switches between the
 /// calm and burst settings; phase lengths are exponential. Deterministic
 /// for a given stream.
-class BurstyArrivalGenerator {
+class BurstyArrivalGenerator final : public ArrivalSource {
  public:
   BurstyArrivalGenerator(BurstProfile profile, std::vector<AppId> apps,
                          RngStream rng);
 
   Arrival next();
-  [[nodiscard]] std::vector<Arrival> generate_until(TimeMs horizon_ms);
+
+  /// ArrivalSource: same draws as next(); never exhausted.
+  [[nodiscard]] std::optional<Arrival> try_next() override { return next(); }
 
   /// Whether the generator is currently inside a burst phase.
   [[nodiscard]] bool in_burst() const { return in_burst_; }

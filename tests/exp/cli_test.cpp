@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace esg::exp {
 namespace {
 
@@ -157,6 +161,112 @@ TEST(Cli, RejectsMalformedFaultSpec) {
                std::invalid_argument);
   EXPECT_THROW(parse({"--fault-spec", "@/no/such/spec/file"}),
                std::invalid_argument);
+}
+
+TEST(Cli, ParsesExplicitSeedList) {
+  EXPECT_EQ(parse({"--seeds", "7,8,9"}).seeds,
+            (std::vector<std::uint64_t>{7, 8, 9}));
+  // Order is preserved, not sorted.
+  EXPECT_EQ(parse({"--seeds", "9,7,8"}).seeds,
+            (std::vector<std::uint64_t>{9, 7, 8}));
+  // Trailing comma marks a single-element list (vs. the count form).
+  EXPECT_EQ(parse({"--seeds", "7,"}).seeds, (std::vector<std::uint64_t>{7}));
+  // Seed 0 is a legal seed in list form (only count 0 is rejected).
+  EXPECT_EQ(parse({"--seeds", "0,1"}).seeds,
+            (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(Cli, RejectsEmptyAndDuplicateSeedLists) {
+  EXPECT_THROW(parse({"--seeds", ","}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", ",,"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "1,,2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", ",1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "1,2,1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "1,2,abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "1,2.5"}), std::invalid_argument);
+  try {
+    (void)parse({"--seeds", "3,5,3"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate seed 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cli, ArrivalsDefaultsToSynthetic) {
+  const CliOptions opts = parse({});
+  EXPECT_EQ(opts.scenario.arrivals.mode, ArrivalMode::kSynthetic);
+  EXPECT_EQ(parse({"--arrivals", "synthetic"}).scenario.arrivals.mode,
+            ArrivalMode::kSynthetic);
+}
+
+TEST(Cli, ParsesBurstyArrivals) {
+  const CliOptions opts = parse(
+      {"--arrivals", "bursty:calm=normal,burst=heavy,calm-ms=5000,burst-ms=1000"});
+  EXPECT_EQ(opts.scenario.arrivals.mode, ArrivalMode::kBursty);
+  EXPECT_EQ(opts.scenario.arrivals.burst.calm, workload::LoadSetting::kNormal);
+  EXPECT_EQ(opts.scenario.arrivals.burst.burst, workload::LoadSetting::kHeavy);
+  EXPECT_DOUBLE_EQ(opts.scenario.arrivals.burst.mean_calm_ms, 5000.0);
+  EXPECT_DOUBLE_EQ(opts.scenario.arrivals.burst.mean_burst_ms, 1000.0);
+  // Bare `bursty` uses the profile defaults.
+  EXPECT_EQ(parse({"--arrivals", "bursty"}).scenario.arrivals.mode,
+            ArrivalMode::kBursty);
+}
+
+TEST(Cli, RejectsMalformedBurstyArrivals) {
+  EXPECT_THROW(parse({"--arrivals", "bursty:calm"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "bursty:wave=big"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "bursty:calm-ms=0"}),
+               std::invalid_argument);
+}
+
+/// Writes a tiny valid trace to a temp path and removes it on destruction.
+struct TempTrace {
+  std::string path;
+  explicit TempTrace(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::ofstream out(path);
+    out << "esg-trace,v1,bin_ms=500,apps=2\n0,0,5\n0,1,2\n1,0,3\n";
+  }
+  ~TempTrace() { std::remove(path.c_str()); }
+};
+
+TEST(Cli, ParsesTraceArrivalsAndLoadsEagerly) {
+  const TempTrace trace("cli_test_trace.csv");
+  const CliOptions opts = parse(
+      {"--arrivals",
+       ("trace:@" + trace.path + ",rate-scale=2,time-scale=0.5").c_str()});
+  EXPECT_EQ(opts.scenario.arrivals.mode, ArrivalMode::kTrace);
+  EXPECT_EQ(opts.scenario.arrivals.trace_path, trace.path);
+  EXPECT_DOUBLE_EQ(opts.scenario.arrivals.replay.rate_scale, 2.0);
+  EXPECT_DOUBLE_EQ(opts.scenario.arrivals.replay.time_scale, 0.5);
+  ASSERT_NE(opts.scenario.arrivals.trace, nullptr);
+  EXPECT_EQ(opts.scenario.arrivals.trace->app_count, 2u);
+  EXPECT_DOUBLE_EQ(opts.scenario.arrivals.trace->total_count(), 10.0);
+}
+
+TEST(Cli, RejectsMalformedTraceArrivals) {
+  const TempTrace trace("cli_test_trace2.csv");
+  EXPECT_THROW(parse({"--arrivals", "trace:"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "trace:@"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "trace:no-at-sign.csv"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "trace:@/no/such/trace.csv"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse({"--arrivals",
+             ("trace:@" + trace.path + ",rate-scale=-1").c_str()}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse({"--arrivals",
+             ("trace:@" + trace.path + ",time-scale=0").c_str()}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse({"--arrivals", ("trace:@" + trace.path + ",warp=9").c_str()}),
+      std::invalid_argument);
+  EXPECT_THROW(parse({"--arrivals", "stochastic"}), std::invalid_argument);
+  EXPECT_NE(cli_usage().find("--arrivals"), std::string::npos);
 }
 
 }  // namespace

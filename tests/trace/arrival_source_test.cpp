@@ -1,0 +1,102 @@
+// Polymorphic-equivalence tests for the ArrivalSource refactor: the base
+// class generate_until must reproduce exactly what a manual next() loop
+// produced before the interface existed, for every concrete generator.
+#include "workload/arrival_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "trace/azure_shape.hpp"
+#include "trace/replay.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/bursty_arrivals.hpp"
+
+namespace esg::workload {
+namespace {
+
+std::vector<AppId> apps() { return {AppId(0), AppId(1), AppId(2)}; }
+
+RngStream stream(std::uint64_t seed = 321) {
+  return RngFactory(seed).stream("arrivals");
+}
+
+/// Historic semantics: draw with next(), keep while strictly before the
+/// horizon, discard the first draw at/after it.
+template <typename Gen>
+std::vector<Arrival> manual_generate_until(Gen& gen, TimeMs horizon_ms) {
+  std::vector<Arrival> out;
+  for (;;) {
+    const Arrival a = gen.next();
+    if (a.time_ms >= horizon_ms) break;
+    out.push_back(a);
+  }
+  return out;
+}
+
+void expect_same(const std::vector<Arrival>& a, const std::vector<Arrival>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_ms, b[i].time_ms) << "index " << i;
+    EXPECT_EQ(a[i].app, b[i].app) << "index " << i;
+  }
+}
+
+TEST(ArrivalSource, BaseGenerateUntilMatchesManualLoopForPoisson) {
+  ArrivalGenerator manual(LoadSetting::kNormal, apps(), stream());
+  ArrivalGenerator base(LoadSetting::kNormal, apps(), stream());
+  expect_same(manual_generate_until(manual, 20'000.0),
+              base.generate_until(20'000.0));
+}
+
+TEST(ArrivalSource, BaseGenerateUntilMatchesManualLoopForBursty) {
+  BurstProfile profile;
+  BurstyArrivalGenerator manual(profile, apps(), stream());
+  BurstyArrivalGenerator base(profile, apps(), stream());
+  expect_same(manual_generate_until(manual, 30'000.0),
+              base.generate_until(30'000.0));
+}
+
+TEST(ArrivalSource, WorksThroughTheBasePointer) {
+  std::vector<std::unique_ptr<ArrivalSource>> sources;
+  sources.push_back(std::make_unique<ArrivalGenerator>(LoadSetting::kHeavy,
+                                                       apps(), stream()));
+  sources.push_back(std::make_unique<BurstyArrivalGenerator>(BurstProfile{},
+                                                             apps(), stream()));
+  trace::AzureShapeOptions o;
+  o.apps = 3;
+  o.bins = 16;
+  o.bin_ms = 1'000.0;
+  o.mean_rate_per_bin = 20.0;
+  auto shaped = std::make_shared<const trace::WorkloadTrace>(
+      trace::generate_azure_shaped(o, RngFactory(5).stream("azure-shape")));
+  sources.push_back(std::make_unique<trace::TraceArrivalGenerator>(
+      shaped, apps(), trace::ReplayOptions{},
+      RngFactory(5).scoped("trace").stream("replay")));
+
+  for (auto& src : sources) {
+    const auto arrivals = src->generate_until(8'000.0);
+    ASSERT_FALSE(arrivals.empty());
+    TimeMs prev = 0.0;
+    for (const Arrival& a : arrivals) {
+      EXPECT_GT(a.time_ms, prev);
+      EXPECT_LT(a.time_ms, 8'000.0);
+      prev = a.time_ms;
+    }
+  }
+}
+
+TEST(ArrivalSource, SuccessiveGenerateUntilCallsContinueTheStream) {
+  ArrivalGenerator gen(LoadSetting::kNormal, apps(), stream());
+  const auto first = gen.generate_until(5'000.0);
+  const auto second = gen.generate_until(10'000.0);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  // The second call resumes after the first discarded its past-horizon
+  // draw, so every later arrival comes strictly after the first batch.
+  EXPECT_GT(second.front().time_ms, first.back().time_ms);
+}
+
+}  // namespace
+}  // namespace esg::workload

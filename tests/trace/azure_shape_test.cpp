@@ -1,0 +1,129 @@
+#include "trace/azure_shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace esg::trace {
+namespace {
+
+RngStream stream(std::uint64_t seed = 7) {
+  return RngFactory(seed).stream("azure-shape");
+}
+
+AzureShapeOptions small_options() {
+  AzureShapeOptions o;
+  o.apps = 4;
+  o.bins = 64;
+  o.bin_ms = 500.0;
+  o.mean_rate_per_bin = 40.0;
+  return o;
+}
+
+TEST(AzureShape, DeterministicForSameSeed) {
+  const WorkloadTrace a = generate_azure_shaped(small_options(), stream());
+  const WorkloadTrace b = generate_azure_shaped(small_options(), stream());
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].bin, b.rows[i].bin);
+    EXPECT_EQ(a.rows[i].app, b.rows[i].app);
+    EXPECT_DOUBLE_EQ(a.rows[i].count, b.rows[i].count);
+  }
+}
+
+TEST(AzureShape, ProducesAValidTraceWithIntegerCounts) {
+  const WorkloadTrace t = generate_azure_shaped(small_options(), stream());
+  EXPECT_NO_THROW(validate(t));
+  EXPECT_EQ(t.app_count, 4u);
+  EXPECT_LE(t.bin_count(), 64u);
+  for (const TraceBinRow& row : t.rows) {
+    EXPECT_DOUBLE_EQ(row.count, std::floor(row.count));
+    EXPECT_GT(row.count, 0.0);  // zero rows are omitted
+  }
+  // Mean 40/bin over 64 bins (plus bursts): the total must be in the right
+  // ballpark and never zero.
+  EXPECT_GT(t.total_count(), 0.3 * 40.0 * 64.0);
+}
+
+TEST(AzureShape, ZipfSkewOrdersAppPopularity) {
+  AzureShapeOptions o = small_options();
+  o.zipf_s = 1.5;
+  o.bins = 256;
+  const WorkloadTrace t = generate_azure_shaped(o, stream());
+  std::vector<double> per_app(o.apps, 0.0);
+  for (const TraceBinRow& row : t.rows) per_app[row.app] += row.count;
+  for (std::size_t a = 1; a < o.apps; ++a) {
+    EXPECT_GT(per_app[a - 1], per_app[a]) << "app " << a;
+  }
+}
+
+TEST(AzureShape, DiurnalAmplitudeCreatesPeaksAndTroughs) {
+  AzureShapeOptions o = small_options();
+  o.diurnal_amplitude = 0.8;
+  o.burst_count = 0;          // isolate the sinusoid
+  o.integer_counts = false;   // exact expected counts
+  const WorkloadTrace t = generate_azure_shaped(o, stream());
+  const std::vector<double> totals = t.bin_totals();
+  ASSERT_EQ(totals.size(), o.bins);
+  double lo = totals[0], hi = totals[0];
+  for (const double v : totals) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(hi, o.mean_rate_per_bin * 1.8, 1e-6);
+  EXPECT_NEAR(lo, o.mean_rate_per_bin * 0.2, 1e-6);
+}
+
+TEST(AzureShape, BurstsLiftIntensityAboveTheSinusoid) {
+  AzureShapeOptions quiet = small_options();
+  quiet.burst_count = 0;
+  quiet.integer_counts = false;
+  AzureShapeOptions bursty = quiet;
+  bursty.burst_count = 4;
+  bursty.burst_factor = 8.0;
+  // Burst draws happen before count sampling, so compare totals: with
+  // factor 8 episodes the bursty trace must carry strictly more load.
+  const double q = generate_azure_shaped(quiet, stream()).total_count();
+  const double b = generate_azure_shaped(bursty, stream()).total_count();
+  EXPECT_GT(b, q * 1.2);
+}
+
+TEST(AzureShape, FractionalModeStoresExpectedCounts) {
+  AzureShapeOptions o = small_options();
+  o.integer_counts = false;
+  o.burst_count = 0;
+  o.diurnal_amplitude = 0.0;
+  const WorkloadTrace t = generate_azure_shaped(o, stream());
+  // Flat profile: every bin total equals the mean rate exactly.
+  for (const double total : t.bin_totals()) {
+    EXPECT_NEAR(total, o.mean_rate_per_bin, 1e-9);
+  }
+}
+
+TEST(AzureShape, RejectsBadOptions) {
+  AzureShapeOptions o = small_options();
+  o.apps = 0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.bins = 0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.bin_ms = 0.0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.burst_factor = 0.5;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.burst_fraction = 1.5;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.mean_rate_per_bin = -1.0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esg::trace

@@ -1,0 +1,195 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace esg::trace {
+namespace {
+
+/// Flat trace: `bins` bins of `per_bin` expected arrivals split over 2 apps
+/// (3:1 in favour of app 0).
+std::shared_ptr<const WorkloadTrace> flat_trace(std::size_t bins,
+                                                double per_bin,
+                                                TimeMs bin_ms = 1'000.0) {
+  WorkloadTrace t;
+  t.bin_ms = bin_ms;
+  t.app_count = 2;
+  for (std::size_t b = 0; b < bins; ++b) {
+    t.rows.push_back({b, 0, per_bin * 0.75});
+    t.rows.push_back({b, 1, per_bin * 0.25});
+  }
+  return std::make_shared<const WorkloadTrace>(std::move(t));
+}
+
+std::vector<AppId> two_apps() { return {AppId(0), AppId(1)}; }
+
+RngStream replay_stream(std::uint64_t seed = 99) {
+  return RngFactory(seed).scoped("trace").stream("replay");
+}
+
+TEST(TraceReplay, ValidatesInputs) {
+  const auto t = flat_trace(4, 10.0);
+  EXPECT_THROW(TraceArrivalGenerator(nullptr, two_apps(), {}, replay_stream()),
+               std::invalid_argument);
+  EXPECT_THROW(TraceArrivalGenerator(t, {}, {}, replay_stream()),
+               std::invalid_argument);
+  // Trace declares 2 apps; offering only 1 must be rejected (unknown app).
+  EXPECT_THROW(TraceArrivalGenerator(t, {AppId(0)}, {}, replay_stream()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TraceArrivalGenerator(t, two_apps(), {-1.0, 1.0}, replay_stream()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      TraceArrivalGenerator(t, two_apps(), {1.0, 0.0}, replay_stream()),
+      std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW(
+      TraceArrivalGenerator(t, two_apps(), {nan, 1.0}, replay_stream()),
+      std::invalid_argument);
+}
+
+TEST(TraceReplay, DeterministicForSameSeed) {
+  const auto t = flat_trace(10, 20.0);
+  TraceArrivalGenerator a(t, two_apps(), {}, replay_stream());
+  TraceArrivalGenerator b(t, two_apps(), {}, replay_stream());
+  for (;;) {
+    const auto x = a.try_next();
+    const auto y = b.try_next();
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x.has_value()) break;
+    EXPECT_EQ(x->time_ms, y->time_ms);
+    EXPECT_EQ(x->app, y->app);
+  }
+}
+
+TEST(TraceReplay, TimesStrictlyIncreaseAndStayInRange) {
+  const auto t = flat_trace(10, 30.0);
+  TraceArrivalGenerator gen(t, two_apps(), {}, replay_stream());
+  TimeMs prev = 0.0;
+  std::size_t n = 0;
+  while (const auto a = gen.try_next()) {
+    EXPECT_GT(a->time_ms, prev);
+    EXPECT_LT(a->time_ms, t->duration_ms());
+    prev = a->time_ms;
+    ++n;
+  }
+  EXPECT_GT(n, 0u);
+  // Exhaustion is permanent.
+  EXPECT_FALSE(gen.try_next().has_value());
+}
+
+TEST(TraceReplay, ZeroRateScaleYieldsNoArrivals) {
+  const auto t = flat_trace(10, 50.0);
+  TraceArrivalGenerator gen(t, two_apps(), {0.0, 1.0}, replay_stream());
+  EXPECT_FALSE(gen.try_next().has_value());
+  EXPECT_TRUE(gen.generate_until(1e9).empty());
+}
+
+TEST(TraceReplay, EmptyTraceYieldsNoArrivals) {
+  WorkloadTrace t;
+  t.bin_ms = 100.0;
+  t.app_count = 2;
+  TraceArrivalGenerator gen(std::make_shared<const WorkloadTrace>(t),
+                            two_apps(), {}, replay_stream());
+  EXPECT_FALSE(gen.try_next().has_value());
+}
+
+TEST(TraceReplay, PerBinCountsMatchTraceExpectation) {
+  // 40 bins x 100 expected arrivals: per-bin Poisson(100), so each bin must
+  // land within 5 sigma (50) of its expectation and the total within 4
+  // sigma of Poisson(4000).
+  constexpr std::size_t kBins = 40;
+  constexpr double kPerBin = 100.0;
+  const auto t = flat_trace(kBins, kPerBin);
+  TraceArrivalGenerator gen(t, two_apps(), {}, replay_stream());
+  std::vector<double> observed(kBins, 0.0);
+  std::size_t app0 = 0, total = 0;
+  while (const auto a = gen.try_next()) {
+    observed[static_cast<std::size_t>(a->time_ms / t->bin_ms)] += 1.0;
+    app0 += a->app == AppId(0) ? 1 : 0;
+    ++total;
+  }
+  for (std::size_t b = 0; b < kBins; ++b) {
+    EXPECT_NEAR(observed[b], kPerBin, 5.0 * std::sqrt(kPerBin))
+        << "bin " << b;
+  }
+  EXPECT_NEAR(static_cast<double>(total), kBins * kPerBin,
+              4.0 * std::sqrt(kBins * kPerBin));
+  // App mix follows the 3:1 per-bin categorical weights.
+  EXPECT_NEAR(static_cast<double>(app0) / static_cast<double>(total), 0.75,
+              0.03);
+}
+
+TEST(TraceReplay, RateScaleScalesCounts) {
+  const auto t = flat_trace(20, 50.0);
+  TraceArrivalGenerator base(t, two_apps(), {1.0, 1.0}, replay_stream());
+  TraceArrivalGenerator doubled(t, two_apps(), {2.0, 1.0}, replay_stream());
+  const double n1 = static_cast<double>(base.generate_until(1e9).size());
+  const double n2 = static_cast<double>(doubled.generate_until(1e9).size());
+  EXPECT_NEAR(n2 / n1, 2.0, 0.15);
+}
+
+TEST(TraceReplay, TimeScaleStretchesReplayWithoutChangingCounts) {
+  const auto t = flat_trace(20, 50.0);
+  TraceArrivalGenerator base(t, two_apps(), {1.0, 1.0}, replay_stream());
+  TraceArrivalGenerator slow(t, two_apps(), {1.0, 2.0}, replay_stream());
+  EXPECT_DOUBLE_EQ(base.duration_ms(), t->duration_ms());
+  EXPECT_DOUBLE_EQ(slow.duration_ms(), 2.0 * t->duration_ms());
+  const auto a1 = base.generate_until(1e9);
+  const auto a2 = slow.generate_until(1e9);
+  ASSERT_FALSE(a1.empty());
+  ASSERT_FALSE(a2.empty());
+  // Same expected totals; arrivals land twice as late.
+  EXPECT_NEAR(static_cast<double>(a2.size()) / static_cast<double>(a1.size()),
+              1.0, 0.1);
+  EXPECT_GT(a2.back().time_ms, t->duration_ms());
+}
+
+TEST(TraceReplay, NonUniformBinsFollowTheTraceShape) {
+  // One loud bin in the middle of silence: every arrival must land there.
+  WorkloadTrace t;
+  t.bin_ms = 1'000.0;
+  t.app_count = 1;
+  t.rows = {{0, 0, 0.0}, {3, 0, 200.0}, {5, 0, 0.0}};
+  TraceArrivalGenerator gen(std::make_shared<const WorkloadTrace>(t),
+                            {AppId(0)}, {}, replay_stream());
+  std::size_t n = 0;
+  while (const auto a = gen.try_next()) {
+    EXPECT_GE(a->time_ms, 3'000.0);
+    EXPECT_LT(a->time_ms, 4'000.0);
+    ++n;
+  }
+  EXPECT_NEAR(static_cast<double>(n), 200.0, 5.0 * std::sqrt(200.0));
+}
+
+TEST(TraceReplay, GenerateUntilClipsAtHorizon) {
+  const auto t = flat_trace(10, 40.0);
+  TraceArrivalGenerator gen(t, two_apps(), {}, replay_stream());
+  const auto arrivals = gen.generate_until(2'500.0);
+  ASSERT_FALSE(arrivals.empty());
+  for (const auto& a : arrivals) EXPECT_LT(a.time_ms, 2'500.0);
+}
+
+TEST(TraceReplay, ScopedStreamLeavesBaseStreamsUntouched) {
+  // The replay stream is derived via RngFactory::scoped("trace"), so the
+  // "arrivals"/"noise" base streams of a run see the exact same values
+  // whether or not a trace generator was constructed and consumed.
+  const RngFactory rng(4242);
+  RngStream before = rng.stream("arrivals");
+  std::vector<double> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(before.uniform());
+
+  const auto t = flat_trace(10, 30.0);
+  TraceArrivalGenerator gen(t, two_apps(), {},
+                            rng.scoped("trace").stream("replay"));
+  (void)gen.generate_until(1e9);
+
+  RngStream after = rng.stream("arrivals");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(after.uniform(), expected[i]);
+}
+
+}  // namespace
+}  // namespace esg::trace

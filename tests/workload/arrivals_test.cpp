@@ -80,6 +80,56 @@ TEST(ArrivalGenerator, HeavyLoadDenserThanLight) {
             2 * light.generate_until(5'000.0).size());
 }
 
+TEST(ArrivalGenerator, TimesStrictlyIncreaseOverLongHorizons) {
+  // 200k draws (~45 min of heavy load): double accumulation must never
+  // stall or go backwards even when the clock is large relative to a gap.
+  ArrivalGenerator gen(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());
+  TimeMs prev = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    const Arrival a = gen.next();
+    ASSERT_GT(a.time_ms, prev) << "draw " << i;
+    prev = a.time_ms;
+  }
+}
+
+TEST(ArrivalGenerator, GenerateUntilExcludesArrivalAtHorizon) {
+  // Find the first arrival time with a clone, then use it as the horizon:
+  // an arrival at exactly time == horizon_ms must be excluded.
+  ArrivalGenerator probe(LoadSetting::kNormal, {AppId(0)}, stream());
+  const TimeMs first = probe.next().time_ms;
+  ArrivalGenerator gen(LoadSetting::kNormal, {AppId(0)}, stream());
+  EXPECT_TRUE(gen.generate_until(first).empty());
+  // The excluded draw is consumed, not replayed: the next window starts
+  // strictly after it.
+  const auto rest = gen.generate_until(first + 1'000.0);
+  ASSERT_FALSE(rest.empty());
+  EXPECT_GT(rest.front().time_ms, first);
+}
+
+TEST(ArrivalGenerator, MeanIntervalMatchesSectionFourMidpoints) {
+  // Uniform inter-arrival over [lo, hi) -> mean is the range midpoint
+  // (Section 4.1: heavy 13.4 ms, normal 26.8 ms, light 53.6 ms).
+  const struct {
+    LoadSetting load;
+    double midpoint_ms;
+  } cases[] = {{LoadSetting::kHeavy, 13.4},
+               {LoadSetting::kNormal, 26.8},
+               {LoadSetting::kLight, 53.6}};
+  for (const auto& c : cases) {
+    ArrivalGenerator gen(c.load, {AppId(0)}, stream());
+    constexpr int kDraws = 50'000;
+    TimeMs prev = 0.0, sum = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const Arrival a = gen.next();
+      sum += a.time_ms - prev;
+      prev = a.time_ms;
+    }
+    const double mean = sum / kDraws;
+    EXPECT_NEAR(mean, c.midpoint_ms, 0.02 * c.midpoint_ms)
+        << to_string(c.load);
+  }
+}
+
 TEST(ArrivalGenerator, DeterministicForSameSeed) {
   ArrivalGenerator a(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());
   ArrivalGenerator b(LoadSetting::kHeavy, {AppId(0), AppId(1)}, stream());

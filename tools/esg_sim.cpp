@@ -25,13 +25,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("scheduler=%s load=%s slo=%s horizon=%.0fms warmup=%.0fms "
-              "nodes=%zu seeds=%zu\n\n",
+  std::string arrivals(exp::to_string(opts.scenario.arrivals.mode));
+  if (opts.scenario.arrivals.mode == exp::ArrivalMode::kTrace) {
+    char scales[96];
+    std::snprintf(scales, sizeof(scales), ":%s,rate-scale=%g,time-scale=%g",
+                  opts.scenario.arrivals.trace_path.c_str(),
+                  opts.scenario.arrivals.replay.rate_scale,
+                  opts.scenario.arrivals.replay.time_scale);
+    arrivals += scales;
+  }
+  std::printf("scheduler=%s load=%s slo=%s arrivals=%s horizon=%.0fms "
+              "warmup=%.0fms nodes=%zu seeds=%zu\n\n",
               std::string(exp::to_string(opts.scenario.scheduler)).c_str(),
               std::string(workload::to_string(opts.scenario.load)).c_str(),
               std::string(workload::to_string(opts.scenario.slo)).c_str(),
-              opts.scenario.horizon_ms, opts.scenario.warmup_ms,
-              opts.scenario.nodes, opts.seeds.size());
+              arrivals.c_str(), opts.scenario.horizon_ms,
+              opts.scenario.warmup_ms, opts.scenario.nodes, opts.seeds.size());
 
   // With tracing the seeds run sequentially, each into its own file; the
   // untraced path keeps the parallel replica runner.

@@ -1,0 +1,180 @@
+// esg_tracegen — generates a synthetic Azure-shaped workload trace
+// (esg.trace.v1): diurnal sinusoid intensity, Zipf app popularity, and
+// multiplicative burst episodes, Poisson-sampled to integer counts.
+// Deterministic for a given --seed, so CI and benches can regenerate
+// identical traces instead of checking in large files.
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "trace/azure_shape.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace {
+
+struct Options {
+  esg::trace::AzureShapeOptions shape;
+  std::uint64_t seed = 42;
+  std::string format = "csv";  // csv|jsonl
+  std::string out;             // empty = stdout
+  bool help = false;
+};
+
+const char* kUsage =
+    R"(esg_tracegen — generate a synthetic Azure-shaped workload trace (esg.trace.v1)
+
+usage: esg_tracegen [flags]
+
+  --apps        <n>     applications in the trace          (default 4)
+  --bins        <n>     trace length in bins               (default 120)
+  --bin-ms      <ms>    bin width                          (default 1000)
+  --mean-rate   <f>     mean invocations per bin, all apps (default 60)
+  --diurnal-amplitude <f>  sinusoid depth in [0,1)         (default 0.6)
+  --diurnal-period <bins>  bins per cycle, 0 = whole trace (default 0)
+  --zipf-s      <f>     app-popularity skew                (default 1.1)
+  --bursts      <n>     burst episodes                     (default 3)
+  --burst-factor <f>    intensity multiplier in a burst    (default 4)
+  --burst-fraction <f>  mean episode length / trace length (default 0.05)
+  --fractional  on|off  store expected counts instead of
+                        Poisson-sampled integers           (default off)
+  --seed        <n>     RNG seed                           (default 42)
+  --format      csv|jsonl                                  (default csv)
+  --out         <path>  output file (default: stdout)
+  --help
+)";
+
+double parse_number(std::string_view key, std::string_view v) {
+  double out = 0.0;
+  const auto* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out)) {
+    throw std::invalid_argument("malformed value for " + std::string(key) +
+                                ": '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+std::size_t parse_count(std::string_view key, std::string_view v) {
+  const double d = parse_number(key, v);
+  if (d < 0.0 || d != std::floor(d)) {
+    throw std::invalid_argument(std::string(key) +
+                                " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+bool parse_bool(std::string_view key, std::string_view v) {
+  if (v == "on" || v == "true" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "0") return false;
+  throw std::invalid_argument("malformed boolean for " + std::string(key) +
+                              ": '" + std::string(v) + "' (on|off)");
+}
+
+Options parse_args(std::span<const char* const> args) {
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view key = args[i];
+    if (key == "--help" || key == "-h") {
+      opts.help = true;
+      return opts;
+    }
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + std::string(key));
+    }
+    const std::string_view value = args[++i];
+    if (key == "--apps") {
+      opts.shape.apps = parse_count(key, value);
+    } else if (key == "--bins") {
+      opts.shape.bins = parse_count(key, value);
+    } else if (key == "--bin-ms") {
+      opts.shape.bin_ms = parse_number(key, value);
+    } else if (key == "--mean-rate") {
+      opts.shape.mean_rate_per_bin = parse_number(key, value);
+    } else if (key == "--diurnal-amplitude") {
+      opts.shape.diurnal_amplitude = parse_number(key, value);
+    } else if (key == "--diurnal-period") {
+      opts.shape.diurnal_period_bins = parse_number(key, value);
+    } else if (key == "--zipf-s") {
+      opts.shape.zipf_s = parse_number(key, value);
+    } else if (key == "--bursts") {
+      opts.shape.burst_count = parse_count(key, value);
+    } else if (key == "--burst-factor") {
+      opts.shape.burst_factor = parse_number(key, value);
+    } else if (key == "--burst-fraction") {
+      opts.shape.burst_fraction = parse_number(key, value);
+    } else if (key == "--fractional") {
+      opts.shape.integer_counts = !parse_bool(key, value);
+    } else if (key == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(parse_count(key, value));
+    } else if (key == "--format") {
+      opts.format = std::string(value);
+      if (opts.format != "csv" && opts.format != "jsonl") {
+        throw std::invalid_argument("unknown --format '" + opts.format +
+                                    "' (csv|jsonl)");
+      }
+    } else if (key == "--out") {
+      opts.out = std::string(value);
+    } else {
+      throw std::invalid_argument("unknown flag '" + std::string(key) +
+                                  "' (see --help)");
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esg;
+  Options opts;
+  try {
+    opts = parse_args({const_cast<const char* const*>(argv) + 1,
+                       static_cast<std::size_t>(argc - 1)});
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "esg_tracegen: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+  if (opts.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  try {
+    const trace::WorkloadTrace generated = trace::generate_azure_shaped(
+        opts.shape, RngFactory(opts.seed).stream("azure-shape"));
+
+    std::ofstream file;
+    if (!opts.out.empty()) {
+      file.open(opts.out);
+      if (!file) {
+        std::fprintf(stderr, "esg_tracegen: cannot open '%s'\n",
+                     opts.out.c_str());
+        return 1;
+      }
+    }
+    std::ostream& out = opts.out.empty() ? std::cout : file;
+    if (opts.format == "jsonl") {
+      trace::write_trace_jsonl(generated, out);
+    } else {
+      trace::write_trace_csv(generated, out);
+    }
+    if (!opts.out.empty()) {
+      std::fprintf(stderr,
+                   "wrote %zu bins x %zu apps (%.0f invocations, %.1f s) to %s\n",
+                   generated.bin_count(), generated.app_count,
+                   generated.total_count(), generated.duration_ms() / 1000.0,
+                   opts.out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esg_tracegen: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+  return 0;
+}
