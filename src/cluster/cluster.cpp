@@ -50,14 +50,26 @@ InvokerId Cluster::home_invoker(AppId app, FunctionId function) const {
 
 std::size_t Cluster::total_free_vcpus() const {
   std::size_t total = 0;
-  for (const auto& inv : invokers_) total += inv.free_vcpus();
+  for (const auto& inv : invokers_) {
+    if (inv.state() == NodeState::kRetired) continue;
+    total += inv.free_vcpus();
+  }
   return total;
 }
 
 std::size_t Cluster::total_free_vgpus() const {
   std::size_t total = 0;
-  for (const auto& inv : invokers_) total += inv.free_vgpus();
+  for (const auto& inv : invokers_) {
+    if (inv.state() == NodeState::kRetired) continue;
+    total += inv.free_vgpus();
+  }
   return total;
+}
+
+std::size_t Cluster::count_state(NodeState state) const {
+  std::size_t count = 0;
+  for (const auto& inv : invokers_) count += inv.state() == state ? 1 : 0;
+  return count;
 }
 
 }  // namespace esg::cluster

@@ -32,9 +32,26 @@ class Cluster {
   /// namespace/action hash.
   [[nodiscard]] InvokerId home_invoker(AppId app, FunctionId function) const;
 
-  /// Total free resources across the cluster.
+  /// Total free resources across the fleet. Retired nodes are not part of
+  /// the fleet and contribute nothing; on a static fleet (no retired nodes)
+  /// this is the plain sum over every invoker, dead or alive.
   [[nodiscard]] std::size_t total_free_vcpus() const;
   [[nodiscard]] std::size_t total_free_vgpus() const;
+
+  /// Fleet-size census by lifecycle state (for stats and elastic policies).
+  [[nodiscard]] std::size_t count_state(NodeState state) const;
+  [[nodiscard]] std::size_t active_count() const {
+    return count_state(NodeState::kActive);
+  }
+  [[nodiscard]] std::size_t warming_count() const {
+    return count_state(NodeState::kWarming);
+  }
+  [[nodiscard]] std::size_t draining_count() const {
+    return count_state(NodeState::kDraining);
+  }
+  [[nodiscard]] std::size_t retired_count() const {
+    return count_state(NodeState::kRetired);
+  }
 
   [[nodiscard]] const DataTransferModel& transfer_model() const { return transfer_; }
   void set_transfer_model(const DataTransferModel& m) { transfer_ = m; }

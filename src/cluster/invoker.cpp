@@ -58,8 +58,13 @@ bool Invoker::acquire_warm(FunctionId function, TimeMs now) {
 
 void Invoker::add_warm(FunctionId function, TimeMs now, TimeMs keep_alive) {
   // A dead node cannot park containers: in-flight prewarm/provisioning
-  // events that land during a crash window are silently dropped.
-  if (!alive_) return;
+  // events that land during a crash window are silently dropped. Draining
+  // and retired nodes refuse new warm state the same way — the drain
+  // contract is "nothing new lands here".
+  if (!alive_ || state_ == NodeState::kDraining ||
+      state_ == NodeState::kRetired) {
+    return;
+  }
   warm_[function].push_back(WarmEntry{now + keep_alive, now});
 }
 
@@ -85,6 +90,47 @@ void Invoker::crash(TimeMs now) {
 }
 
 void Invoker::rejoin() { alive_ = true; }
+
+void Invoker::begin_warming() {
+  check(state_ == NodeState::kRetired,
+        "Invoker::begin_warming: node is not retired");
+  state_ = NodeState::kWarming;
+}
+
+void Invoker::activate() {
+  check(state_ == NodeState::kWarming,
+        "Invoker::activate: node is not warming");
+  state_ = NodeState::kActive;
+}
+
+void Invoker::begin_drain() {
+  check(state_ == NodeState::kActive || state_ == NodeState::kWarming,
+        "Invoker::begin_drain: node is not active or warming");
+  state_ = NodeState::kDraining;
+}
+
+void Invoker::retire(TimeMs now) {
+  check(state_ == NodeState::kDraining || state_ == NodeState::kWarming,
+        "Invoker::retire: node is not draining or warming");
+  check(used_vcpus_ == 0 && used_vgpus_ == 0,
+        "Invoker::retire: node still holds task resources (leak)");
+  if (warm_callback_) {
+    // Sorted function order, same as crash(): the callback feeds the trace,
+    // which must stay byte-reproducible.
+    std::vector<FunctionId> functions;
+    functions.reserve(warm_.size());
+    for (const auto& [fn, _] : warm_) functions.push_back(fn);
+    std::sort(functions.begin(), functions.end());
+    for (FunctionId fn : functions) {
+      for (const WarmEntry& e : warm_.at(fn)) {
+        warm_callback_(id_, fn, e.since, std::min(e.expiry, now),
+                       e.expiry <= now ? WarmEnd::kExpired : WarmEnd::kDrained);
+      }
+    }
+  }
+  warm_.clear();
+  state_ = NodeState::kRetired;
+}
 
 void Invoker::flush_warm_spans(TimeMs now) const {
   if (!warm_callback_) return;

@@ -32,6 +32,18 @@ enum class WarmEnd : std::uint8_t {
   kExpired,   ///< keep-alive window ran out unused
   kOpen,      ///< still parked when the trace was flushed
   kCrashed,   ///< lost when the invoker crashed (fault injection)
+  kDrained,   ///< released when the invoker left the fleet (scale-in/reclaim)
+};
+
+/// Fleet-membership lifecycle of a node, orthogonal to the crash-window
+/// `alive()` flag (a node can be Active yet dead during a crash window).
+/// Static fleets keep every node Active forever; the elastic layer walks
+/// Retired -> Warming -> Active -> Draining -> Retired.
+enum class NodeState : std::uint8_t {
+  kActive,    ///< in the fleet, accepts placements and warm containers
+  kWarming,   ///< acquired, paying provisioning lead time, not yet placeable
+  kDraining,  ///< finishing in-flight work; accepts nothing new
+  kRetired,   ///< not part of the fleet (released, reclaimed, or never acquired)
 };
 
 /// Observer invoked whenever a keep-alive window closes: (invoker, function,
@@ -57,7 +69,8 @@ class Invoker {
   [[nodiscard]] std::uint16_t used_vgpus() const { return used_vgpus_; }
 
   [[nodiscard]] bool can_fit(std::uint16_t vcpus, std::uint16_t vgpus) const {
-    return alive_ && vcpus <= free_vcpus() && vgpus <= free_vgpus();
+    return alive_ && state_ == NodeState::kActive && vcpus <= free_vcpus() &&
+           vgpus <= free_vgpus();
   }
 
   /// False while a fault-injected crash window is open. A dead invoker fits
@@ -65,6 +78,32 @@ class Invoker {
   /// vCPU/vGPU counters keep working so the controller can release the
   /// resources of the tasks it kills.
   [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Fleet-membership state; see NodeState. Static fleets stay kActive.
+  [[nodiscard]] NodeState state() const { return state_; }
+
+  /// True when new placements, prewarms, and provisioned containers may
+  /// target this node: alive, Active, not draining or retired.
+  [[nodiscard]] bool accepts_placements() const {
+    return alive_ && state_ == NodeState::kActive;
+  }
+
+  /// Retired -> Warming: the node has been acquired and is paying its
+  /// provisioning lead time. Throws std::logic_error from any other state.
+  void begin_warming();
+
+  /// Warming -> Active: provisioning finished, the node joins the fleet.
+  void activate();
+
+  /// Active|Warming -> Draining: stop accepting new placements; in-flight
+  /// tasks keep their resources until they finish (or are reclaimed).
+  void begin_drain();
+
+  /// Draining|Warming -> Retired: the node leaves the fleet. Every parked
+  /// warm container is released (reported as WarmEnd::kDrained). Requires
+  /// used vCPUs/vGPUs == 0 — callers must have completed or failed all
+  /// in-flight tasks first; the check is the no-leak invariant.
+  void retire(TimeMs now);
 
   /// Crashes the node: drops every warm container (reported as
   /// WarmEnd::kCrashed) and marks the node dead. The caller is responsible
@@ -116,6 +155,7 @@ class Invoker {
   std::uint16_t used_vcpus_ = 0;
   std::uint16_t used_vgpus_ = 0;
   bool alive_ = true;
+  NodeState state_ = NodeState::kActive;
   // function -> idle warm containers (unsorted, tiny lists).
   // Mutable: const queries prune expired entries lazily.
   mutable std::unordered_map<FunctionId, std::vector<WarmEntry>> warm_;

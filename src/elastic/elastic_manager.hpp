@@ -1,0 +1,114 @@
+// Elastic fleet lifecycle manager (DESIGN.md §11).
+//
+// Drives Invoker lifecycle transitions (Retired -> Warming -> Active ->
+// Draining -> Retired) from the deterministic policy in an ElasticSpec:
+//
+//  - Scale-out: when the backlog (queue policy) or the EWMA arrival rate
+//    (rate policy) per in-fleet node exceeds the threshold, the lowest-id
+//    retired nodes are acquired; each pays `provision-ms` of warming before
+//    it can take placements. A fleet scaled to zero re-acquires nodes as
+//    soon as work queues.
+//  - Scale-in: nodes idle for `idle-ms` drain and retire (highest id
+//    first, never below `min`). Policy scale-in only picks nodes with no
+//    running task, so drain and retire coincide; spot-reclaimed nodes
+//    (driven by the controller) drain for the warning lead time instead and
+//    are retired here as soon as their last task finishes.
+//
+// The manager runs on a self-scheduled tick every `eval-ms`, armed only
+// while it could still act (work queued, nodes warming/draining, or
+// scale-in headroom); when the predicate goes false the tick stops so the
+// simulator can drain. An *inert* spec schedules nothing, draws nothing
+// from `rng`, and emits nothing — a zero-churn elastic run is byte-identical
+// to the static fleet (the determinism contract).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "elastic/elastic_spec.hpp"
+#include "metrics/run_metrics.hpp"
+#include "obs/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace esg::elastic {
+
+class ElasticManager {
+ public:
+  /// `spec.max_nodes` must be resolved (> 0) and equal `cluster.size()`;
+  /// `initial_nodes` of the fleet start Active, the rest Retired.
+  /// `rng` should be the run factory's scoped("elastic") derivation.
+  ElasticManager(sim::Simulator& sim, cluster::Cluster& cluster,
+                 ElasticSpec spec, RngFactory rng, std::size_t initial_nodes);
+
+  [[nodiscard]] const ElasticSpec& spec() const { return spec_; }
+
+  /// Controller backlog, for the queue policy and the tick-liveness check.
+  void set_queue_depth_provider(std::function<std::size_t()> provider) {
+    queue_depth_ = std::move(provider);
+  }
+  /// Fired when a warming node activates (the controller re-arms its scan).
+  void set_on_activate(std::function<void(InvokerId)> hook) {
+    on_activate_ = std::move(hook);
+  }
+  /// Fired when a node starts draining (the controller cancels in-flight
+  /// provisioning targeting it).
+  void set_on_drain(std::function<void(InvokerId)> hook) {
+    on_drain_ = std::move(hook);
+  }
+  /// Trace + metrics wiring; events before `warmup_ms` are not recorded.
+  void set_observability(obs::TraceRecorder* recorder,
+                         metrics::RunMetrics* metrics, TimeMs warmup_ms) {
+    recorder_ = recorder;
+    metrics_ = metrics;
+    warmup_ms_ = warmup_ms;
+  }
+
+  /// Request-arrival notification: feeds the rate policy's EWMA and re-arms
+  /// the evaluation tick if it had gone dormant.
+  void on_arrival(TimeMs now);
+
+  /// One policy evaluation (normally tick-driven; public for tests).
+  void evaluate(TimeMs now);
+
+ private:
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  ElasticSpec spec_;
+  RngFactory rng_;  // reserved for stochastic policies; current ones draw nothing
+  std::function<std::size_t()> queue_depth_;
+  std::function<void(InvokerId)> on_activate_;
+  std::function<void(InvokerId)> on_drain_;
+  obs::TraceRecorder* recorder_ = nullptr;
+  metrics::RunMetrics* metrics_ = nullptr;
+  TimeMs warmup_ms_ = 0.0;
+
+  std::vector<TimeMs> last_busy_;  ///< per node: last eval that saw it busy
+  bool tick_scheduled_ = false;
+  TimeMs ewma_gap_ms_ = -1.0;  ///< EWMA inter-arrival gap; < 0 until two arrivals
+  TimeMs last_arrival_ms_ = -1.0;
+
+  [[nodiscard]] std::size_t queued_jobs() const {
+    return queue_depth_ ? queue_depth_() : 0;
+  }
+  [[nodiscard]] bool could_still_act() const;
+  void ensure_tick(TimeMs now);
+  void tick(TimeMs now);
+  void retire_empty_draining(TimeMs now);
+  void scale_out(TimeMs now, std::size_t in_fleet);
+  void scale_in(TimeMs now);
+  void activate_node(InvokerId id, TimeMs now);
+  [[nodiscard]] obs::TraceRecorder* traced(TimeMs now) const {
+    return (recorder_ != nullptr && recorder_->is_enabled() &&
+            now >= warmup_ms_)
+               ? recorder_
+               : nullptr;
+  }
+  [[nodiscard]] bool measured(TimeMs now) const {
+    return metrics_ != nullptr && now >= warmup_ms_;
+  }
+};
+
+}  // namespace esg::elastic

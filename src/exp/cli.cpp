@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "elastic/elastic_spec.hpp"
 #include "fault/fault_spec.hpp"
 #include "trace/workload_trace.hpp"
 
@@ -267,9 +268,29 @@ usage: esg_sim [flags]
                            dispatch:prob=0.05[,function=2]
                            coldstart:prob=0.2[,function=1]
                            slow:invoker=1,at=500,for=4000,factor=3
+                           spot:at=2000,nodes=3[,warn=500]
                          A zero-rate spec reproduces the fault-free run
-                         byte-for-byte.
+                         byte-for-byte. `spot:` reclaims nodes after a warning
+                         lead time and needs --elastic.
+  --elastic    <policy:k=v,...>  elastic fleet lifecycle (default off: the
+                         fleet is static at --nodes). Policies:
+                           queue:...  scale out when queued jobs per in-fleet
+                                      node exceed `out`
+                           rate:...   scale out when the EWMA arrival rate
+                                      (req/s) per in-fleet node exceeds `out`
+                         Keys: min=1 max=<nodes> out=8 step=1 idle-ms=30000
+                         eval-ms=250 provision-ms=2000 alpha=0.3 shed=off
+                         shed-margin=1. --nodes is the *initial* fleet; the
+                         cluster holds `max` invokers. `shed=on` enables
+                         admission control: requests whose best-case latency
+                         cannot meet shed-margin x SLO are rejected at arrival
+                         (reported as shed@admission). An inert spec
+                         (min == max, idle-ms=0, shed=off) is byte-identical
+                         to the static run.
   --help
+
+exit codes: 0 success; 2 configuration error (bad flag/spec/scenario);
+1 runtime failure (I/O, internal error).
 )";
 }
 
@@ -334,10 +355,21 @@ CliOptions parse_cli(std::span<const char* const> args) {
       }
     } else if (key == "--fault-spec") {
       opts.scenario.fault = fault::load_fault_spec(value);
+    } else if (key == "--elastic") {
+      opts.scenario.elastic = elastic::parse_elastic_spec(value);
     } else {
       throw std::invalid_argument("unknown flag '" + std::string(key) +
                                   "' (see --help)");
     }
+  }
+
+  // Cross-flag validation here (not only in run_scenario): replicas run on
+  // worker threads, where a late throw aborts instead of reaching main's
+  // config-error handler.
+  if (!opts.scenario.fault.spot.empty() && !opts.scenario.elastic.enabled()) {
+    throw std::invalid_argument(
+        "spot: clauses need --elastic (a static fleet has no lifecycle to "
+        "reclaim nodes from)");
   }
 
   return opts;

@@ -167,8 +167,26 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
       profile::ProfileSet::builtin(scenario.config_space);
   const std::vector<workload::AppDag> apps = workload::builtin_applications();
 
+  // An elastic scenario builds the cluster at max size; nodes beyond the
+  // initial fleet start retired and are acquired by the policy on demand.
+  elastic::ElasticSpec elastic_spec = scenario.elastic;
+  if (elastic_spec.enabled()) {
+    if (elastic_spec.max_nodes == 0) elastic_spec.max_nodes = scenario.nodes;
+    if (elastic_spec.min_nodes > elastic_spec.max_nodes) {
+      throw std::invalid_argument(
+          "run_scenario: elastic min exceeds the resolved max fleet size");
+    }
+    if (scenario.nodes < 1 || scenario.nodes > elastic_spec.max_nodes) {
+      throw std::invalid_argument(
+          "run_scenario: --nodes (the initial fleet) must be in [1, elastic "
+          "max]");
+    }
+  }
+  const std::size_t cluster_nodes =
+      elastic_spec.enabled() ? elastic_spec.max_nodes : scenario.nodes;
+
   sim::Simulator sim;
-  cluster::Cluster cluster(scenario.nodes);
+  cluster::Cluster cluster(cluster_nodes);
   const auto scheduler = make_scheduler(scenario, apps, profiles, rng);
 
   const bool tracing = recorder != nullptr && recorder->is_enabled();
@@ -180,6 +198,7 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
       const char* state = reason == cluster::WarmEnd::kAcquired ? "acquired"
                           : reason == cluster::WarmEnd::kExpired ? "expired"
                           : reason == cluster::WarmEnd::kCrashed ? "crashed"
+                          : reason == cluster::WarmEnd::kDrained ? "drained"
                                                                  : "open";
       recorder->span(obs::SpanKind::kKeepAlive,
                      "warm f" + std::to_string(fn.get()),
@@ -196,25 +215,39 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   std::unique_ptr<fault::FaultEngine> fault_engine;
   if (!scenario.fault.inert()) {
     for (const auto& crash : scenario.fault.crashes) {
-      if (crash.invoker.get() >= scenario.nodes) {
+      if (crash.invoker.get() >= cluster_nodes) {
         throw std::invalid_argument(
             "run_scenario: fault-spec crash invoker out of range");
       }
     }
     for (const auto& slow : scenario.fault.slowdowns) {
-      if (slow.invoker.get() >= scenario.nodes) {
+      if (slow.invoker.get() >= cluster_nodes) {
         throw std::invalid_argument(
             "run_scenario: fault-spec slow invoker out of range");
       }
     }
+    if (!scenario.fault.spot.empty() && !elastic_spec.enabled()) {
+      throw std::invalid_argument(
+          "run_scenario: spot: clauses need --elastic (a static fleet has no "
+          "lifecycle to reclaim)");
+    }
     fault_engine = std::make_unique<fault::FaultEngine>(scenario.fault,
                                                         rng.scoped("fault"));
+  }
+
+  // The manager retires the beyond-initial nodes before the controller seeds
+  // warm pools, so construction order matters here.
+  std::unique_ptr<elastic::ElasticManager> elastic_manager;
+  if (elastic_spec.enabled()) {
+    elastic_manager = std::make_unique<elastic::ElasticManager>(
+        sim, cluster, elastic_spec, rng.scoped("elastic"), scenario.nodes);
   }
 
   platform::ControllerOptions controller_options = scenario.controller;
   controller_options.metrics_warmup_ms = scenario.warmup_ms;
   controller_options.recorder = recorder;
   controller_options.fault = fault_engine.get();
+  controller_options.elastic = elastic_manager.get();
   platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
                                   *scheduler, rng, controller_options);
 

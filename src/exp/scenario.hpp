@@ -15,6 +15,7 @@
 #include "baselines/infless.hpp"
 #include "baselines/orion.hpp"
 #include "core/esg_scheduler.hpp"
+#include "elastic/elastic_spec.hpp"
 #include "fault/fault_spec.hpp"
 #include "metrics/run_metrics.hpp"
 #include "platform/controller.hpp"
@@ -93,6 +94,12 @@ struct Scenario {
   /// exact fault-free code path: outputs are byte-identical to a run with no
   /// spec at all.
   fault::FaultSpec fault;
+  /// Elastic fleet policy (--elastic). Disabled by default: the run uses a
+  /// static fleet of `nodes` invokers. When enabled, `nodes` becomes the
+  /// *initial* fleet and the cluster is built with `elastic.max_nodes`
+  /// invokers (0 = resolved to `nodes`); an inert spec (min == max, no
+  /// idle-out, no shedding) is byte-identical to the static run.
+  elastic::ElasticSpec elastic;
   profile::ConfigSpaceOptions config_space;
   core::EsgScheduler::Options esg;
   baselines::InflessScheduler::Options infless;

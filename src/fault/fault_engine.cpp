@@ -18,6 +18,13 @@ void FaultEngine::install(sim::Simulator& sim) {
       if (rejoin_handler_) rejoin_handler_(c.invoker);
     });
   }
+  for (const SpotReclamation& s : spec_.spot) {
+    // Only the warning is scheduled here; the receiver owns the per-victim
+    // reclamation events so it can skip nodes that finish draining early.
+    sim.schedule_at(s.at_ms, [this, s] {
+      if (spot_handler_) spot_handler_(s.nodes, s.at_ms + s.warn_ms);
+    });
+  }
 }
 
 RngStream& FaultEngine::stream_for(

@@ -32,6 +32,10 @@ class FaultEngine {
   using CrashHandler = std::function<void(InvokerId, TimeMs)>;
   /// Fired when the invoker's down window ends.
   using RejoinHandler = std::function<void(InvokerId)>;
+  /// (node count, reclamation deadline) — fired when a SpotReclamation
+  /// warning lands. The receiver picks the victims, drains them, and kills
+  /// whatever is still running at the deadline.
+  using SpotHandler = std::function<void(std::size_t, TimeMs)>;
 
   /// `rng` should be the run factory's scoped("fault") derivation.
   FaultEngine(FaultSpec spec, RngFactory rng)
@@ -45,6 +49,9 @@ class FaultEngine {
   }
   void set_rejoin_handler(RejoinHandler handler) {
     rejoin_handler_ = std::move(handler);
+  }
+  void set_spot_handler(SpotHandler handler) {
+    spot_handler_ = std::move(handler);
   }
 
   /// Schedules every crash and rejoin event. Call once, after the handlers
@@ -65,6 +72,7 @@ class FaultEngine {
   RngFactory rng_;
   CrashHandler crash_handler_;
   RejoinHandler rejoin_handler_;
+  SpotHandler spot_handler_;
   bool installed_ = false;
   // Lazily created per-function substreams. Seeding depends only on
   // (master seed, label, function id), never on creation order.

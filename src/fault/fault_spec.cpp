@@ -97,7 +97,19 @@ std::uint32_t id_value(std::string_view clause, std::string_view key, double v) 
   return static_cast<std::uint32_t>(v);
 }
 
-void parse_clause(FaultSpec& spec, std::string_view clause) {
+std::string fmt_ms(TimeMs v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Source line (1-based) of each crash clause, for overlap diagnostics.
+struct ParseContext {
+  std::vector<std::size_t> crash_lines;
+};
+
+void parse_clause(FaultSpec& spec, std::string_view clause,
+                  std::size_t line, ParseContext& ctx) {
   const std::size_t colon = clause.find(':');
   if (colon == std::string_view::npos) {
     bad_clause(clause, "expected kind:key=value,...");
@@ -112,6 +124,7 @@ void parse_clause(FaultSpec& spec, std::string_view clause) {
     c.down_ms = nonneg_time(clause, "down", *take(kv, clause, "down", true));
     reject_leftovers(kv, clause);
     spec.crashes.push_back(c);
+    ctx.crash_lines.push_back(line);
   } else if (kind == "dispatch" || kind == "coldstart") {
     const double prob = probability(clause, *take(kv, clause, "prob", true));
     std::optional<FunctionId> function;
@@ -133,22 +146,54 @@ void parse_clause(FaultSpec& spec, std::string_view clause) {
     if (w.factor < 1.0) bad_clause(clause, "factor must be >= 1");
     reject_leftovers(kv, clause);
     spec.slowdowns.push_back(w);
+  } else if (kind == "spot") {
+    SpotReclamation s;
+    s.at_ms = nonneg_time(clause, "at", *take(kv, clause, "at", true));
+    s.nodes = id_value(clause, "nodes", *take(kv, clause, "nodes", true));
+    if (s.nodes == 0) bad_clause(clause, "nodes must be >= 1");
+    if (const auto warn = take(kv, clause, "warn", false)) {
+      s.warn_ms = nonneg_time(clause, "warn", *warn);
+    }
+    reject_leftovers(kv, clause);
+    spec.spot.push_back(s);
   } else {
     bad_clause(clause, "unknown kind '" + std::string(kind) +
-                           "' (crash|dispatch|coldstart|slow)");
+                           "' (crash|dispatch|coldstart|slow|spot)");
   }
 }
 
-std::string fmt_ms(TimeMs v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
+/// Rejects crash windows on the same invoker whose [at, at+down) intervals
+/// overlap: the second crash would fire on an already-dead node and its
+/// rejoin would revive the node while the other window is still open.
+/// Back-to-back windows (one ending exactly where the next starts) are
+/// fine — the rejoin event is scheduled before the next crash.
+void reject_overlapping_crashes(const FaultSpec& spec,
+                                const ParseContext& ctx) {
+  for (std::size_t i = 0; i < spec.crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.crashes.size(); ++j) {
+      const CrashWindow& a = spec.crashes[i];
+      const CrashWindow& b = spec.crashes[j];
+      if (a.invoker != b.invoker) continue;
+      if (a.at_ms + a.down_ms > b.at_ms && b.at_ms + b.down_ms > a.at_ms) {
+        throw std::invalid_argument(
+            "fault-spec line " + std::to_string(ctx.crash_lines[j]) +
+            ": crash window on invoker " + std::to_string(b.invoker.get()) +
+            " [" + fmt_ms(b.at_ms) + ", " + fmt_ms(b.at_ms + b.down_ms) +
+            ") overlaps the window at line " +
+            std::to_string(ctx.crash_lines[i]) + " [" + fmt_ms(a.at_ms) +
+            ", " + fmt_ms(a.at_ms + a.down_ms) + ")");
+      }
+    }
+  }
 }
 
 }  // namespace
 
 bool FaultSpec::inert() const {
   if (!crashes.empty()) return false;
+  for (const auto& s : spot) {
+    if (s.nodes > 0) return false;
+  }
   for (const auto& d : dispatch) {
     if (d.prob > 0.0) return false;
   }
@@ -163,14 +208,20 @@ bool FaultSpec::inert() const {
 
 FaultSpec parse_fault_spec(std::string_view text) {
   FaultSpec spec;
+  ParseContext ctx;
   std::size_t pos = 0;
+  std::size_t line = 1;
   while (pos <= text.size()) {
     const std::size_t sep = std::min(text.find_first_of(";\n", pos), text.size());
     const std::string_view clause = trim(text.substr(pos, sep - pos));
+    const bool newline = sep < text.size() && text[sep] == '\n';
     pos = sep + 1;
-    if (clause.empty() || clause.front() == '#') continue;
-    parse_clause(spec, clause);
+    if (!clause.empty() && clause.front() != '#') {
+      parse_clause(spec, clause, line, ctx);
+    }
+    if (newline) ++line;
   }
+  reject_overlapping_crashes(spec, ctx);
   return spec;
 }
 
@@ -210,6 +261,12 @@ std::string to_string(const FaultSpec& spec) {
     clause("slow:invoker=" + std::to_string(w.invoker.get()) +
            ",at=" + fmt_ms(w.at_ms) + ",for=" + fmt_ms(w.duration_ms) +
            ",factor=" + fmt_ms(w.factor));
+  }
+  for (const auto& s : spec.spot) {
+    std::string str = "spot:at=" + fmt_ms(s.at_ms) +
+                      ",nodes=" + std::to_string(s.nodes);
+    if (s.warn_ms > 0.0) str += ",warn=" + fmt_ms(s.warn_ms);
+    clause(str);
   }
   return out;
 }

@@ -15,13 +15,23 @@
 //   slow:invoker=1,at=500,for=4000,factor=3
 //                                          node 1's GPU slices run 3x slower
 //                                          during [500, 4500)
+//   spot:at=2000,nodes=3[,warn=500]        correlated spot reclamation: at
+//                                          t=2000ms the provider announces it
+//                                          is taking 3 nodes back; they drain
+//                                          for the 500ms warning lead time and
+//                                          are reclaimed (in-flight work
+//                                          killed, node retired) at t=2500ms
 //
 // Lines starting with '#' are comments (file form). Probabilities must be
 // finite in [0, 1], times finite and non-negative, factors finite and >= 1;
-// violations throw std::invalid_argument naming the clause. A spec whose
-// probabilities are all zero and that carries no crash and no slowing window
-// is *inert* — the platform treats it exactly like no spec at all, which is
-// what makes zero-rate runs byte-identical to fault-free runs.
+// violations throw std::invalid_argument naming the clause. Two crash
+// windows on the same invoker must not overlap (a rejoin firing inside
+// another open window would corrupt the node's alive state) — overlaps are
+// rejected at parse time with an error naming both clause lines. A spec
+// whose probabilities are all zero and that carries no crash, no slowing
+// window, and no spot reclamation is *inert* — the platform treats it
+// exactly like no spec at all, which is what makes zero-rate runs
+// byte-identical to fault-free runs.
 #pragma once
 
 #include <optional>
@@ -64,15 +74,27 @@ struct SlowdownWindow {
   double factor = 1.0;
 };
 
+/// Correlated spot reclamation: at `at_ms` the provider announces it is
+/// taking `nodes` nodes back; after the `warn_ms` lead time (the real-world
+/// 30s/2min spot notice, scaled) the victims are reclaimed — in-flight tasks
+/// killed, warm pools dropped, nodes retired from the fleet. Victim choice
+/// is the controller's (deterministic: highest-id non-retired nodes).
+struct SpotReclamation {
+  TimeMs at_ms = 0.0;
+  std::size_t nodes = 1;
+  TimeMs warn_ms = 0.0;
+};
+
 struct FaultSpec {
   std::vector<CrashWindow> crashes;
   std::vector<DispatchFault> dispatch;
   std::vector<ColdStartFault> cold_start;
   std::vector<SlowdownWindow> slowdowns;
+  std::vector<SpotReclamation> spot;
 
-  /// True when the spec can never produce a fault: no crash, no slowdown
-  /// with factor > 1, every probability zero. Inert specs are treated as
-  /// "no fault injection" end to end.
+  /// True when the spec can never produce a fault: no crash, no spot
+  /// reclamation, no slowdown with factor > 1, every probability zero.
+  /// Inert specs are treated as "no fault injection" end to end.
   [[nodiscard]] bool inert() const;
 };
 

@@ -8,11 +8,11 @@
 namespace esg::metrics {
 
 void write_completions_csv(const RunMetrics& metrics, std::ostream& out) {
-  out << "request,app,arrival_ms,completion_ms,latency_ms,slo_ms,hit\n";
+  out << "request,app,arrival_ms,completion_ms,latency_ms,slo_ms,hit,shed\n";
   for (const auto& c : metrics.completions) {
     out << c.request.get() << ',' << c.app.get() << ',' << c.arrival_ms << ','
         << c.completion_ms << ',' << c.latency_ms << ',' << c.slo_ms << ','
-        << (c.hit ? 1 : 0) << '\n';
+        << (c.hit ? 1 : 0) << ',' << (c.shed ? 1 : 0) << '\n';
   }
 }
 
@@ -62,8 +62,10 @@ void write_per_app_summary_csv(const RunMetrics& metrics,
   std::sort(apps.begin(), apps.end(),
             [](AppId a, AppId b) { return a.get() < b.get(); });
   for (const AppId app : apps) {
+    // latencies(app) excludes shed requests, so request counts come from the
+    // completion records directly.
     const std::vector<double> latencies = metrics.latencies(app);
-    out << label << ',' << app.get() << ',' << latencies.size() << ','
+    out << label << ',' << app.get() << ',' << metrics.requests_of(app) << ','
         << metrics.slo_hit_rate(app) << ',' << percentile(latencies, 0.50)
         << ',' << percentile(latencies, 0.95) << ','
         << percentile(latencies, 0.99) << ',' << std::setprecision(10)

@@ -28,16 +28,25 @@ Usd RunMetrics::cost_of(AppId app) const {
 std::vector<double> RunMetrics::latencies() const {
   std::vector<double> out;
   out.reserve(completions.size());
-  for (const auto& c : completions) out.push_back(c.latency_ms);
+  for (const auto& c : completions) {
+    if (c.shed) continue;  // shed requests never ran; no latency to report
+    out.push_back(c.latency_ms);
+  }
   return out;
 }
 
 std::vector<double> RunMetrics::latencies(AppId app) const {
   std::vector<double> out;
   for (const auto& c : completions) {
-    if (c.app == app) out.push_back(c.latency_ms);
+    if (c.app == app && !c.shed) out.push_back(c.latency_ms);
   }
   return out;
+}
+
+std::size_t RunMetrics::requests_of(AppId app) const {
+  std::size_t total = 0;
+  for (const auto& c : completions) total += c.app == app ? 1 : 0;
+  return total;
 }
 
 double RunMetrics::config_miss_rate() const {

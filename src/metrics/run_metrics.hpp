@@ -38,6 +38,8 @@ struct CompletionRecord {
   TimeMs slo_ms = 0.0;
   bool hit = false;     ///< latency <= SLO
   bool failed = false;  ///< aborted after exhausting its retry budget
+  bool shed = false;    ///< rejected at admission (load shedding); counts as
+                        ///< a miss, excluded from latency statistics
 };
 
 struct RunMetrics {
@@ -75,7 +77,15 @@ struct RunMetrics {
   std::size_t cold_start_failures = 0;  ///< provisioning attempts that failed
   std::size_t invoker_crashes = 0;      ///< crash windows that opened
 
+  // Elasticity & degradation counters (all zero on a static fleet).
+  std::size_t shed_requests = 0;  ///< rejected at admission (load shedding)
+  std::size_t spot_reclaims = 0;  ///< nodes taken by spot reclamation
+  std::size_t scale_outs = 0;     ///< nodes acquired by the elastic policy
+  std::size_t scale_ins = 0;      ///< idle nodes released by the policy
+
   [[nodiscard]] std::size_t requests() const { return completions.size(); }
+  /// Requests of `app`, shed included (the latencies() vectors exclude shed).
+  [[nodiscard]] std::size_t requests_of(AppId app) const;
   [[nodiscard]] double slo_hit_rate() const;
   [[nodiscard]] double slo_hit_rate(AppId app) const;
   [[nodiscard]] Usd cost_of(AppId app) const;

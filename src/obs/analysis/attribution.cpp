@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -38,6 +39,7 @@ std::map<std::uint32_t, BudgetPlan> collect_budget_plans(
 /// Fault/abort markers a request's track carried (fault-injection runs).
 struct FaultMarks {
   std::map<std::size_t, std::size_t> faults_by_stage;
+  std::set<std::size_t> reclaimed_stages;  ///< stages killed by spot reclaim
   bool aborted = false;
   std::size_t abort_stage = 0;
 };
@@ -50,7 +52,13 @@ std::map<std::uint32_t, FaultMarks> collect_fault_marks(
     if (instant.kind == InstantKind::kFault) {
       const auto stage =
           static_cast<std::size_t>(arg_double(instant.args, "stage", 0.0));
-      ++marks[instant.track.tid].faults_by_stage[stage];
+      FaultMarks& mark = marks[instant.track.tid];
+      ++mark.faults_by_stage[stage];
+      for (const auto& [key, value] : instant.args) {
+        if (key == "cause" && value == "reclaimed") {
+          mark.reclaimed_stages.insert(stage);
+        }
+      }
     } else if (instant.kind == InstantKind::kRetryExhausted) {
       FaultMarks& mark = marks[instant.track.tid];
       mark.aborted = true;
@@ -208,10 +216,16 @@ void attribute_slo_budgets(CriticalPathResult& paths,
             }
           }
         }
-        request.miss_cause =
-            faulted != nullptr
-                ? "fault@stage" + std::to_string(faulted->stage)
-                : classify_miss(request);
+        if (faulted != nullptr) {
+          // Spot reclamations get their own cause label so degradation under
+          // churn is attributable separately from injected faults.
+          const bool reclaimed =
+              mark_it->second.reclaimed_stages.count(faulted->stage) > 0;
+          request.miss_cause = (reclaimed ? "reclaimed@stage" : "fault@stage") +
+                               std::to_string(faulted->stage);
+        } else {
+          request.miss_cause = classify_miss(request);
+        }
       }
     }
   }
@@ -268,6 +282,28 @@ AttributionReport build_report(const TraceDataset& dataset) {
         app.report.drift_histogram.add(stage.drift_ms() / stage.planned_ms);
       }
     }
+  }
+
+  // Shed requests never ran, so critical-path reconstruction has nothing to
+  // rebuild; they are synthesised here from their admission-control instants
+  // instead. Each counts as a request and a miss ("shed@admission") but is
+  // excluded from the latency quantiles — a 0 ms rejection is not a latency.
+  for (const Instant& instant : dataset.instants) {
+    if (instant.kind != InstantKind::kShed) continue;
+    if (instant.track.pid != kRequestsPid) continue;
+    const auto app_id =
+        static_cast<std::uint32_t>(arg_double(instant.args, "app", 0.0));
+    AppAccumulator& app = apps[app_id];
+    if (app.report.requests == 0) {
+      app.report.app = app_id;
+      app.report.slo_ms = arg_double(instant.args, "slo_ms", 0.0);
+    }
+    ++app.report.requests;
+    ++report.requests;
+    ++report.misses;
+    ++app.report.misses;
+    ++report.miss_causes["shed@admission"];
+    ++app.report.miss_causes["shed@admission"];
   }
 
   report.latency_ms = latency_quantiles(std::move(all_latencies));

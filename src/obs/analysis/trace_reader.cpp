@@ -48,7 +48,7 @@ class Parser {
   std::size_t pos_ = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("trace_reader: " + what + " at byte " +
+    throw std::invalid_argument("trace_reader: " + what + " at byte " +
                              std::to_string(pos_));
   }
   [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
@@ -268,7 +268,7 @@ TraceDataset read_chrome_trace(std::istream& in) {
              te != nullptr && te->kind == JsonValue::Kind::kArray) {
     events = te->array.get();  // the object-wrapped flavour of the format
   } else {
-    throw std::runtime_error("trace_reader: not a trace-event array");
+    throw std::invalid_argument("trace_reader: not a trace-event array");
   }
 
   TraceDataset dataset;
@@ -305,7 +305,7 @@ TraceDataset read_chrome_trace(std::istream& in) {
 TraceDataset read_chrome_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("trace_reader: cannot open '" + path + "'");
+    throw std::invalid_argument("trace_reader: cannot open '" + path + "'");
   }
   return read_chrome_trace(in);
 }

@@ -60,6 +60,20 @@ std::string_view to_string(InstantKind kind) {
       return "invoker_rejoin";
     case InstantKind::kColdStartFailure:
       return "cold_start_failure";
+    case InstantKind::kScaleOut:
+      return "scale_out";
+    case InstantKind::kScaleIn:
+      return "scale_in";
+    case InstantKind::kNodeActivated:
+      return "node_activated";
+    case InstantKind::kNodeRetired:
+      return "node_retired";
+    case InstantKind::kSpotWarning:
+      return "spot_warning";
+    case InstantKind::kSpotReclaim:
+      return "spot_reclaim";
+    case InstantKind::kShed:
+      return "shed";
   }
   return "unknown";
 }
@@ -84,7 +98,11 @@ std::optional<InstantKind> instant_kind_from_string(std::string_view s) {
       InstantKind::kBudgetPlan,     InstantKind::kBudgetReplan,
       InstantKind::kFault,          InstantKind::kRetry,
       InstantKind::kRetryExhausted, InstantKind::kInvokerCrash,
-      InstantKind::kInvokerRejoin,  InstantKind::kColdStartFailure};
+      InstantKind::kInvokerRejoin,  InstantKind::kColdStartFailure,
+      InstantKind::kScaleOut,       InstantKind::kScaleIn,
+      InstantKind::kNodeActivated,  InstantKind::kNodeRetired,
+      InstantKind::kSpotWarning,    InstantKind::kSpotReclaim,
+      InstantKind::kShed};
   for (const InstantKind kind : kAll) {
     if (to_string(kind) == s) return kind;
   }

@@ -46,6 +46,15 @@ void StatsSampler::sample() {
     recorder_.counter("queued_jobs", controller, now,
                       static_cast<double>(queue_depth_()));
   }
+  // Fleet-size timeline. Emitted unconditionally (a static fleet shows a
+  // flat fleet_active line) so a zero-churn elastic run stays byte-identical
+  // to the static run at the same seed.
+  recorder_.counter("fleet_active", controller, now,
+                    static_cast<double>(cluster_.active_count()));
+  recorder_.counter("fleet_warming", controller, now,
+                    static_cast<double>(cluster_.warming_count()));
+  recorder_.counter("fleet_draining", controller, now,
+                    static_cast<double>(cluster_.draining_count()));
   ++samples_;
 }
 

@@ -52,6 +52,13 @@ enum class InstantKind : std::uint8_t {
   kInvokerCrash,      ///< fault-injected node loss observed by the controller
   kInvokerRejoin,     ///< crashed node returned to service
   kColdStartFailure,  ///< container provisioning burned its time and failed
+  kScaleOut,          ///< elastic policy acquired a node (Retired -> Warming)
+  kScaleIn,           ///< elastic policy released an idle node
+  kNodeActivated,     ///< a warming node finished provisioning (joins fleet)
+  kNodeRetired,       ///< a node left the fleet (drain finished)
+  kSpotWarning,       ///< spot reclamation notice; the node starts draining
+  kSpotReclaim,       ///< reclamation deadline hit; in-flight work was killed
+  kShed,              ///< request rejected at admission (load shedding)
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind);

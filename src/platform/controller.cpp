@@ -33,7 +33,8 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       options_(options),
       noise_rng_(rng.stream("controller-noise")),
       rec_(options.recorder),
-      fault_(options.fault) {
+      fault_(options.fault),
+      elastic_(options.elastic) {
   if (apps.empty()) throw std::invalid_argument("Controller: no applications");
 
   // Apps are indexed by AppId value; ids must be dense starting at 0.
@@ -74,9 +75,33 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
     // Without this, short experiments measure nothing but the initial
     // cold-start storm.
     for (const AfwQueue& queue : queues_) {
-      cluster_.invoker(cluster_.home_invoker(queue.app, queue.function))
-          .add_warm(queue.function, 0.0, options_.keep_alive_ms);
+      InvokerId home = cluster_.home_invoker(queue.app, queue.function);
+      if (!cluster_.invoker(home).accepts_placements()) {
+        // The hash spans the whole cluster; when an elastic fleet starts
+        // below its ceiling the home node may be retired, so the seed
+        // migrates to the next accepting node (wrapping). Static fleets
+        // never take this branch.
+        for (std::size_t off = 1; off < cluster_.size(); ++off) {
+          const InvokerId cand(static_cast<std::uint32_t>(
+              (home.get() + off) % cluster_.size()));
+          if (cluster_.invoker(cand).accepts_placements()) {
+            home = cand;
+            break;
+          }
+        }
+      }
+      cluster_.invoker(home).add_warm(queue.function, 0.0,
+                                      options_.keep_alive_ms);
     }
+  }
+
+  if (elastic_ != nullptr) {
+    elastic_->set_queue_depth_provider([this] { return total_queued_jobs(); });
+    elastic_->set_on_activate(
+        [this](InvokerId) { ensure_scan_scheduled(); });
+    elastic_->set_on_drain(
+        [this](InvokerId id) { cancel_provisioning_on(id); });
+    elastic_->set_observability(rec_, &metrics_, options_.metrics_warmup_ms);
   }
 
   if (fault_ != nullptr) {
@@ -84,6 +109,9 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       on_invoker_crash(id, rejoin_at);
     });
     fault_->set_rejoin_handler([this](InvokerId id) { on_invoker_rejoin(id); });
+    fault_->set_spot_handler([this](std::size_t count, TimeMs reclaim_at) {
+      on_spot_warning(count, reclaim_at);
+    });
     fault_->install(sim_);
   }
 }
@@ -96,6 +124,8 @@ std::string_view Controller::cause_name(FailureCause cause) {
       return "timeout";
     case FailureCause::kCrash:
       return "crash";
+    case FailureCause::kReclaimed:
+      return "reclaimed";
   }
   return "unknown";
 }
@@ -140,6 +170,14 @@ void Controller::inject(const std::vector<workload::Arrival>& arrivals) {
 }
 
 RequestId Controller::inject_request(AppId app) {
+  if (elastic_ != nullptr) {
+    elastic_->on_arrival(sim_.now());
+    if (elastic_->spec().shed && should_shed(app)) {
+      const RequestId shed_id(next_request_++);
+      shed_request(shed_id, app, sim_.now());
+      return shed_id;
+    }
+  }
   const workload::AppDag& dag = dag_of(app);
   const RequestId id(next_request_++);
 
@@ -919,6 +957,13 @@ void Controller::on_invoker_crash(InvokerId invoker, TimeMs rejoin_at_ms) {
   }
 
   // Cancel in-flight container provisioning targeting the dead node.
+  cancel_provisioning_on(invoker);
+
+  // Finally drop the warm pool and mark the node dead.
+  cluster_.invoker(invoker).crash(now);
+}
+
+void Controller::cancel_provisioning_on(InvokerId invoker) {
   for (auto pit = provisioning_.begin(); pit != provisioning_.end();) {
     if (static_cast<std::uint32_t>(pit->first >> 32) == invoker.get()) {
       sim_.cancel(pit->second);
@@ -927,9 +972,138 @@ void Controller::on_invoker_crash(InvokerId invoker, TimeMs rejoin_at_ms) {
       ++pit;
     }
   }
+}
 
-  // Finally drop the warm pool and mark the node dead.
-  cluster_.invoker(invoker).crash(now);
+void Controller::on_spot_warning(std::size_t count, TimeMs reclaim_at_ms) {
+  const TimeMs now = sim_.now();
+  // Victims: the highest-id in-fleet (Active or Warming) nodes — the most
+  // recently acquired capacity, which is what spot markets take back first.
+  // Deterministic, so two replays of the same spec pick the same nodes.
+  std::vector<InvokerId> victims;
+  for (std::size_t i = cluster_.size(); i-- > 0 && victims.size() < count;) {
+    const auto& inv = cluster_.invokers()[i];
+    if (inv.state() == cluster::NodeState::kActive ||
+        inv.state() == cluster::NodeState::kWarming) {
+      victims.push_back(inv.id());
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](InvokerId a, InvokerId b) { return a.get() < b.get(); });
+  for (const InvokerId id : victims) {
+    if (now >= options_.metrics_warmup_ms) ++metrics_.spot_reclaims;
+    if (traced_now()) {
+      rec_->instant(obs::InstantKind::kSpotWarning, "spot warning",
+                    obs::controller_track(), now,
+                    {{"invoker", std::to_string(id.get())},
+                     {"reclaim_at_ms", std::to_string(reclaim_at_ms)}});
+    }
+    // Drain: nothing new lands here; in-flight tasks get the warning lead
+    // time to finish before the deadline kills the stragglers.
+    cluster_.invoker(id).begin_drain();
+    cancel_provisioning_on(id);
+    sim_.schedule_at(reclaim_at_ms, [this, id] { reclaim_invoker(id); });
+  }
+}
+
+void Controller::reclaim_invoker(InvokerId invoker) {
+  auto& node = cluster_.invoker(invoker);
+  // Already retired: every task finished inside the warning window and the
+  // elastic manager released the node early.
+  if (node.state() == cluster::NodeState::kRetired) return;
+  const TimeMs now = sim_.now();
+  if (traced_now()) {
+    rec_->instant(obs::InstantKind::kSpotReclaim, "spot reclaim",
+                  obs::controller_track(), now,
+                  {{"invoker", std::to_string(invoker.get())}});
+  }
+  // Kill what is still running here; the jobs retry on surviving nodes with
+  // this invoker excluded. Sorted ids for byte-reproducible traces.
+  std::vector<std::uint32_t> victims;
+  for (const auto& [tid, entry] : inflight_) {
+    if (entry.task.invoker == invoker) victims.push_back(tid);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const std::uint32_t tid : victims) {
+    fail_inflight(tid, FailureCause::kReclaimed);
+  }
+  cancel_provisioning_on(invoker);
+  // retire() drops the warm pool (WarmEnd::kDrained) and asserts no
+  // vCPU/vGPU is still held — the no-leak invariant of every reclaim.
+  node.retire(now);
+  if (traced_now()) {
+    rec_->instant(obs::InstantKind::kNodeRetired, "node_retired",
+                  obs::controller_track(), now,
+                  {{"invoker", std::to_string(invoker.get())}});
+  }
+}
+
+bool Controller::should_shed(AppId app) const {
+  // Serving capacity, counting nodes already warming (they arrive within a
+  // provisioning lead time, well inside any DNN workflow SLO).
+  std::size_t slices = 0;
+  for (const auto& inv : cluster_.invokers()) {
+    const auto state = inv.state();
+    if (state == cluster::NodeState::kActive ||
+        state == cluster::NodeState::kWarming) {
+      slices += inv.capacity().vgpus;
+    }
+  }
+  if (slices == 0) return true;  // no capacity and none on the way
+
+  // Best-case critical path: every stage at its fastest profiled config.
+  const auto& dag = dag_of(app);
+  std::vector<TimeMs> longest(dag.size(), -1.0);
+  std::function<TimeMs(workload::NodeIndex)> path_to =
+      [&](workload::NodeIndex i) -> TimeMs {
+    if (longest[i] >= 0.0) return longest[i];
+    TimeMs best_pred = 0.0;
+    for (workload::NodeIndex p : dag.node(i).predecessors) {
+      best_pred = std::max(best_pred, path_to(p));
+    }
+    longest[i] =
+        best_pred + profiles_.table(dag.node(i).function).min_latency();
+    return longest[i];
+  };
+  TimeMs floor_ms = 0.0;
+  for (workload::NodeIndex sink : dag.sinks()) {
+    floor_ms = std::max(floor_ms, path_to(sink));
+  }
+
+  // Backlog penalty: the queued tasks ahead of this request, each at a
+  // best-case mean stage latency, spread over the fleet's slices.
+  const TimeMs mean_stage_ms = floor_ms / static_cast<double>(dag.size());
+  const TimeMs penalty_ms =
+      static_cast<double>(total_queued_jobs()) * mean_stage_ms /
+      static_cast<double>(slices);
+  return floor_ms + penalty_ms >
+         elastic_->spec().shed_margin * slo_of(app);
+}
+
+void Controller::shed_request(RequestId request, AppId app, TimeMs now) {
+  if (now >= options_.metrics_warmup_ms) {
+    ++metrics_.shed_requests;
+    metrics::CompletionRecord record;
+    record.request = request;
+    record.app = app;
+    record.arrival_ms = now;
+    record.completion_ms = now;
+    record.latency_ms = 0.0;
+    record.slo_ms = slo_of(app);
+    record.hit = false;
+    record.failed = false;
+    record.shed = true;
+    metrics_.completions.push_back(record);
+  }
+  if (traced_now()) {
+    rec_->name_thread(obs::request_track(request),
+                      "req " + std::to_string(request.get()) + " (app " +
+                          std::to_string(app.get()) + ")");
+    rec_->instant(obs::InstantKind::kShed, "shed",
+                  obs::request_track(request), now,
+                  {{"app", std::to_string(app.get())},
+                   {"slo_ms", std::to_string(slo_of(app))},
+                   {"queued", std::to_string(total_queued_jobs())}});
+  }
 }
 
 void Controller::on_invoker_rejoin(InvokerId invoker) {

@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "elastic/elastic_manager.hpp"
 #include "fault/fault_engine.hpp"
 #include "metrics/run_metrics.hpp"
 #include "obs/recorder.hpp"
@@ -91,6 +92,13 @@ struct ControllerOptions {
   /// crashes and fault-injected stragglers without an oracle.
   double task_timeout_factor = 4.0;
   TimeMs task_timeout_floor_ms = 50.0;
+  /// Elastic fleet manager (non-owning; nullptr = static fleet). When set,
+  /// the controller wires the manager's hooks (queue depth, activation
+  /// re-scan, drain-time provisioning cancellation), notifies it of
+  /// arrivals, and — when the spec enables shedding — applies admission
+  /// control: requests whose projected latency cannot meet the SLO on the
+  /// current fleet are rejected up front and counted as `shed@admission`.
+  elastic::ElasticManager* elastic = nullptr;
 };
 
 class Controller {
@@ -153,6 +161,7 @@ class Controller {
     kTransient,  ///< fault-injected mid-run dispatch failure
     kTimeout,    ///< watchdog fired before the task completed
     kCrash,      ///< the hosting invoker crashed
+    kReclaimed,  ///< the hosting invoker was spot-reclaimed mid-task
   };
   [[nodiscard]] static std::string_view cause_name(FailureCause cause);
 
@@ -196,6 +205,7 @@ class Controller {
   std::unordered_map<std::uint64_t, sim::EventHandle> provisioning_;
 
   fault::FaultEngine* fault_ = nullptr;  ///< = options_.fault
+  elastic::ElasticManager* elastic_ = nullptr;  ///< = options_.elastic
   /// Tasks in flight, by TaskId value (fault-injection runs only).
   std::unordered_map<std::uint32_t, InFlightTask> inflight_;
   /// Requests aborted after exhausting their retry budget; sibling in-flight
@@ -243,6 +253,23 @@ class Controller {
   void abort_request(RequestId request, workload::NodeIndex stage, TimeMs now);
   void on_invoker_crash(InvokerId invoker, TimeMs rejoin_at_ms);
   void on_invoker_rejoin(InvokerId invoker);
+
+  /// Cancels every container still being provisioned on `invoker` (shared
+  /// by the crash, drain, and reclamation paths).
+  void cancel_provisioning_on(InvokerId invoker);
+  /// Spot warning: picks the `count` highest-id in-fleet nodes, drains
+  /// them, and schedules their reclamation at `reclaim_at_ms`.
+  void on_spot_warning(std::size_t count, TimeMs reclaim_at_ms);
+  /// Reclamation deadline: kills what is still running on the node
+  /// (FailureCause::kReclaimed, retried elsewhere) and retires it.
+  void reclaim_invoker(InvokerId invoker);
+  /// Admission control (shedding enabled only): true when the projected
+  /// latency of a new `app` request exceeds shed-margin x SLO on the
+  /// current fleet. Deterministic: a capacity floor from the performance
+  /// model plus a backlog penalty; no randomness.
+  [[nodiscard]] bool should_shed(AppId app) const;
+  /// Records a shed request: completion record (miss), kShed instant.
+  void shed_request(RequestId request, AppId app, TimeMs now);
 
   [[nodiscard]] QueueView make_view(const AfwQueue& queue) const;
   [[nodiscard]] profile::Config clamp_for_ablation(profile::Config c) const;

@@ -52,9 +52,22 @@ void PrewarmManager::on_invocation(AppId app, FunctionId function,
   const std::uint64_t k = key(app, function);
   for (std::size_t i = 0; i < missing; ++i) {
     // Spread extra containers over neighbouring invokers: one node rarely
-    // has capacity for a whole stream's peak concurrency.
-    const InvokerId target(static_cast<std::uint32_t>(
-        (invoker.get() + i) % cluster_.size()));
+    // has capacity for a whole stream's peak concurrency. On an elastic
+    // fleet the scan walks past draining/retired nodes to the next one
+    // still taking placements (a dead-but-active node is NOT skipped: crash
+    // windows drop the warm add on landing, same as before). On a static
+    // fleet every node is Active, so the first probe always wins and the
+    // choice is unchanged.
+    InvokerId target(
+        static_cast<std::uint32_t>((invoker.get() + i) % cluster_.size()));
+    for (std::size_t probe = 0; probe < cluster_.size(); ++probe) {
+      const InvokerId cand(static_cast<std::uint32_t>(
+          (invoker.get() + i + probe) % cluster_.size()));
+      if (cluster_.invoker(cand).state() == cluster::NodeState::kActive) {
+        target = cand;
+        break;
+      }
+    }
     ++stream.outstanding;
     sim_.schedule_at(fire_at, [this, k, function, invoker = target] {
       auto stream_it = streams_.find(k);

@@ -1,0 +1,359 @@
+// Acceptance suite for the elastic fleet lifecycle (DESIGN.md §11):
+//
+//  - an inert --elastic spec reproduces the static-fleet run byte-identically
+//    (trace bytes and metrics alike);
+//  - the same seed + spot churn replays byte-identically;
+//  - scale-in drains and retires idle nodes, and a later burst re-acquires
+//    them (rejoin after scale-in);
+//  - a draining node finishes its in-flight stages, takes no new placements,
+//    and releases every vCPU/vGPU and warm container on departure;
+//  - spot reclamation leaks nothing, and its kills surface as
+//    reclaimed@stageK in the attribution report;
+//  - admission-control sheds are deterministic, attributed as shed@admission,
+//    and the critical-path decomposition still telescopes around them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "elastic/elastic_manager.hpp"
+#include "elastic/elastic_spec.hpp"
+#include "exp/scenario.hpp"
+#include "fault/fault_engine.hpp"
+#include "obs/analysis/attribution.hpp"
+#include "obs/analysis/critical_path.hpp"
+#include "obs/analysis/dataset.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
+#include "platform/controller.hpp"
+#include "workload/applications.hpp"
+
+namespace esg {
+namespace {
+
+exp::Scenario small_scenario() {
+  exp::Scenario scenario;
+  scenario.nodes = 4;
+  scenario.horizon_ms = 2'000.0;
+  scenario.seed = 7;
+  return scenario;
+}
+
+struct TracedRun {
+  std::string trace;
+  exp::RunOutput output;
+};
+
+TracedRun traced_run(const exp::Scenario& scenario) {
+  std::ostringstream trace_stream;
+  TracedRun run;
+  {
+    obs::TraceRecorder recorder;
+    recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(trace_stream));
+    run.output = exp::run_scenario(scenario, &recorder);
+  }
+  run.trace = trace_stream.str();
+  return run;
+}
+
+obs::analysis::TraceDataset run_with_analysis(const exp::Scenario& scenario) {
+  obs::TraceRecorder recorder;
+  auto sink = std::make_unique<obs::analysis::AnalysisSink>();
+  const auto* analysis = sink.get();
+  recorder.add_sink(std::move(sink));
+  (void)exp::run_scenario(scenario, &recorder);
+  return analysis->dataset();
+}
+
+// --- determinism contract -----------------------------------------------
+
+TEST(Elastic, InertSpecIsByteIdenticalToStaticFleet) {
+  const TracedRun baseline = traced_run(small_scenario());
+
+  exp::Scenario inert_scenario = small_scenario();
+  inert_scenario.elastic =
+      elastic::parse_elastic_spec("queue:min=4,max=4,idle-ms=0");
+  ASSERT_TRUE(inert_scenario.elastic.inert());
+  const TracedRun inert = traced_run(inert_scenario);
+
+  ASSERT_GT(baseline.trace.size(), 0u);
+  EXPECT_EQ(baseline.trace, inert.trace);
+  EXPECT_EQ(baseline.output.metrics.total_cost,
+            inert.output.metrics.total_cost);
+  EXPECT_EQ(baseline.output.metrics.requests(),
+            inert.output.metrics.requests());
+  ASSERT_EQ(baseline.output.metrics.completions.size(),
+            inert.output.metrics.completions.size());
+  for (std::size_t i = 0; i < baseline.output.metrics.completions.size();
+       ++i) {
+    EXPECT_EQ(baseline.output.metrics.completions[i].latency_ms,
+              inert.output.metrics.completions[i].latency_ms);
+  }
+  EXPECT_EQ(inert.output.metrics.scale_outs, 0u);
+  EXPECT_EQ(inert.output.metrics.scale_ins, 0u);
+  EXPECT_EQ(inert.output.metrics.shed_requests, 0u);
+}
+
+exp::Scenario churn_scenario() {
+  exp::Scenario scenario;
+  scenario.nodes = 4;
+  scenario.horizon_ms = 6'000.0;
+  scenario.seed = 7;
+  scenario.elastic = elastic::parse_elastic_spec(
+      "queue:min=1,max=6,out=2,idle-ms=1000,provision-ms=500,shed=on");
+  scenario.fault = fault::parse_fault_spec("spot:at=2000,nodes=2,warn=300");
+  return scenario;
+}
+
+TEST(Elastic, SpotChurnReplaysByteIdentically) {
+  const TracedRun a = traced_run(churn_scenario());
+  const TracedRun b = traced_run(churn_scenario());
+  ASSERT_GT(a.trace.size(), 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.output.metrics.total_cost, b.output.metrics.total_cost);
+  EXPECT_EQ(a.output.metrics.shed_requests, b.output.metrics.shed_requests);
+  // The churn must actually have fired, or the replay proves little.
+  EXPECT_EQ(a.output.metrics.spot_reclaims, 2u);
+}
+
+TEST(Elastic, SpotWithoutElasticIsRejected) {
+  exp::Scenario scenario = small_scenario();
+  scenario.fault = fault::parse_fault_spec("spot:at=100,nodes=1");
+  EXPECT_THROW((void)exp::run_scenario(scenario), std::invalid_argument);
+}
+
+TEST(Elastic, InitialFleetOutsideElasticRangeIsRejected) {
+  exp::Scenario scenario = small_scenario();  // 4 nodes
+  scenario.elastic = elastic::parse_elastic_spec("queue:min=1,max=2");
+  EXPECT_THROW((void)exp::run_scenario(scenario), std::invalid_argument);
+  scenario.elastic = elastic::parse_elastic_spec("queue:min=6,max=0");
+  EXPECT_THROW((void)exp::run_scenario(scenario), std::invalid_argument);
+}
+
+// --- controller-level lifecycle invariants ------------------------------
+
+/// Deterministic one-config strategy (mirrors the platform test harness).
+class FixedScheduler : public platform::Scheduler {
+ public:
+  std::string_view name() const override { return "fixed"; }
+  platform::PlanResult plan(const platform::QueueView& view) override {
+    (void)view;
+    platform::PlanResult r;
+    r.candidates.push_back(profile::kMinConfig);
+    return r;
+  }
+  std::optional<InvokerId> place(const platform::PlacementContext& ctx,
+                                 const cluster::Cluster& cluster) override {
+    return platform::locality_first_place(ctx, cluster);
+  }
+};
+
+struct World {
+  profile::ProfileSet profiles = profile::ProfileSet::builtin();
+  std::vector<workload::AppDag> apps = workload::builtin_applications();
+  sim::Simulator sim;
+  cluster::Cluster cluster{4};
+  RngFactory rng{7};
+};
+
+platform::ControllerOptions quiet_options(fault::FaultEngine* fault,
+                                          elastic::ElasticManager* manager) {
+  platform::ControllerOptions o;
+  o.noise_cv = 0.0;
+  o.enable_prewarm = false;
+  o.fault = fault;
+  o.elastic = manager;
+  return o;
+}
+
+void expect_no_leaks(const cluster::Cluster& cluster) {
+  for (const auto& inv : cluster.invokers()) {
+    EXPECT_EQ(inv.used_vcpus(), 0) << inv.id().get();
+    EXPECT_EQ(inv.used_vgpus(), 0) << inv.id().get();
+    if (inv.state() == cluster::NodeState::kRetired) {
+      EXPECT_EQ(inv.total_warm(0.0), 0u)
+          << "retired node " << inv.id().get() << " still holds warm state";
+    }
+  }
+}
+
+TEST(Elastic, ScaleInRetiresIdleNodesAndBurstReacquiresThem) {
+  World w;
+  elastic::ElasticManager manager(
+      w.sim, w.cluster,
+      elastic::parse_elastic_spec(
+          "queue:min=1,max=4,out=1,idle-ms=1000,eval-ms=100,provision-ms=200"),
+      w.rng.scoped("elastic"), 4);
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kRelaxed, sched, w.rng,
+                           quiet_options(nullptr, &manager));
+
+  // The fleet starts idle: by ~1.1 s the idle-out has drained it to min=1.
+  // A burst then lands on the lone survivor; its backlog exceeds the
+  // out-threshold at the next tick and retired nodes are re-acquired.
+  std::vector<workload::Arrival> arrivals;
+  for (int i = 0; i < 12; ++i) {
+    arrivals.push_back(
+        {5'000.0 + static_cast<TimeMs>(1.0 * i), w.apps[i % 4].id()});
+  }
+  ctl.inject(arrivals);
+  ctl.run_to_completion();
+
+  EXPECT_EQ(ctl.metrics().completions.size(), 12u);
+  EXPECT_EQ(ctl.inflight_requests(), 0u);
+  // The idle gap shrank the fleet, and the second burst grew it back.
+  EXPECT_GT(ctl.metrics().scale_ins, 0u);
+  EXPECT_GT(ctl.metrics().scale_outs, 0u);
+  expect_no_leaks(w.cluster);
+}
+
+TEST(Elastic, DrainingNodeFinishesInFlightAndTakesNothingNew) {
+  World w;
+  // Spot warning at 300 ms with a long lead time: in-flight work on the
+  // victim must finish, while nothing new lands there.
+  fault::FaultEngine engine(
+      fault::parse_fault_spec("spot:at=300,nodes=1,warn=5000"),
+      w.rng.scoped("fault"));
+  elastic::ElasticManager manager(
+      w.sim, w.cluster,
+      elastic::parse_elastic_spec("queue:min=1,max=4,out=100,idle-ms=0"),
+      w.rng.scoped("elastic"), 4);
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kRelaxed, sched, w.rng,
+                           quiet_options(&engine, &manager));
+
+  std::vector<workload::Arrival> arrivals;
+  for (int i = 0; i < 24; ++i) {
+    arrivals.push_back({static_cast<TimeMs>(50.0 * i), w.apps[i % 4].id()});
+  }
+  ctl.inject(arrivals);
+  ctl.run_to_completion();
+
+  EXPECT_EQ(ctl.metrics().completions.size(), 24u);
+  EXPECT_EQ(ctl.metrics().spot_reclaims, 1u);
+  // The highest-id in-fleet node is the deterministic victim.
+  const auto& victim = w.cluster.invokers()[3];
+  EXPECT_EQ(victim.state(), cluster::NodeState::kRetired);
+  // In-flight stages were allowed to finish: nothing the victim ran was
+  // killed (no task failures at all — the lead time covers min-config
+  // stages), and no dispatch ever landed there after the warning.
+  EXPECT_EQ(ctl.metrics().task_failures, 0u);
+  for (const auto& t : ctl.metrics().task_trace) {
+    if (t.invoker == victim.id()) {
+      EXPECT_LT(t.dispatch_ms, 300.0)
+          << "task dispatched onto a draining node";
+    }
+  }
+  expect_no_leaks(w.cluster);
+}
+
+TEST(Elastic, ReclaimKillsStragglersWithoutLeaking) {
+  World w;
+  // No warning lead time: whatever runs on the victims dies at the deadline
+  // and retries elsewhere.
+  fault::FaultEngine engine(
+      fault::parse_fault_spec("spot:at=400,nodes=2,warn=0"),
+      w.rng.scoped("fault"));
+  elastic::ElasticManager manager(
+      w.sim, w.cluster,
+      elastic::parse_elastic_spec("queue:min=1,max=4,out=100,idle-ms=0"),
+      w.rng.scoped("elastic"), 4);
+  FixedScheduler sched;
+  platform::Controller ctl(w.sim, w.cluster, w.profiles, w.apps,
+                           workload::SloSetting::kRelaxed, sched, w.rng,
+                           quiet_options(&engine, &manager));
+
+  std::vector<workload::Arrival> arrivals;
+  for (int i = 0; i < 24; ++i) {
+    arrivals.push_back({static_cast<TimeMs>(25.0 * i), w.apps[i % 4].id()});
+  }
+  ctl.inject(arrivals);
+  ctl.run_to_completion();
+
+  // Every request still completes (retries land on surviving nodes), and the
+  // reclaimed nodes hold nothing. Invoker::retire() would have aborted the
+  // run if a reclaim leaked a vCPU/vGPU.
+  EXPECT_EQ(ctl.metrics().completions.size(), 24u);
+  EXPECT_EQ(ctl.metrics().spot_reclaims, 2u);
+  EXPECT_EQ(w.cluster.invokers()[2].state(), cluster::NodeState::kRetired);
+  EXPECT_EQ(w.cluster.invokers()[3].state(), cluster::NodeState::kRetired);
+  expect_no_leaks(w.cluster);
+}
+
+// --- shedding ------------------------------------------------------------
+
+TEST(Elastic, ShedsWhenFleetHasNoCapacityAndAttributesThem) {
+  exp::Scenario scenario;
+  scenario.nodes = 1;
+  scenario.horizon_ms = 4'000.0;
+  scenario.seed = 7;
+  // One node, reclaimed immediately, fleet floor zero, shedding on: once the
+  // fleet is gone every arrival before re-acquisition must be shed.
+  scenario.elastic = elastic::parse_elastic_spec(
+      "queue:min=0,max=1,out=1000,idle-ms=0,shed=on");
+  scenario.fault = fault::parse_fault_spec("spot:at=500,nodes=1,warn=0");
+
+  const obs::analysis::TraceDataset dataset = run_with_analysis(scenario);
+  const obs::analysis::AttributionReport report =
+      obs::analysis::build_report(dataset);
+  ASSERT_GT(report.requests, 0u);
+  const auto shed = report.miss_causes.find("shed@admission");
+  ASSERT_NE(shed, report.miss_causes.end());
+  EXPECT_GT(shed->second, 0u);
+
+  // Sheds count as requests and misses; per-app causes sum to the misses.
+  std::size_t cause_sum = 0;
+  for (const auto& [cause, count] : report.miss_causes) cause_sum += count;
+  EXPECT_EQ(cause_sum, report.misses);
+  EXPECT_LE(report.misses, report.requests);
+}
+
+TEST(Elastic, DecompositionStillTelescopesWithSheds) {
+  exp::Scenario scenario = churn_scenario();
+  const obs::analysis::TraceDataset dataset = run_with_analysis(scenario);
+  const obs::analysis::CriticalPathResult paths =
+      obs::analysis::reconstruct_critical_paths(dataset);
+  ASSERT_GT(paths.requests.size(), 0u);
+  // Shed requests never ran, so they must not confuse reconstruction.
+  EXPECT_EQ(paths.unreconstructed, 0u);
+  for (const auto& request : paths.requests) {
+    double component_sum = 0.0;
+    for (const auto& stage : request.path) {
+      component_sum += stage.component_sum_ms();
+    }
+    EXPECT_NEAR(component_sum, request.latency_ms(), 1e-6)
+        << "request " << request.request;
+  }
+}
+
+TEST(Elastic, ShedRequestsAreExcludedFromLatencyStats) {
+  exp::Scenario scenario;
+  scenario.nodes = 1;
+  scenario.horizon_ms = 3'000.0;
+  scenario.seed = 7;
+  scenario.elastic = elastic::parse_elastic_spec(
+      "queue:min=0,max=1,out=1000,idle-ms=0,shed=on");
+  scenario.fault = fault::parse_fault_spec("spot:at=500,nodes=1,warn=0");
+  const exp::RunOutput out = exp::run_scenario(scenario);
+
+  ASSERT_GT(out.metrics.shed_requests, 0u);
+  std::size_t shed_records = 0;
+  for (const auto& c : out.metrics.completions) {
+    if (c.shed) {
+      ++shed_records;
+      EXPECT_FALSE(c.hit);
+      EXPECT_EQ(c.latency_ms, 0.0);
+    }
+  }
+  EXPECT_EQ(shed_records, out.metrics.shed_requests);
+  // latencies() skips shed records entirely.
+  EXPECT_EQ(out.metrics.latencies().size(),
+            out.metrics.completions.size() - shed_records);
+}
+
+}  // namespace
+}  // namespace esg

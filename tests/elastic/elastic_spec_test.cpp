@@ -1,0 +1,107 @@
+// Grammar and validation tests for --elastic specs (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "elastic/elastic_spec.hpp"
+
+namespace esg::elastic {
+namespace {
+
+TEST(ElasticSpec, DefaultIsDisabledAndInert) {
+  const ElasticSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_TRUE(spec.inert());
+}
+
+TEST(ElasticSpec, ParsesQueuePolicyWithDefaults) {
+  const ElasticSpec spec = parse_elastic_spec("queue");
+  EXPECT_EQ(spec.policy, ElasticPolicy::kQueue);
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_EQ(spec.min_nodes, 1u);
+  EXPECT_EQ(spec.max_nodes, 0u);
+  EXPECT_DOUBLE_EQ(spec.out_threshold, 8.0);
+  EXPECT_EQ(spec.out_step, 1u);
+  EXPECT_DOUBLE_EQ(spec.idle_ms, 30'000.0);
+  EXPECT_DOUBLE_EQ(spec.eval_ms, 250.0);
+  EXPECT_DOUBLE_EQ(spec.provision_ms, 2'000.0);
+  EXPECT_FALSE(spec.shed);
+  EXPECT_DOUBLE_EQ(spec.shed_margin, 1.0);
+}
+
+TEST(ElasticSpec, ParsesEveryKey) {
+  const ElasticSpec spec = parse_elastic_spec(
+      "rate:min=2,max=12,out=4.5,step=3,idle-ms=5000,eval-ms=100,"
+      "provision-ms=1500,alpha=0.5,shed=on,shed-margin=1.25");
+  EXPECT_EQ(spec.policy, ElasticPolicy::kRate);
+  EXPECT_EQ(spec.min_nodes, 2u);
+  EXPECT_EQ(spec.max_nodes, 12u);
+  EXPECT_DOUBLE_EQ(spec.out_threshold, 4.5);
+  EXPECT_EQ(spec.out_step, 3u);
+  EXPECT_DOUBLE_EQ(spec.idle_ms, 5'000.0);
+  EXPECT_DOUBLE_EQ(spec.eval_ms, 100.0);
+  EXPECT_DOUBLE_EQ(spec.provision_ms, 1'500.0);
+  EXPECT_DOUBLE_EQ(spec.rate_alpha, 0.5);
+  EXPECT_TRUE(spec.shed);
+  EXPECT_DOUBLE_EQ(spec.shed_margin, 1.25);
+}
+
+TEST(ElasticSpec, ScaleToZeroFloorParses) {
+  const ElasticSpec spec = parse_elastic_spec("queue:min=0,idle-ms=1000");
+  EXPECT_EQ(spec.min_nodes, 0u);
+}
+
+TEST(ElasticSpec, InertRequiresFrozenFleetAndNoShedding) {
+  EXPECT_TRUE(parse_elastic_spec("queue:min=4,max=4,idle-ms=0").inert());
+  // Any headroom, idle-out, or shedding makes the spec live.
+  EXPECT_FALSE(parse_elastic_spec("queue:min=2,max=4,idle-ms=0").inert());
+  EXPECT_FALSE(parse_elastic_spec("queue:min=4,max=4,idle-ms=100").inert());
+  EXPECT_FALSE(
+      parse_elastic_spec("queue:min=4,max=4,idle-ms=0,shed=on").inert());
+}
+
+TEST(ElasticSpec, EmptyAndNoneAreDisabled) {
+  EXPECT_FALSE(parse_elastic_spec("").enabled());
+  EXPECT_FALSE(parse_elastic_spec("none").enabled());
+}
+
+TEST(ElasticSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_elastic_spec("gradient"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:min"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:min=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:frobnicate=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:min=1,min=2"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:min=5,max=2"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:out=0"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:step=0"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:eval-ms=0"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:idle-ms=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("rate:alpha=0"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("rate:alpha=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:shed=maybe"), std::invalid_argument);
+  EXPECT_THROW(parse_elastic_spec("queue:shed-margin=0"),
+               std::invalid_argument);
+}
+
+TEST(ElasticSpec, ToStringRoundTrips) {
+  const char* specs[] = {
+      "queue:min=2,max=8,out=4,step=2,idle-ms=5000,shed=on,shed-margin=1.5",
+      "rate:out=3,alpha=0.2",
+      "queue:min=4,max=4,idle-ms=0",
+  };
+  for (const char* text : specs) {
+    const ElasticSpec once = parse_elastic_spec(text);
+    const ElasticSpec twice = parse_elastic_spec(to_string(once));
+    EXPECT_EQ(to_string(once), to_string(twice)) << text;
+    EXPECT_EQ(once.policy, twice.policy);
+    EXPECT_EQ(once.min_nodes, twice.min_nodes);
+    EXPECT_EQ(once.max_nodes, twice.max_nodes);
+    EXPECT_DOUBLE_EQ(once.out_threshold, twice.out_threshold);
+    EXPECT_DOUBLE_EQ(once.idle_ms, twice.idle_ms);
+    EXPECT_EQ(once.shed, twice.shed);
+  }
+}
+
+}  // namespace
+}  // namespace esg::elastic

@@ -213,11 +213,14 @@ TEST(Analysis, OnlineAndOfflineReportsAreByteIdentical) {
 }
 
 TEST(Analysis, ReaderRejectsGarbage) {
+  // invalid_argument, so esg_report maps malformed traces to its
+  // configuration-error exit code (2) instead of a runtime failure (1).
   std::istringstream not_json("this is not a trace");
-  EXPECT_THROW(obs::analysis::read_chrome_trace(not_json), std::runtime_error);
+  EXPECT_THROW(obs::analysis::read_chrome_trace(not_json),
+               std::invalid_argument);
   std::istringstream wrong_shape("{\"foo\": 1}");
   EXPECT_THROW(obs::analysis::read_chrome_trace(wrong_shape),
-               std::runtime_error);
+               std::invalid_argument);
 }
 
 }  // namespace

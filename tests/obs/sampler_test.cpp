@@ -75,11 +75,15 @@ TEST(StatsSampler, GaugesReflectClusterState) {
   sampler.start();
   f.sim.run();
 
-  // 2 invokers x 3 gauges + 2 cluster-wide gauges (no queue provider set).
-  ASSERT_EQ(f.mem->counters().size(), 8u);
+  // 2 invokers x 3 gauges + 2 cluster-wide gauges (no queue provider set)
+  // + 3 fleet-size gauges.
+  ASSERT_EQ(f.mem->counters().size(), 11u);
   double used_vcpus0 = -1.0;
   double warm0 = -1.0;
   double free_vgpus = -1.0;
+  double fleet_active = -1.0;
+  double fleet_warming = -1.0;
+  double fleet_draining = -1.0;
   bool saw_queue = false;
   for (const auto& c : f.mem->counters()) {
     if (c.name == "used_vcpus" && c.track.pid == kInvokerPidBase) {
@@ -89,12 +93,19 @@ TEST(StatsSampler, GaugesReflectClusterState) {
       warm0 = c.value;
     }
     if (c.name == "free_vgpus") free_vgpus = c.value;
+    if (c.name == "fleet_active") fleet_active = c.value;
+    if (c.name == "fleet_warming") fleet_warming = c.value;
+    if (c.name == "fleet_draining") fleet_draining = c.value;
     if (c.name == "queued_jobs") saw_queue = true;
   }
   EXPECT_DOUBLE_EQ(used_vcpus0, 4.0);
   EXPECT_DOUBLE_EQ(warm0, 1.0);
   // Two nodes at 7 slices each, 2 in use on node 0.
   EXPECT_DOUBLE_EQ(free_vgpus, 12.0);
+  // A static fleet is all-Active; the timeline is emitted regardless.
+  EXPECT_DOUBLE_EQ(fleet_active, 2.0);
+  EXPECT_DOUBLE_EQ(fleet_warming, 0.0);
+  EXPECT_DOUBLE_EQ(fleet_draining, 0.0);
   EXPECT_FALSE(saw_queue);
 }
 

@@ -86,9 +86,10 @@ TEST(StatsSchema, FieldNamesAreExactlyTheDocumentedSet) {
 }
 
 TEST(StatsSchema, GaugeNamesAreKnown) {
-  const std::set<std::string> known = {"used_vcpus",  "used_vgpus",
-                                       "warm_containers", "free_vcpus",
-                                       "free_vgpus",  "queued_jobs"};
+  const std::set<std::string> known = {
+      "used_vcpus",  "used_vgpus",   "warm_containers",
+      "free_vcpus",  "free_vgpus",   "queued_jobs",
+      "fleet_active", "fleet_warming", "fleet_draining"};
   const auto lines = run_stats_lines();
   ASSERT_GT(lines.size(), 0u);
   std::set<std::string> seen;

@@ -25,6 +25,9 @@ usage: esg_report <trace.json> [--json-out <path>] [--json]
                      to esg_sim --report-out for the same run)
   --json             print the JSON report to stdout instead of the table
   --help
+
+exit codes: 0 success; 2 configuration error (bad flag, missing/malformed
+trace); 1 runtime failure (unwritable output, internal error).
 )";
 
 }  // namespace
@@ -83,6 +86,11 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s", render_report_table(report).c_str());
     }
+  } catch (const std::invalid_argument& e) {
+    // An unreadable or malformed trace file is an input error, distinct from
+    // failures while producing the report.
+    std::fprintf(stderr, "esg_report: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esg_report: %s\n", e.what());
     return 1;

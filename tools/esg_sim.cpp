@@ -34,13 +34,21 @@ int main(int argc, char** argv) {
                   opts.scenario.arrivals.replay.time_scale);
     arrivals += scales;
   }
+  // The elastic suffix only appears when --elastic was given, keeping static
+  // stdout unchanged.
+  std::string elastic_desc;
+  if (opts.scenario.elastic.enabled()) {
+    elastic_desc =
+        " elastic=" + elastic::to_string(opts.scenario.elastic);
+  }
   std::printf("scheduler=%s load=%s slo=%s arrivals=%s horizon=%.0fms "
-              "warmup=%.0fms nodes=%zu seeds=%zu\n\n",
+              "warmup=%.0fms nodes=%zu seeds=%zu%s\n\n",
               std::string(exp::to_string(opts.scenario.scheduler)).c_str(),
               std::string(workload::to_string(opts.scenario.load)).c_str(),
               std::string(workload::to_string(opts.scenario.slo)).c_str(),
               arrivals.c_str(), opts.scenario.horizon_ms,
-              opts.scenario.warmup_ms, opts.scenario.nodes, opts.seeds.size());
+              opts.scenario.warmup_ms, opts.scenario.nodes, opts.seeds.size(),
+              elastic_desc.c_str());
 
   // With tracing the seeds run sequentially, each into its own file; the
   // untraced path keeps the parallel replica runner.
@@ -77,6 +85,11 @@ int main(int argc, char** argv) {
   } else {
     outputs = exp::run_replicas(opts.scenario, opts.seeds);
   }
+  } catch (const std::invalid_argument& e) {
+    // Scenario validation that only runs inside run_scenario (fault/elastic
+    // cross-checks) is still a configuration error, not a runtime failure.
+    std::fprintf(stderr, "esg_sim: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esg_sim: %s\n", e.what());
     return 1;
@@ -116,6 +129,21 @@ int main(int argc, char** argv) {
     std::printf("faults: %zu task failures (%zu timeouts), %zu retries, "
                 "%zu aborted, %zu cold-start failures, %zu invoker crashes\n",
                 failures, timeouts, retries, exhausted, cold_fails, crashes);
+  }
+
+  // Elasticity rollup, suppressed the same way: a static (or zero-churn
+  // elastic) run prints nothing extra.
+  std::size_t sheds = 0, reclaims = 0, scale_outs = 0, scale_ins = 0;
+  for (const auto& out : outputs) {
+    sheds += out.metrics.shed_requests;
+    reclaims += out.metrics.spot_reclaims;
+    scale_outs += out.metrics.scale_outs;
+    scale_ins += out.metrics.scale_ins;
+  }
+  if (sheds + reclaims + scale_outs + scale_ins > 0) {
+    std::printf("elasticity: %zu scale-outs, %zu scale-ins, %zu spot "
+                "reclamations, %zu shed requests\n",
+                scale_outs, scale_ins, reclaims, sheds);
   }
 
   if (!opts.csv_dir.empty()) {

@@ -48,6 +48,9 @@ usage: esg_tracegen [flags]
   --format      csv|jsonl                                  (default csv)
   --out         <path>  output file (default: stdout)
   --help
+
+exit codes: 0 success; 2 configuration error (bad flag or shape options);
+1 runtime failure (unwritable output, internal error).
 )";
 
 double parse_number(std::string_view key, std::string_view v) {
@@ -172,9 +175,14 @@ int main(int argc, char** argv) {
                    generated.total_count(), generated.duration_ms() / 1000.0,
                    opts.out.c_str());
     }
-  } catch (const std::exception& e) {
+  } catch (const std::invalid_argument& e) {
+    // Shape-option validation happens inside the generator, so a bad knob
+    // combination surfaces here; it is still a configuration error.
     std::fprintf(stderr, "esg_tracegen: %s\n%s", e.what(), kUsage);
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esg_tracegen: %s\n", e.what());
+    return 1;
   }
   return 0;
 }
