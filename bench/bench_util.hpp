@@ -5,6 +5,7 @@
 //   ESG_BENCH_SEEDS      — replicas per scenario (default 1)
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <span>
 #include <string>
@@ -35,5 +36,12 @@ struct GridResult {
 
 /// Prints the standard bench banner.
 void print_banner(const std::string& id, const std::string& paper_claim);
+
+/// Writes the shared provenance block for checked-in BENCH_*.json baselines:
+///   "meta": {"host": ..., "kernel": ..., "cpus": N, "commit": ...},
+/// (two-space indent, trailing comma + newline). The commit is the git HEAD
+/// at run time ("unknown" outside a checkout), so a regenerated baseline
+/// records which revision and machine produced its numbers.
+void write_meta_json(std::FILE* out);
 
 }  // namespace esg::bench

@@ -120,8 +120,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::write_meta_json(out);
   std::fprintf(out,
-               "{\n  \"bench\": \"elasticity\",\n"
+               "  \"bench\": \"elasticity\",\n"
                "  \"setting\": \"%s\",\n"
                "  \"horizon_ms\": %.0f,\n  \"seeds\": %zu,\n  \"rows\": [\n",
                exp::combo_name(combo).c_str(), horizon,

@@ -49,6 +49,7 @@ struct InvokerTag;
 struct JobTag;
 struct TaskTag;
 struct QueueTag;
+struct TenantTag;
 
 /// One DNN serverless function (e.g. "deblur").
 using FunctionId = detail::StrongId<FunctionTag>;
@@ -64,6 +65,8 @@ using JobId = detail::StrongId<JobTag>;
 using TaskId = detail::StrongId<TaskTag>;
 /// One application-function-wise (AFW) queue.
 using QueueId = detail::StrongId<QueueTag>;
+/// One tenant (billing/isolation principal) sharing the cluster.
+using TenantId = detail::StrongId<TenantTag>;
 
 }  // namespace esg
 

@@ -8,6 +8,7 @@
 
 #include "elastic/elastic_spec.hpp"
 #include "fault/fault_spec.hpp"
+#include "tenant/tenant_spec.hpp"
 #include "trace/workload_trace.hpp"
 
 namespace esg::exp {
@@ -20,8 +21,10 @@ SchedulerKind parse_scheduler(std::string_view v) {
   if (v == "fast-gshare" || v == "fastgshare") return SchedulerKind::kFastGshare;
   if (v == "orion") return SchedulerKind::kOrion;
   if (v == "aquatope") return SchedulerKind::kAquatope;
-  throw std::invalid_argument("unknown --scheduler '" + std::string(v) +
-                              "' (esg|infless|fast-gshare|orion|aquatope)");
+  if (v == "mqfq-sticky" || v == "mqfq") return SchedulerKind::kMqfqSticky;
+  throw std::invalid_argument(
+      "unknown --scheduler '" + std::string(v) +
+      "' (esg|infless|fast-gshare|orion|aquatope|mqfq-sticky)");
 }
 
 workload::LoadSetting parse_load(std::string_view v) {
@@ -232,7 +235,12 @@ std::string cli_usage() {
 
 usage: esg_sim [flags]
 
-  --scheduler  esg|infless|fast-gshare|orion|aquatope   (default esg)
+  --scheduler  esg|infless|fast-gshare|orion|aquatope|mqfq-sticky
+                                                        (default esg)
+                         mqfq-sticky runs ESG planning under multi-queue
+                         fair queueing: per-tenant virtual-time dispatch,
+                         throttling, and sticky device placement (needs
+                         --tenants or a multi-tenant trace)
   --load       light|normal|heavy                       (default light)
   --slo        strict|moderate|relaxed                  (default strict)
   --arrivals   <spec>    arrival process                (default synthetic)
@@ -287,6 +295,20 @@ usage: esg_sim [flags]
                          (reported as shed@admission). An inert spec
                          (min == max, idle-ms=0, shed=off) is byte-identical
                          to the static run.
+  --tenants    <spec>    multi-tenant fair queueing; `@file` reads the spec
+                         from a file (newlines allowed as separators).
+                         Clauses are `;`-separated:
+                           name:weight[:mode][:apps=0,2,...]
+                           throttle=<ms>   MQFQ throttle threshold T (default 50)
+                         mode is time (default) | energy | hybrid=<alpha>
+                         (charge = alpha*time + (1-alpha)*energy); apps= lists
+                         the apps this tenant owns (unclaimed apps belong to
+                         tenant 0; a trace tenant column overrides). Example:
+                           --tenants 'gold:3:apps=0,2;bronze:1:energy;throttle=25'
+                         With a single tenant (or no flag) every scheduler
+                         runs the exact single-tenant path byte-for-byte;
+                         with several, all schedulers get weighted per-tenant
+                         queues and mqfq-sticky adds throttling + stickiness.
   --help
 
 exit codes: 0 success; 2 configuration error (bad flag/spec/scenario);
@@ -357,6 +379,8 @@ CliOptions parse_cli(std::span<const char* const> args) {
       opts.scenario.fault = fault::load_fault_spec(value);
     } else if (key == "--elastic") {
       opts.scenario.elastic = elastic::parse_elastic_spec(value);
+    } else if (key == "--tenants") {
+      opts.scenario.tenants = tenant::load_tenant_spec(value);
     } else {
       throw std::invalid_argument("unknown flag '" + std::string(key) +
                                   "' (see --help)");

@@ -14,6 +14,8 @@
 #include "obs/sampler.hpp"
 #include "obs/sinks.hpp"
 #include "sim/simulator.hpp"
+#include "tenant/fair_queue.hpp"
+#include "tenant/mqfq_scheduler.hpp"
 
 namespace esg::exp {
 
@@ -41,6 +43,8 @@ std::string_view to_string(SchedulerKind kind) {
       return "Orion";
     case SchedulerKind::kAquatope:
       return "Aquatope";
+    case SchedulerKind::kMqfqSticky:
+      return "MQFQ-Sticky";
   }
   throw std::invalid_argument("to_string: bad SchedulerKind");
 }
@@ -70,7 +74,8 @@ namespace {
 
 std::unique_ptr<platform::Scheduler> make_scheduler(
     const Scenario& scenario, const std::vector<workload::AppDag>& apps,
-    const profile::ProfileSet& profiles, const RngFactory& rng) {
+    const profile::ProfileSet& profiles, const RngFactory& rng,
+    const tenant::FairQueue* fair_queue) {
   switch (scenario.scheduler) {
     case SchedulerKind::kEsg:
       return std::make_unique<core::EsgScheduler>(apps, profiles, scenario.esg);
@@ -86,6 +91,11 @@ std::unique_ptr<platform::Scheduler> make_scheduler(
     case SchedulerKind::kAquatope:
       return std::make_unique<baselines::AquatopeScheduler>(
           apps, profiles, scenario.slo, rng, scenario.aquatope);
+    case SchedulerKind::kMqfqSticky:
+      // run_scenario always builds a FairQueue for this kind, even on an
+      // otherwise inert tenant spec (one flow owning the whole ring).
+      return std::make_unique<tenant::MqfqStickyScheduler>(
+          apps, profiles, scenario.esg, fair_queue);
   }
   throw std::invalid_argument("make_scheduler: bad SchedulerKind");
 }
@@ -159,8 +169,19 @@ RunOutput run_scenario(const Scenario& scenario) {
   return out;
 }
 
-RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
+RunOutput run_scenario(const Scenario& scenario_in,
+                       obs::TraceRecorder* recorder) {
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // Local copy so the trace can be loaded eagerly: the tenant resolution
+  // below needs the trace's tenant count before the arrival source exists.
+  Scenario scenario = scenario_in;
+  if (scenario.arrivals.mode == ArrivalMode::kTrace &&
+      scenario.arrivals.trace == nullptr &&
+      !scenario.arrivals.trace_path.empty()) {
+    scenario.arrivals.trace = std::make_shared<const trace::WorkloadTrace>(
+        trace::load_workload_trace(scenario.arrivals.trace_path));
+  }
 
   const RngFactory rng(scenario.seed);
   const profile::ProfileSet profiles =
@@ -185,9 +206,36 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   const std::size_t cluster_nodes =
       elastic_spec.enabled() ? elastic_spec.max_nodes : scenario.nodes;
 
+  // Multi-tenant fair queueing: resolve the spec against the trace's tenant
+  // column, then build the shared FairQueue when tenancy can change any
+  // decision. Inert spec + paper scheduler leaves fair_queue null, so the
+  // controller runs the exact single-tenant code path.
+  const std::size_t trace_tenants = scenario.arrivals.trace != nullptr
+                                        ? scenario.arrivals.trace->tenant_count
+                                        : 1;
+  const tenant::TenantSpec tenant_spec =
+      tenant::resolve_for_trace(scenario.tenants, trace_tenants);
+  for (const auto& def : tenant_spec.tenants) {
+    for (const std::uint32_t claimed : def.apps) {
+      if (claimed >= apps.size()) {
+        throw std::invalid_argument(
+            "run_scenario: tenant '" + def.name + "' claims app " +
+            std::to_string(claimed) + " but the workload has only " +
+            std::to_string(apps.size()) + " apps");
+      }
+    }
+  }
+  const bool mqfq = scenario.scheduler == SchedulerKind::kMqfqSticky;
+  std::unique_ptr<tenant::FairQueue> fair_queue;
+  if (!tenant_spec.inert() || mqfq) {
+    fair_queue =
+        std::make_unique<tenant::FairQueue>(tenant_spec, cluster_nodes, mqfq);
+  }
+
   sim::Simulator sim;
   cluster::Cluster cluster(cluster_nodes);
-  const auto scheduler = make_scheduler(scenario, apps, profiles, rng);
+  const auto scheduler =
+      make_scheduler(scenario, apps, profiles, rng, fair_queue.get());
 
   const bool tracing = recorder != nullptr && recorder->is_enabled();
   if (tracing) {
@@ -248,6 +296,7 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   controller_options.recorder = recorder;
   controller_options.fault = fault_engine.get();
   controller_options.elastic = elastic_manager.get();
+  controller_options.fair_queue = fair_queue.get();
   platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
                                   *scheduler, rng, controller_options);
 
@@ -258,6 +307,22 @@ RunOutput run_scenario(const Scenario& scenario, obs::TraceRecorder* recorder) {
   if (tracing) {
     sampler.set_queue_depth_provider(
         [&controller] { return controller.total_queued_jobs(); });
+    // Per-tenant fairness gauges, absent on single-tenant runs so the stats
+    // JSONL stays byte-identical to pre-tenant builds.
+    if (fair_queue != nullptr) {
+      const tenant::FairQueue* fq = fair_queue.get();
+      for (std::uint32_t t = 0; t < fq->tenant_count(); ++t) {
+        const std::string name = fq->spec().tenant_name(t);
+        sampler.add_gauge("tenant_vt/" + name,
+                          [fq, t] { return fq->virtual_time(t); });
+        sampler.add_gauge("tenant_backlog/" + name, [fq, t] {
+          return static_cast<double>(fq->backlog(t));
+        });
+        sampler.add_gauge("tenant_throttled/" + name, [fq, t] {
+          return static_cast<double>(fq->throttle_events(t));
+        });
+      }
+    }
     sampler.start();
   }
 

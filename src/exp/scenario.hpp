@@ -20,6 +20,7 @@
 #include "metrics/run_metrics.hpp"
 #include "platform/controller.hpp"
 #include "profile/profile_table.hpp"
+#include "tenant/tenant_spec.hpp"
 #include "trace/replay.hpp"
 #include "workload/applications.hpp"
 #include "workload/arrival_source.hpp"
@@ -28,7 +29,19 @@
 
 namespace esg::exp {
 
-enum class SchedulerKind { kEsg, kInfless, kFastGshare, kOrion, kAquatope };
+/// The paper's five compared schedulers plus MQFQ-Sticky, the multi-tenant
+/// fair-queueing strategy (ESG planning + sticky per-flow placement +
+/// virtual-time dispatch order with throttling; DESIGN.md §12). kMqfqSticky
+/// is deliberately NOT in all_schedulers(): the figure benches sweep the
+/// paper's five-way comparison unchanged.
+enum class SchedulerKind {
+  kEsg,
+  kInfless,
+  kFastGshare,
+  kOrion,
+  kAquatope,
+  kMqfqSticky,
+};
 
 /// Which arrival process drives the run (--arrivals).
 enum class ArrivalMode {
@@ -100,6 +113,13 @@ struct Scenario {
   /// invokers (0 = resolved to `nodes`); an inert spec (min == max, no
   /// idle-out, no shedding) is byte-identical to the static run.
   elastic::ElasticSpec elastic;
+  /// Multi-tenant fair queueing (--tenants). An inert spec (absent or a
+  /// single tenant) with any of the five paper schedulers runs the exact
+  /// single-tenant code path — outputs are byte-identical to pre-tenant
+  /// builds. A non-inert spec enables weighted per-tenant AFW queues and
+  /// virtual-time scan order on every scheduler; SchedulerKind::kMqfqSticky
+  /// additionally gates on the throttle threshold and places sticky.
+  tenant::TenantSpec tenants;
   profile::ConfigSpaceOptions config_space;
   core::EsgScheduler::Options esg;
   baselines::InflessScheduler::Options infless;

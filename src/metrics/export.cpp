@@ -46,6 +46,40 @@ void write_summary_csv(const RunMetrics& metrics, const std::string& label,
       << ',' << percentile(latencies, 0.99) << '\n';
 }
 
+void write_per_tenant_summary_csv(const RunMetrics& metrics,
+                                  const std::vector<std::string>& tenant_names,
+                                  const std::string& label, std::ostream& out,
+                                  bool include_header) {
+  if (include_header) {
+    out << "label,tenant,name,requests,slo_hit_rate,latency_p50_ms,"
+           "latency_p95_ms,latency_p99_ms\n";
+  }
+  std::uint32_t max_tenant = 0;
+  for (const auto& c : metrics.completions) {
+    max_tenant = std::max(max_tenant, c.tenant);
+  }
+  for (std::uint32_t t = 0; t <= max_tenant; ++t) {
+    std::size_t requests = 0;
+    std::size_t hits = 0;
+    std::vector<double> latencies;
+    for (const auto& c : metrics.completions) {
+      if (c.tenant != t) continue;
+      ++requests;
+      if (c.hit) ++hits;
+      if (!c.shed) latencies.push_back(c.latency_ms);
+    }
+    if (requests == 0) continue;
+    std::sort(latencies.begin(), latencies.end());
+    const std::string name = t < tenant_names.size()
+                                 ? tenant_names[t]
+                                 : "t" + std::to_string(t);
+    out << label << ',' << t << ',' << name << ',' << requests << ','
+        << (static_cast<double>(hits) / static_cast<double>(requests)) << ','
+        << percentile(latencies, 0.50) << ',' << percentile(latencies, 0.95)
+        << ',' << percentile(latencies, 0.99) << '\n';
+  }
+}
+
 void write_per_app_summary_csv(const RunMetrics& metrics,
                                const std::string& label, std::ostream& out,
                                bool include_header) {

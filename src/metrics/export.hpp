@@ -6,6 +6,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "metrics/run_metrics.hpp"
 
@@ -29,5 +30,15 @@ void write_summary_csv(const RunMetrics& metrics, const std::string& label,
 void write_per_app_summary_csv(const RunMetrics& metrics,
                                const std::string& label, std::ostream& out,
                                bool include_header = true);
+
+/// One row per tenant (sorted by tenant id), labelled with `label`:
+/// label,tenant,name,requests,slo_hit_rate,latency_p50_ms,latency_p95_ms,
+/// latency_p99_ms. `tenant_names[t]` labels tenant t (falls back to "t<N>").
+/// Shed requests count toward attainment but are excluded from latencies,
+/// mirroring the per-app summary.
+void write_per_tenant_summary_csv(const RunMetrics& metrics,
+                                  const std::vector<std::string>& tenant_names,
+                                  const std::string& label, std::ostream& out,
+                                  bool include_header = true);
 
 }  // namespace esg::metrics

@@ -32,6 +32,7 @@ struct TaskRecord {
 struct CompletionRecord {
   RequestId request;
   AppId app;
+  std::uint32_t tenant = 0;  ///< owning flow (0 on single-tenant runs)
   TimeMs arrival_ms = 0.0;
   TimeMs completion_ms = 0.0;
   TimeMs latency_ms = 0.0;

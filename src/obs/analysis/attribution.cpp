@@ -357,6 +357,45 @@ AttributionReport build_report(const TraceDataset& dataset) {
     r.budget_ms_mean /= static_cast<double>(r.count);
     report.replans.push_back(r);
   }
+
+  // Per-tenant rollup, joined through the `tenant` attribute on request
+  // spans. Tenant-free traces produce no entries here, so the report (and
+  // its JSON) is unchanged from pre-tenant builds.
+  std::map<std::uint32_t, std::string> tenant_of_request;
+  for (const Span& span : dataset.spans) {
+    if (span.kind != SpanKind::kRequest) continue;
+    const std::string_view name = arg_value(span.args, "tenant");
+    if (!name.empty()) {
+      tenant_of_request[span.track.tid] = std::string(name);
+    }
+  }
+  struct TenantAccumulator {
+    TenantReport report;
+    std::vector<double> latencies;
+  };
+  std::map<std::string, TenantAccumulator> tenant_accs;
+  for (const RequestBreakdown& request : paths.requests) {
+    const auto it = tenant_of_request.find(request.request);
+    if (it == tenant_of_request.end()) continue;
+    TenantAccumulator& acc = tenant_accs[it->second];
+    ++acc.report.requests;
+    if (!request.hit) ++acc.report.misses;
+    acc.latencies.push_back(request.latency_ms());
+  }
+  for (const Instant& instant : dataset.instants) {
+    if (instant.kind != InstantKind::kShed) continue;
+    if (instant.track.pid != kRequestsPid) continue;
+    const std::string_view name = arg_value(instant.args, "tenant");
+    if (name.empty()) continue;
+    TenantAccumulator& acc = tenant_accs[std::string(name)];
+    ++acc.report.requests;
+    ++acc.report.misses;
+  }
+  for (auto& [name, acc] : tenant_accs) {
+    acc.report.tenant = name;
+    acc.report.latency_ms = latency_quantiles(std::move(acc.latencies));
+    report.tenants.push_back(std::move(acc.report));
+  }
   return report;
 }
 
@@ -418,7 +457,25 @@ void write_report_json(const AttributionReport& report, std::ostream& out) {
         << ",\"budget_ms_min\":" << fmt(r.budget_ms_min)
         << ",\"budget_ms_max\":" << fmt(r.budget_ms_max) << "}";
   }
-  out << "]}\n";
+  out << "]";
+  // Emitted only on multi-tenant traces: tenant-free reports must stay
+  // byte-identical to builds that predate the tenant subsystem.
+  if (!report.tenants.empty()) {
+    out << ",\"tenants\":[";
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+      const TenantReport& t = report.tenants[i];
+      if (i > 0) out << ",";
+      out << "{\"tenant\":\"" << t.tenant << "\"";
+      out << ",\"requests\":" << t.requests;
+      out << ",\"misses\":" << t.misses;
+      out << ",\"hit_rate\":" << fmt(t.hit_rate());
+      out << ",\"latency_ms\":";
+      write_quantiles(t.latency_ms, out);
+      out << "}";
+    }
+    out << "]";
+  }
+  out << "}\n";
 }
 
 std::string render_report_table(const AttributionReport& report) {
@@ -466,6 +523,20 @@ std::string render_report_table(const AttributionReport& report) {
   }
   out += "\n";
   out += stages.render();
+
+  if (!report.tenants.empty()) {
+    AsciiTable tenants({"tenant", "requests", "hit rate", "p50 (ms)",
+                        "p95 (ms)", "p99 (ms)"});
+    for (const TenantReport& t : report.tenants) {
+      tenants.add_row({t.tenant, std::to_string(t.requests),
+                       AsciiTable::pct(t.hit_rate()),
+                       AsciiTable::num(t.latency_ms.p50, 1),
+                       AsciiTable::num(t.latency_ms.p95, 1),
+                       AsciiTable::num(t.latency_ms.p99, 1)});
+    }
+    out += "\n";
+    out += tenants.render();
+  }
   return out;
 }
 

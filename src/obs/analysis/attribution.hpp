@@ -105,6 +105,25 @@ struct ReplanReport {
   double budget_ms_max = 0.0;
 };
 
+/// Per-tenant rollup, grouped by the `tenant` attribute the controller adds
+/// to request spans (and shed instants) on fair-queue runs. Single-tenant
+/// traces carry no such attribute, so the section is empty — and omitted
+/// from the JSON, keeping tenant-free reports byte-identical to pre-tenant
+/// builds. Shed requests count toward attainment but not the quantiles.
+struct TenantReport {
+  std::string tenant;  ///< tenant name (spec name or "t<N>")
+  std::size_t requests = 0;
+  std::size_t misses = 0;
+  LatencyQuantiles latency_ms;
+
+  [[nodiscard]] double hit_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(requests - misses) /
+                     static_cast<double>(requests);
+  }
+};
+
 struct AttributionReport {
   std::size_t requests = 0;
   std::size_t misses = 0;
@@ -114,6 +133,7 @@ struct AttributionReport {
   std::map<std::string, std::size_t> miss_causes;
   std::vector<AppReport> apps;  ///< sorted by app id
   std::vector<ReplanReport> replans;  ///< sorted by (app, stage)
+  std::vector<TenantReport> tenants;  ///< sorted by name; empty = no tenancy
   Histogram drift_histogram = make_drift_histogram();
 
   [[nodiscard]] double hit_rate() const {

@@ -48,8 +48,15 @@ class Parser {
   std::size_t pos_ = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("trace_reader: " + what + " at byte " +
-                             std::to_string(pos_));
+    // 1-based line number of pos_, so errors in multi-megabyte traces are
+    // actionable without a byte-offset calculator.
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw std::invalid_argument("trace_reader: " + what + " at line " +
+                                std::to_string(line) + ", byte " +
+                                std::to_string(pos_));
   }
   [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
   [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
@@ -209,7 +216,13 @@ class Parser {
       skip_ws();
       expect(':');
       skip_ws();
-      v.object->emplace(std::move(key.text), value());
+      // map::emplace keeps the first value, which would *silently drop* a
+      // duplicated column — corrupt input must be rejected, not smoothed.
+      const auto [it, inserted] =
+          v.object->emplace(std::move(key.text), value());
+      if (!inserted) {
+        fail("duplicate object key '" + it->first + "'");
+      }
       skip_ws();
       if (peek() == '}') {
         ++pos_;

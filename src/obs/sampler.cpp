@@ -55,6 +55,9 @@ void StatsSampler::sample() {
                     static_cast<double>(cluster_.warming_count()));
   recorder_.counter("fleet_draining", controller, now,
                     static_cast<double>(cluster_.draining_count()));
+  for (const auto& [name, provider] : gauges_) {
+    recorder_.counter(name, controller, now, provider());
+  }
   ++samples_;
 }
 

@@ -7,6 +7,9 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "obs/recorder.hpp"
@@ -25,6 +28,14 @@ class StatsSampler {
     queue_depth_ = std::move(provider);
   }
 
+  /// Registers a named gauge sampled on the controller track after the
+  /// built-in counters, in registration order (e.g. the per-tenant
+  /// virtual-time/backlog/throttle series). Runs that register no gauges
+  /// emit exactly the legacy counter set.
+  void add_gauge(std::string name, std::function<double()> provider) {
+    gauges_.emplace_back(std::move(name), std::move(provider));
+  }
+
   /// Schedules the first sample at the current simulated time. No-op when
   /// the recorder is disabled.
   void start();
@@ -40,6 +51,7 @@ class StatsSampler {
   TraceRecorder& recorder_;
   TimeMs interval_ms_;
   std::function<std::size_t()> queue_depth_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
   std::size_t samples_ = 0;
 };
 

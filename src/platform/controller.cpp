@@ -34,7 +34,8 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       noise_rng_(rng.stream("controller-noise")),
       rec_(options.recorder),
       fault_(options.fault),
-      elastic_(options.elastic) {
+      elastic_(options.elastic),
+      fq_(options.fair_queue) {
   if (apps.empty()) throw std::invalid_argument("Controller: no applications");
 
   // Apps are indexed by AppId value; ids must be dense starting at 0.
@@ -54,12 +55,24 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
     if (app == nullptr) throw std::invalid_argument("Controller: AppIds not dense");
   }
 
-  // One AFW queue per (application, stage) — Section 3.1.
+  // One AFW queue per (application, stage) — Section 3.1. Fair-queue runs
+  // key these to tenant 0; other tenants get their queues lazily, the first
+  // time they send work, so the base layout (and warm-pool seeding below)
+  // is identical to a single-tenant run.
   for (const auto* app : apps_) {
     for (workload::NodeIndex stage = 0; stage < app->size(); ++stage) {
-      queue_index_.emplace(queue_key(app->id(), stage), queues_.size());
-      queues_.push_back(AfwQueue{app->id(), stage, app->node(stage).function,
-                                 {}, 0});
+      queue_index_.emplace(queue_key(app->id(), stage, 0), queues_.size());
+      AfwQueue queue;
+      queue.app = app->id();
+      queue.stage = stage;
+      queue.function = app->node(stage).function;
+      queues_.push_back(std::move(queue));
+    }
+  }
+  if (fq_ != nullptr) {
+    tenant_queues_.assign(fq_->tenant_count(), {});
+    for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+      tenant_queues_[0].push_back(qi);
     }
   }
 
@@ -152,8 +165,32 @@ std::size_t Controller::total_queued_jobs() const {
   return total;
 }
 
-std::uint64_t Controller::queue_key(AppId app, workload::NodeIndex stage) const {
-  return (std::uint64_t{app.get()} << 32) | static_cast<std::uint32_t>(stage);
+std::uint64_t Controller::queue_key(AppId app, workload::NodeIndex stage,
+                                    std::uint32_t tenant) const {
+  // tenant : bits 44-63, app : bits 12-43, stage : bits 0-11. DAGs are a
+  // handful of stages and the trace format caps tenants at 2^10.
+  check(stage < (1u << 12), "queue_key: stage out of range");
+  return (std::uint64_t{tenant} << 44) | (std::uint64_t{app.get()} << 12) |
+         static_cast<std::uint64_t>(stage);
+}
+
+std::size_t Controller::queue_of(AppId app, workload::NodeIndex stage,
+                                 std::uint32_t tenant) {
+  const std::uint64_t key = queue_key(app, stage, tenant);
+  const auto it = queue_index_.find(key);
+  if (it != queue_index_.end()) return it->second;
+  check(fq_ != nullptr && tenant > 0 && tenant < fq_->tenant_count(),
+        "queue_of: unknown queue");
+  AfwQueue queue;
+  queue.app = app;
+  queue.stage = stage;
+  queue.function = dag_of(app).node(stage).function;
+  queue.tenant = tenant;
+  const std::size_t qi = queues_.size();
+  queue_index_.emplace(key, qi);
+  queues_.push_back(std::move(queue));
+  tenant_queues_[tenant].push_back(qi);
+  return qi;
 }
 
 TimeMs Controller::slo_of(AppId app) const { return slo_ms_.at(app.get()); }
@@ -164,17 +201,32 @@ const workload::AppDag& Controller::dag_of(AppId app) const {
 
 void Controller::inject(const std::vector<workload::Arrival>& arrivals) {
   for (const auto& arrival : arrivals) {
-    sim_.schedule_at(arrival.time_ms,
-                     [this, app = arrival.app] { inject_request(app); });
+    // The trace's tenant column only matters on fair-queue runs; a nonzero
+    // tenant carried by the arrival overrides the spec's static app→tenant
+    // mapping (synthetic/bursty arrivals always carry 0 and fall through to
+    // the mapping).
+    const std::uint32_t tenant =
+        fq_ != nullptr
+            ? (arrival.tenant != 0 ? arrival.tenant
+                                   : fq_->spec().tenant_of(arrival.app.get()))
+            : 0;
+    sim_.schedule_at(arrival.time_ms, [this, app = arrival.app, tenant] {
+      inject_request(app, tenant);
+    });
   }
 }
 
 RequestId Controller::inject_request(AppId app) {
+  return inject_request(
+      app, fq_ != nullptr ? fq_->spec().tenant_of(app.get()) : 0);
+}
+
+RequestId Controller::inject_request(AppId app, std::uint32_t tenant) {
   if (elastic_ != nullptr) {
     elastic_->on_arrival(sim_.now());
     if (elastic_->spec().shed && should_shed(app)) {
       const RequestId shed_id(next_request_++);
-      shed_request(shed_id, app, sim_.now());
+      shed_request(shed_id, app, tenant, sim_.now());
       return shed_id;
     }
   }
@@ -184,6 +236,7 @@ RequestId Controller::inject_request(AppId app) {
   RequestState state;
   state.arrival_ms = sim_.now();
   state.app = app;
+  state.tenant = tenant;
   state.slo_ms = slo_of(app);
   state.remaining_preds.resize(dag.size());
   state.input_location.assign(dag.size(), InvokerId{});
@@ -224,9 +277,9 @@ void Controller::enqueue_job(RequestId request, AppId app,
                              workload::NodeIndex stage,
                              InvokerId input_location, TimeMs now) {
   const auto& dag = dag_of(app);
-  auto it = queue_index_.find(queue_key(app, stage));
-  check(it != queue_index_.end(), "enqueue_job: unknown queue");
-  AfwQueue& queue = queues_[it->second];
+  const RequestState& req = requests_.at(request);
+  AfwQueue& queue = queues_[queue_of(app, stage, req.tenant)];
+  if (fq_ != nullptr) fq_->on_enqueue(queue.tenant);
 
   Job job;
   job.id = JobId(next_job_++);
@@ -255,13 +308,32 @@ bool Controller::any_queue_nonempty() const {
 
 void Controller::scan() {
   scan_scheduled_ = false;
-  const std::size_t q_count = queues_.size();
-  // Round-robin over the AFW queues; queues whose placement failed are
-  // naturally rechecked on the next scan (Section 3.1's recheck list).
-  for (std::size_t k = 0; k < q_count; ++k) {
-    process_queue((rr_cursor_ + k) % q_count);
+  if (fq_ == nullptr) {
+    const std::size_t q_count = queues_.size();
+    // Round-robin over the AFW queues; queues whose placement failed are
+    // naturally rechecked on the next scan (Section 3.1's recheck list).
+    for (std::size_t k = 0; k < q_count; ++k) {
+      process_queue((rr_cursor_ + k) % q_count);
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % q_count;
+  } else {
+    // Fair-queue scan: tenants in ascending virtual-time order (the flow
+    // that has received the least weighted service goes first), round-robin
+    // inside each tenant's queues. A flow more than T ahead of the slowest
+    // active one is skipped this round when gating is on (MQFQ throttle);
+    // any_queue_nonempty() below still re-arms the scan, so the flow resumes
+    // as soon as the laggard catches up.
+    for (const std::uint32_t t : fq_->ordered_tenants()) {
+      if (fq_->gating() && fq_->throttled(t)) continue;
+      const std::vector<std::size_t>& qs = tenant_queues_[t];
+      if (qs.empty()) continue;
+      const std::size_t n = qs.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        process_queue(qs[(rr_cursor_ + k) % n]);
+      }
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
   }
-  rr_cursor_ = (rr_cursor_ + 1) % q_count;
 
   if (any_queue_nonempty()) {
     scan_scheduled_ = true;
@@ -274,6 +346,7 @@ QueueView Controller::make_view(const AfwQueue& queue) const {
   view.app = queue.app;
   view.stage = queue.stage;
   view.function = queue.function;
+  view.tenant = queue.tenant;
   view.dag = apps_.at(queue.app.get());
   view.profiles = &profiles_;
   view.queue_length = queue.jobs.size();
@@ -412,6 +485,7 @@ void Controller::process_queue(std::size_t qi) {
   ctx.app = queue.app;
   ctx.stage = queue.stage;
   ctx.function = queue.function;
+  ctx.tenant = queue.tenant;
   ctx.home_invoker = cluster_.home_invoker(queue.app, queue.function);
   ctx.now_ms = sim_.now();
 
@@ -526,6 +600,7 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
   task.id = TaskId(next_task_++);
   task.app = queue.app;
   task.stage = queue.stage;
+  task.tenant = queue.tenant;
   task.function = queue.function;
   task.config = config;
   task.invoker = invoker_id;
@@ -534,6 +609,7 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
     task.jobs.push_back(queue.jobs.front());
     queue.jobs.pop_front();
   }
+  if (fq_ != nullptr) fq_->on_dequeue(queue.tenant, task.jobs.size());
 
   const auto& table = profiles_.table(task.function);
   const auto& spec = table.spec();
@@ -587,6 +663,14 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
   }
 
   ++active_by_function_[task.function];
+
+  // The tenant's flow is charged at dispatch, for the full occupancy the
+  // task was billed (a fault-run failure does not refund virtual time: the
+  // service was reserved on the flow's behalf either way).
+  if (fq_ != nullptr) {
+    fq_->on_charge(task.tenant, task.occupancy_ms(), config.vcpus,
+                   config.vgpus);
+  }
 
   task.cost = prices_.cost(config.vcpus, config.vgpus, task.occupancy_ms());
   // Fault runs account the task when its outcome is known: a completed task
@@ -865,7 +949,7 @@ void Controller::retry_or_abort(const Task& task, FailureCause cause) {
     // The failed attempt consumed the stage's SLO share: force the next scan
     // to re-plan this queue (ESG renormalises the remaining budget against
     // the elapsed time — its natural re-plan path).
-    auto qit = queue_index_.find(queue_key(task.app, task.stage));
+    auto qit = queue_index_.find(queue_key(task.app, task.stage, task.tenant));
     if (qit != queue_index_.end()) {
       AfwQueue& queue = queues_[qit->second];
       queue.planned_length = AfwQueue::kNoPlan;
@@ -876,9 +960,9 @@ void Controller::retry_or_abort(const Task& task, FailureCause cause) {
 
 void Controller::requeue_job(const Job& job) {
   if (aborted_requests_.count(job.request.get()) > 0) return;
-  auto it = queue_index_.find(queue_key(job.app, job.stage));
-  check(it != queue_index_.end(), "requeue_job: unknown queue");
-  AfwQueue& queue = queues_[it->second];
+  const RequestState& req = requests_.at(job.request);
+  AfwQueue& queue = queues_[queue_of(job.app, job.stage, req.tenant)];
+  if (fq_ != nullptr) fq_->on_enqueue(queue.tenant);
   // Front of the queue: the retried job is the oldest work this stage has.
   queue.jobs.push_front(job);
   queue.planned_length = AfwQueue::kNoPlan;
@@ -897,7 +981,12 @@ void Controller::abort_request(RequestId request, workload::NodeIndex stage,
     const std::size_t before = queue.jobs.size();
     std::erase_if(queue.jobs,
                   [request](const Job& j) { return j.request == request; });
-    if (queue.jobs.size() != before) queue.planned_length = AfwQueue::kNoPlan;
+    if (queue.jobs.size() != before) {
+      queue.planned_length = AfwQueue::kNoPlan;
+      if (fq_ != nullptr) {
+        fq_->on_dequeue(queue.tenant, before - queue.jobs.size());
+      }
+    }
   }
 
   const RequestState req = it->second;
@@ -909,6 +998,7 @@ void Controller::abort_request(RequestId request, workload::NodeIndex stage,
   metrics::CompletionRecord record;
   record.request = request;
   record.app = req.app;
+  record.tenant = req.tenant;
   record.arrival_ms = req.arrival_ms;
   record.completion_ms = now;
   record.latency_ms = now - req.arrival_ms;
@@ -918,15 +1008,19 @@ void Controller::abort_request(RequestId request, workload::NodeIndex stage,
   metrics_.completions.push_back(record);
 
   if (rec_ != nullptr && rec_->is_enabled()) {
+    obs::ArgList args{{"app", std::to_string(req.app.get())},
+                      {"latency_ms", std::to_string(record.latency_ms)},
+                      {"slo_ms", std::to_string(req.slo_ms)},
+                      {"hit", "false"},
+                      {"aborted", "true"},
+                      {"abort_stage", std::to_string(stage)}};
+    if (fq_ != nullptr) {
+      args.emplace_back("tenant", fq_->spec().tenant_name(req.tenant));
+    }
     rec_->span(obs::SpanKind::kRequest,
                "request " + std::to_string(request.get()),
                obs::request_track(request), req.arrival_ms, now,
-               {{"app", std::to_string(req.app.get())},
-                {"latency_ms", std::to_string(record.latency_ms)},
-                {"slo_ms", std::to_string(req.slo_ms)},
-                {"hit", "false"},
-                {"aborted", "true"},
-                {"abort_stage", std::to_string(stage)}});
+               std::move(args));
   }
 }
 
@@ -1079,12 +1173,14 @@ bool Controller::should_shed(AppId app) const {
          elastic_->spec().shed_margin * slo_of(app);
 }
 
-void Controller::shed_request(RequestId request, AppId app, TimeMs now) {
+void Controller::shed_request(RequestId request, AppId app,
+                              std::uint32_t tenant, TimeMs now) {
   if (now >= options_.metrics_warmup_ms) {
     ++metrics_.shed_requests;
     metrics::CompletionRecord record;
     record.request = request;
     record.app = app;
+    record.tenant = tenant;
     record.arrival_ms = now;
     record.completion_ms = now;
     record.latency_ms = 0.0;
@@ -1098,11 +1194,14 @@ void Controller::shed_request(RequestId request, AppId app, TimeMs now) {
     rec_->name_thread(obs::request_track(request),
                       "req " + std::to_string(request.get()) + " (app " +
                           std::to_string(app.get()) + ")");
+    obs::ArgList args{{"app", std::to_string(app.get())},
+                      {"slo_ms", std::to_string(slo_of(app))},
+                      {"queued", std::to_string(total_queued_jobs())}};
+    if (fq_ != nullptr) {
+      args.emplace_back("tenant", fq_->spec().tenant_name(tenant));
+    }
     rec_->instant(obs::InstantKind::kShed, "shed",
-                  obs::request_track(request), now,
-                  {{"app", std::to_string(app.get())},
-                   {"slo_ms", std::to_string(slo_of(app))},
-                   {"queued", std::to_string(total_queued_jobs())}});
+                  obs::request_track(request), now, std::move(args));
   }
 }
 
@@ -1233,6 +1332,7 @@ void Controller::finish_request(RequestId request, TimeMs completion_ms) {
   metrics::CompletionRecord record;
   record.request = request;
   record.app = req.app;
+  record.tenant = req.tenant;
   record.arrival_ms = req.arrival_ms;
   record.completion_ms = completion_ms;
   record.latency_ms = completion_ms - req.arrival_ms;
@@ -1241,13 +1341,17 @@ void Controller::finish_request(RequestId request, TimeMs completion_ms) {
   metrics_.completions.push_back(record);
 
   if (rec_ != nullptr && rec_->is_enabled()) {
+    obs::ArgList args{{"app", std::to_string(req.app.get())},
+                      {"latency_ms", std::to_string(record.latency_ms)},
+                      {"slo_ms", std::to_string(req.slo_ms)},
+                      {"hit", record.hit ? "true" : "false"}};
+    if (fq_ != nullptr) {
+      args.emplace_back("tenant", fq_->spec().tenant_name(req.tenant));
+    }
     rec_->span(obs::SpanKind::kRequest,
                "request " + std::to_string(request.get()),
                obs::request_track(request), req.arrival_ms, completion_ms,
-               {{"app", std::to_string(req.app.get())},
-                {"latency_ms", std::to_string(record.latency_ms)},
-                {"slo_ms", std::to_string(req.slo_ms)},
-                {"hit", record.hit ? "true" : "false"}});
+               std::move(args));
   }
 
   requests_.erase(it);

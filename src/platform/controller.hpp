@@ -27,6 +27,7 @@
 #include "prewarm/prewarm_manager.hpp"
 #include "profile/profile_table.hpp"
 #include "sim/simulator.hpp"
+#include "tenant/fair_queue.hpp"
 #include "workload/applications.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/dag.hpp"
@@ -99,6 +100,13 @@ struct ControllerOptions {
   /// control: requests whose projected latency cannot meet the SLO on the
   /// current fleet are rejected up front and counted as `shed@admission`.
   elastic::ElasticManager* elastic = nullptr;
+  /// Multi-tenant fair queueing (non-owning; nullptr = single-tenant run on
+  /// the exact legacy code path — outputs stay byte-identical). When set, the
+  /// controller keeps one AFW queue per (tenant, app, stage), scans tenants
+  /// in ascending virtual-time order (skipping throttled flows when the fair
+  /// queue gates), books every dispatch's charge against its tenant's flow,
+  /// and stamps completion records and request spans with the tenant.
+  tenant::FairQueue* fair_queue = nullptr;
 };
 
 class Controller {
@@ -113,8 +121,11 @@ class Controller {
   /// Schedules the given arrivals as future request events.
   void inject(const std::vector<workload::Arrival>& arrivals);
 
-  /// Injects one request immediately (at sim.now()). Returns its id.
+  /// Injects one request immediately (at sim.now()). Returns its id. The
+  /// single-argument form maps the app through the tenant spec's static
+  /// app→tenant assignment (tenant 0 on single-tenant runs).
   RequestId inject_request(AppId app);
+  RequestId inject_request(AppId app, std::uint32_t tenant);
 
   /// Runs the simulation until all injected requests complete (or the event
   /// queue drains).
@@ -134,6 +145,7 @@ class Controller {
     AppId app;
     workload::NodeIndex stage = 0;
     FunctionId function;
+    std::uint32_t tenant = 0;  ///< owning flow (always 0 without fair queueing)
     std::deque<Job> jobs;
     int placement_failures = 0;  ///< consecutive recheck rounds
 
@@ -150,6 +162,7 @@ class Controller {
   struct RequestState {
     TimeMs arrival_ms = 0.0;
     AppId app;
+    std::uint32_t tenant = 0;
     TimeMs slo_ms = 0.0;
     std::vector<std::uint8_t> remaining_preds;  ///< per DAG node
     std::vector<InvokerId> input_location;      ///< per DAG node (merged)
@@ -183,10 +196,14 @@ class Controller {
   ControllerOptions options_;
   profile::PriceModel prices_;
 
-  std::vector<AfwQueue> queues_;  // one per (app, stage), in app-major order
-  std::unordered_map<std::uint64_t, std::size_t> queue_index_;  // (app,stage)
+  std::vector<AfwQueue> queues_;  // one per (app, stage), in app-major order;
+                                  // tenant>0 queues appended on first use
+  std::unordered_map<std::uint64_t, std::size_t> queue_index_;  // (tenant,app,stage)
   std::size_t rr_cursor_ = 0;
   bool scan_scheduled_ = false;
+  /// Queue indices per tenant, in creation order (fair-queue runs only;
+  /// tenant 0 holds the base queues built at construction).
+  std::vector<std::vector<std::size_t>> tenant_queues_;
 
   std::unordered_map<RequestId, RequestState> requests_;
   std::uint32_t next_request_ = 0;
@@ -206,6 +223,7 @@ class Controller {
 
   fault::FaultEngine* fault_ = nullptr;  ///< = options_.fault
   elastic::ElasticManager* elastic_ = nullptr;  ///< = options_.elastic
+  tenant::FairQueue* fq_ = nullptr;      ///< = options_.fair_queue
   /// Tasks in flight, by TaskId value (fault-injection runs only).
   std::unordered_map<std::uint32_t, InFlightTask> inflight_;
   /// Requests aborted after exhausting their retry budget; sibling in-flight
@@ -269,13 +287,19 @@ class Controller {
   /// model plus a backlog penalty; no randomness.
   [[nodiscard]] bool should_shed(AppId app) const;
   /// Records a shed request: completion record (miss), kShed instant.
-  void shed_request(RequestId request, AppId app, TimeMs now);
+  void shed_request(RequestId request, AppId app, std::uint32_t tenant,
+                    TimeMs now);
 
   [[nodiscard]] QueueView make_view(const AfwQueue& queue) const;
   [[nodiscard]] profile::Config clamp_for_ablation(profile::Config c) const;
   [[nodiscard]] InvokerId majority_input_location(const AfwQueue& queue,
                                                   std::uint16_t batch) const;
-  [[nodiscard]] std::uint64_t queue_key(AppId app, workload::NodeIndex stage) const;
+  [[nodiscard]] std::uint64_t queue_key(AppId app, workload::NodeIndex stage,
+                                        std::uint32_t tenant) const;
+  /// Index of the (tenant, app, stage) queue, creating the per-tenant queue
+  /// on first use (tenant>0 queues exist only once their tenant sends work).
+  [[nodiscard]] std::size_t queue_of(AppId app, workload::NodeIndex stage,
+                                     std::uint32_t tenant);
   [[nodiscard]] bool any_queue_nonempty() const;
 };
 

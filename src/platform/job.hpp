@@ -34,6 +34,7 @@ struct Task {
   TaskId id;
   AppId app;
   workload::NodeIndex stage = 0;
+  std::uint32_t tenant = 0;  ///< owning flow (0 on single-tenant runs)
   FunctionId function;
   profile::Config config;
   InvokerId invoker;

@@ -37,6 +37,9 @@ struct QueueView {
   TimeMs oldest_elapsed_ms = 0.0;   ///< max(now - request arrival) over queue
   TimeMs slo_ms = 0.0;              ///< end-to-end SLO latency of the app
   TimeMs now_ms = 0.0;
+  /// Owning tenant of this queue (always 0 on single-tenant runs; only the
+  /// fair-queueing strategies look at it).
+  std::uint32_t tenant = 0;
 };
 
 struct PlanResult {
@@ -75,6 +78,8 @@ struct PlacementContext {
   /// here — the recovery policy assumes the node may still be unhealthy.
   InvokerId excluded_invoker;
   TimeMs now_ms = 0.0;
+  /// Owning tenant of the dispatching queue (0 on single-tenant runs).
+  std::uint32_t tenant = 0;
 };
 
 class Scheduler {

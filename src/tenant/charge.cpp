@@ -1,0 +1,43 @@
+#include "tenant/charge.hpp"
+
+#include <algorithm>
+
+namespace esg::tenant {
+
+double ChargeModel::time_charge_ms(double occupancy_ms,
+                                   std::uint32_t vgpus) const {
+  const double slices = std::max<std::uint32_t>(vgpus, 1);
+  return std::max(occupancy_ms, 0.0) * slices;
+}
+
+double ChargeModel::joules(double occupancy_ms, std::uint32_t vcpus,
+                           std::uint32_t vgpus) const {
+  const double watts = power_.base_w + power_.per_vgpu_w * vgpus +
+                       power_.per_vcpu_w * vcpus;
+  return watts * std::max(occupancy_ms, 0.0) / 1000.0;
+}
+
+double ChargeModel::energy_charge_ms(double occupancy_ms, std::uint32_t vcpus,
+                                     std::uint32_t vgpus) const {
+  // Reference: one busy vGPU slice (so a pure-GPU task charges ≈ its
+  // time-fair value and CPU-heavy tasks charge more under energy fairness).
+  const double ref_w = power_.base_w + power_.per_vgpu_w;
+  return joules(occupancy_ms, vcpus, vgpus) * 1000.0 / ref_w;
+}
+
+double ChargeModel::charge_ms(const TenantDef& tenant, double occupancy_ms,
+                              std::uint32_t vcpus, std::uint32_t vgpus) const {
+  switch (tenant.mode) {
+    case ChargeMode::kTime:
+      return time_charge_ms(occupancy_ms, vgpus);
+    case ChargeMode::kEnergy:
+      return energy_charge_ms(occupancy_ms, vcpus, vgpus);
+    case ChargeMode::kHybrid:
+      return tenant.hybrid_alpha * time_charge_ms(occupancy_ms, vgpus) +
+             (1.0 - tenant.hybrid_alpha) *
+                 energy_charge_ms(occupancy_ms, vcpus, vgpus);
+  }
+  return time_charge_ms(occupancy_ms, vgpus);
+}
+
+}  // namespace esg::tenant

@@ -1,0 +1,59 @@
+// Pluggable per-tenant service charge (ETF's time/energy fairness knob).
+//
+// MQFQ advances a flow's virtual time by the *service* its dispatches
+// consumed, divided by the flow's weight. What counts as service is a policy
+// choice (SNIPPETS.md snippet 1, ETF): time-fair charges GPU occupancy,
+// energy-fair charges modelled Joules, and hybrid blends the two. So that the
+// modes are mutually comparable (and so a throttle threshold in ms means the
+// same thing under every mode), the energy charge is normalised back into
+// "equivalent single-vGPU milliseconds" via the reference power of one busy
+// vGPU slice.
+//
+// The model is deterministic and closed-form — no randomness, no state — so
+// fair-queueing runs replay byte-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "tenant/tenant_spec.hpp"
+
+namespace esg::tenant {
+
+/// Simple linear node power model (Watts) for the energy-fair charge.
+struct PowerModel {
+  double base_w = 50.0;      ///< chassis share attributed to a running task
+  double per_vgpu_w = 250.0; ///< one busy vGPU slice
+  double per_vcpu_w = 12.5;  ///< one busy vCPU
+};
+
+class ChargeModel {
+ public:
+  explicit ChargeModel(PowerModel power = {}) : power_(power) {}
+
+  /// GPU-time service: occupancy × vGPU slices (a 2-slice task consumes the
+  /// shared pool twice as fast). Always ≥ 0.
+  [[nodiscard]] double time_charge_ms(double occupancy_ms,
+                                      std::uint32_t vgpus) const;
+
+  /// Energy service in equivalent single-vGPU milliseconds: modelled Watts ×
+  /// occupancy, divided by the one-vGPU reference power.
+  [[nodiscard]] double energy_charge_ms(double occupancy_ms,
+                                        std::uint32_t vcpus,
+                                        std::uint32_t vgpus) const;
+
+  /// Modelled Joules of one task (for reporting).
+  [[nodiscard]] double joules(double occupancy_ms, std::uint32_t vcpus,
+                              std::uint32_t vgpus) const;
+
+  /// The charge a tenant's flow is billed under its declared mode.
+  [[nodiscard]] double charge_ms(const TenantDef& tenant, double occupancy_ms,
+                                 std::uint32_t vcpus,
+                                 std::uint32_t vgpus) const;
+
+  [[nodiscard]] const PowerModel& power() const { return power_; }
+
+ private:
+  PowerModel power_;
+};
+
+}  // namespace esg::tenant

@@ -1,0 +1,136 @@
+#include "tenant/fair_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace esg::tenant {
+
+FairQueue::FairQueue(TenantSpec spec, std::size_t device_count,
+                     bool gate_throttle)
+    : spec_(std::move(spec)),
+      devices_(std::max<std::size_t>(device_count, 1)),
+      gate_(gate_throttle) {
+  if (spec_.tenants.empty()) {
+    // Gated single-tenant run (MQFQ-Sticky without --tenants): one implicit
+    // flow covering everything.
+    TenantDef def;
+    def.name = "t0";
+    spec_.tenants.push_back(std::move(def));
+  }
+  flows_.resize(spec_.tenants.size());
+
+  // Sticky ring: contiguous, weight-proportional slices. Every flow gets at
+  // least one device; remainders go to the heaviest flows first (ties by id,
+  // so the partition is deterministic).
+  const double total_weight = std::accumulate(
+      spec_.tenants.begin(), spec_.tenants.end(), 0.0,
+      [](double acc, const TenantDef& d) { return acc + d.weight; });
+  std::vector<std::size_t> lens(flows_.size(), 1);
+  if (devices_ >= flows_.size()) {
+    std::size_t assigned = 0;
+    for (std::size_t t = 0; t < flows_.size(); ++t) {
+      const double share =
+          static_cast<double>(devices_) * spec_.tenants[t].weight / total_weight;
+      lens[t] = std::max<std::size_t>(1, static_cast<std::size_t>(share));
+      assigned += lens[t];
+    }
+    // Distribute leftover devices (from flooring) by descending weight.
+    std::vector<std::uint32_t> by_weight(flows_.size());
+    std::iota(by_weight.begin(), by_weight.end(), 0u);
+    std::stable_sort(by_weight.begin(), by_weight.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return spec_.tenants[a].weight > spec_.tenants[b].weight;
+                     });
+    std::size_t i = 0;
+    while (assigned < devices_) {
+      ++lens[by_weight[i % by_weight.size()]];
+      ++assigned;
+      ++i;
+    }
+  }
+  std::size_t start = 0;
+  for (std::size_t t = 0; t < flows_.size(); ++t) {
+    flows_[t].ring_start = start % devices_;
+    flows_[t].ring_len = std::min(lens[t], devices_);
+    start += lens[t];
+  }
+}
+
+void FairQueue::refresh_global_vt() {
+  double min_active = std::numeric_limits<double>::infinity();
+  for (const Flow& flow : flows_) {
+    if (flow.backlog > 0) min_active = std::min(min_active, flow.vt);
+  }
+  if (min_active != std::numeric_limits<double>::infinity()) {
+    global_vt_ = std::max(global_vt_, min_active);
+  }
+}
+
+void FairQueue::on_enqueue(std::uint32_t t) {
+  assert(t < flows_.size());
+  Flow& flow = flows_[t];
+  if (flow.backlog == 0) {
+    // Start-time catch-up: an idle flow resumes at the global virtual time
+    // instead of cashing in the service it never requested.
+    flow.vt = std::max(flow.vt, global_vt_);
+  }
+  ++flow.backlog;
+  refresh_global_vt();
+}
+
+void FairQueue::on_dequeue(std::uint32_t t, std::size_t jobs) {
+  assert(t < flows_.size());
+  Flow& flow = flows_[t];
+  flow.backlog -= std::min(flow.backlog, jobs);
+  refresh_global_vt();
+}
+
+void FairQueue::on_charge(std::uint32_t t, double occupancy_ms,
+                          std::uint32_t vcpus, std::uint32_t vgpus) {
+  assert(t < flows_.size());
+  Flow& flow = flows_[t];
+  const double charge =
+      charge_.charge_ms(spec_.tenants[t], occupancy_ms, vcpus, vgpus);
+  flow.charged_ms += charge;
+  flow.vt += charge / spec_.tenants[t].weight;
+  refresh_global_vt();
+}
+
+bool FairQueue::throttled(std::uint32_t t) const {
+  if (!gate_ || flows_.size() < 2) return false;
+  double min_other_active = std::numeric_limits<double>::infinity();
+  for (std::size_t o = 0; o < flows_.size(); ++o) {
+    if (o == t || flows_[o].backlog == 0) continue;
+    min_other_active = std::min(min_other_active, flows_[o].vt);
+  }
+  if (min_other_active == std::numeric_limits<double>::infinity()) return false;
+  const bool paused = flows_[t].vt > min_other_active + spec_.throttle_ms;
+  if (paused) ++flows_[t].throttle_events;
+  return paused;
+}
+
+std::vector<std::uint32_t> FairQueue::ordered_tenants() const {
+  std::vector<std::uint32_t> order(flows_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return flows_[a].vt < flows_[b].vt;
+                   });
+  return order;
+}
+
+bool FairQueue::sticky(std::uint32_t t, InvokerId invoker) const {
+  if (!invoker.valid()) return false;
+  const Flow& flow = flows_[t];
+  const std::size_t inv = invoker.get() % devices_;
+  const std::size_t offset = (inv + devices_ - flow.ring_start) % devices_;
+  return offset < flow.ring_len;
+}
+
+InvokerId FairQueue::sticky_home(std::uint32_t t) const {
+  return InvokerId(static_cast<std::uint32_t>(flows_[t].ring_start));
+}
+
+}  // namespace esg::tenant

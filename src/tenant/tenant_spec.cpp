@@ -1,0 +1,258 @@
+#include "tenant/tenant_spec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace esg::tenant {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view clause, const std::string& why) {
+  throw std::invalid_argument("tenant spec '" + std::string(clause) +
+                              "': " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+double parse_double(std::string_view clause, std::string_view what,
+                    std::string_view v) {
+  double out = 0.0;
+  const auto* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, out);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out)) {
+    bad_spec(clause, "malformed number for " + std::string(what) + ": '" +
+                         std::string(v) + "'");
+  }
+  return out;
+}
+
+std::uint32_t parse_app_id(std::string_view clause, std::string_view v) {
+  const double d = parse_double(clause, "apps entry", v);
+  if (d < 0.0 || d != std::floor(d) || d >= 4294967295.0) {
+    bad_spec(clause, "app ids must be small non-negative integers");
+  }
+  return static_cast<std::uint32_t>(d);
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void parse_mode(std::string_view clause, std::string_view field,
+                TenantDef& def) {
+  if (field == "time") {
+    def.mode = ChargeMode::kTime;
+  } else if (field == "energy") {
+    def.mode = ChargeMode::kEnergy;
+  } else if (field.rfind("hybrid=", 0) == 0) {
+    def.mode = ChargeMode::kHybrid;
+    def.hybrid_alpha = parse_double(clause, "hybrid alpha", field.substr(7));
+    if (def.hybrid_alpha < 0.0 || def.hybrid_alpha > 1.0) {
+      bad_spec(clause, "hybrid alpha must be in [0, 1]");
+    }
+  } else {
+    bad_spec(clause, "unknown charge mode '" + std::string(field) +
+                         "' (time|energy|hybrid=<alpha>)");
+  }
+}
+
+void parse_apps(std::string_view clause, std::string_view list,
+                TenantDef& def) {
+  if (list.empty()) bad_spec(clause, "apps= needs at least one app id");
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string_view item = trim(list.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (item.empty()) bad_spec(clause, "empty app id in apps=");
+    def.apps.push_back(parse_app_id(clause, item));
+  }
+}
+
+TenantDef parse_tenant_clause(std::string_view clause) {
+  TenantDef def;
+  // name : weight [: mode] [: apps=...] — fields split on ':'.
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos <= clause.size()) {
+    const std::size_t colon = std::min(clause.find(':', pos), clause.size());
+    fields.push_back(trim(clause.substr(pos, colon - pos)));
+    pos = colon + 1;
+  }
+  if (fields.size() < 2) {
+    bad_spec(clause, "expected <name>:<weight>[:<mode>][:apps=...]");
+  }
+  if (!valid_name(fields[0])) {
+    bad_spec(clause, "tenant names must be non-empty [A-Za-z0-9_-]");
+  }
+  def.name = std::string(fields[0]);
+  def.weight = parse_double(clause, "weight", fields[1]);
+  if (def.weight <= 0.0) bad_spec(clause, "weight must be > 0");
+
+  bool saw_mode = false;
+  bool saw_apps = false;
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    const std::string_view field = fields[i];
+    if (field.rfind("apps=", 0) == 0) {
+      if (saw_apps) bad_spec(clause, "duplicate apps= field");
+      saw_apps = true;
+      parse_apps(clause, field.substr(5), def);
+    } else {
+      if (saw_mode) bad_spec(clause, "duplicate charge-mode field");
+      saw_mode = true;
+      parse_mode(clause, field, def);
+    }
+  }
+  return def;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(ChargeMode mode) {
+  switch (mode) {
+    case ChargeMode::kTime:
+      return "time";
+    case ChargeMode::kEnergy:
+      return "energy";
+    case ChargeMode::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+std::uint32_t TenantSpec::tenant_of(std::uint32_t app) const {
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    for (const std::uint32_t a : tenants[t].apps) {
+      if (a == app) return static_cast<std::uint32_t>(t);
+    }
+  }
+  return 0;
+}
+
+std::string TenantSpec::tenant_name(std::uint32_t t) const {
+  if (t < tenants.size()) return tenants[t].name;
+  return "t" + std::to_string(t);
+}
+
+TenantSpec parse_tenant_spec(std::string_view text) {
+  TenantSpec spec;
+  const std::string_view all = trim(text);
+  if (all.empty() || all == "none") return spec;
+
+  std::size_t pos = 0;
+  bool saw_throttle = false;
+  while (pos <= all.size()) {
+    const std::size_t semi = std::min(all.find(';', pos), all.size());
+    const std::string_view clause = trim(all.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (clause.empty()) continue;
+    if (clause.rfind("throttle=", 0) == 0) {
+      if (saw_throttle) bad_spec(clause, "duplicate throttle= clause");
+      saw_throttle = true;
+      spec.throttle_ms = parse_double(clause, "throttle", clause.substr(9));
+      if (spec.throttle_ms <= 0.0) bad_spec(clause, "throttle must be > 0");
+      continue;
+    }
+    spec.tenants.push_back(parse_tenant_clause(clause));
+  }
+  if (spec.tenants.empty()) {
+    bad_spec(all, "needs at least one tenant clause");
+  }
+
+  std::set<std::string_view> names;
+  std::set<std::uint32_t> claimed;
+  for (const auto& def : spec.tenants) {
+    if (!names.insert(def.name).second) {
+      bad_spec(all, "duplicate tenant name '" + def.name + "'");
+    }
+    for (const std::uint32_t app : def.apps) {
+      if (!claimed.insert(app).second) {
+        bad_spec(all, "app " + std::to_string(app) +
+                          " mapped to more than one tenant");
+      }
+    }
+  }
+  return spec;
+}
+
+TenantSpec load_tenant_spec(std::string_view arg) {
+  if (arg.empty() || arg.front() != '@') return parse_tenant_spec(arg);
+  const std::string path(arg.substr(1));
+  std::ifstream file(path);
+  if (!file) {
+    throw std::invalid_argument("tenant-spec file '" + path +
+                                "' is unreadable");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  // File form: newlines are clause separators too, so one clause per line
+  // reads naturally.
+  std::string body = text.str();
+  for (char& c : body) {
+    if (c == '\n' || c == '\r') c = ';';
+  }
+  return parse_tenant_spec(body);
+}
+
+std::string to_string(const TenantSpec& spec) {
+  if (!spec.enabled()) return "none";
+  std::string out;
+  for (const auto& def : spec.tenants) {
+    if (!out.empty()) out += ";";
+    out += def.name + ":" + fmt(def.weight);
+    out += ":" + std::string(to_string(def.mode));
+    if (def.mode == ChargeMode::kHybrid) out += "=" + fmt(def.hybrid_alpha);
+    if (!def.apps.empty()) {
+      out += ":apps=";
+      for (std::size_t i = 0; i < def.apps.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(def.apps[i]);
+      }
+    }
+  }
+  out += ";throttle=" + fmt(spec.throttle_ms);
+  return out;
+}
+
+TenantSpec resolve_for_trace(TenantSpec spec, std::size_t trace_tenants) {
+  if (trace_tenants <= 1 && !spec.enabled()) return spec;
+  if (!spec.enabled()) {
+    // Trace-declared tenants with no --tenants spec: implicit equal weights.
+    for (std::size_t t = 0; t < trace_tenants; ++t) {
+      TenantDef def;
+      def.name = "t" + std::to_string(t);
+      spec.tenants.push_back(std::move(def));
+    }
+    return spec;
+  }
+  if (trace_tenants > spec.tenants.size()) {
+    throw std::invalid_argument(
+        "tenant spec declares " + std::to_string(spec.tenants.size()) +
+        " tenant(s) but the trace references tenant id " +
+        std::to_string(trace_tenants - 1));
+  }
+  return spec;
+}
+
+}  // namespace esg::tenant

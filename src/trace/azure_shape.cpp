@@ -38,6 +38,12 @@ void check_options(const AzureShapeOptions& o) {
       o.burst_fraction > 1.0) {
     fail("burst-fraction must be in [0, 1]");
   }
+  if (o.tenants == 0 || o.tenants > kMaxTraceTenants) {
+    fail("tenants out of range (need >= 1)");
+  }
+  if (!std::isfinite(o.tenant_zipf_s) || o.tenant_zipf_s < 0.0) {
+    fail("tenant-zipf must be >= 0");
+  }
 }
 
 /// Deterministic Poisson sample: Knuth's product method for small lambda, a
@@ -100,17 +106,33 @@ WorkloadTrace generate_azure_shaped(const AzureShapeOptions& options,
     }
   }
 
+  // Zipf-skewed tenant popularity. With one tenant this is the single
+  // weight 1.0 and the sampling loop below draws exactly the legacy
+  // sequence, so tenant-free traces regenerate byte-identically.
+  std::vector<double> tenant_weight(options.tenants, 0.0);
+  double tenant_sum = 0.0;
+  for (std::size_t t = 0; t < options.tenants; ++t) {
+    tenant_weight[t] =
+        std::pow(static_cast<double>(t + 1), -options.tenant_zipf_s);
+    tenant_sum += tenant_weight[t];
+  }
+  for (double& w : tenant_weight) w /= tenant_sum;
+
   WorkloadTrace trace;
   trace.bin_ms = options.bin_ms;
   trace.app_count = options.apps;
+  trace.tenant_count = options.tenants;
   for (std::size_t b = 0; b < options.bins; ++b) {
     for (std::size_t a = 0; a < options.apps; ++a) {
-      const double expected = intensity[b] * weight[a];
-      const double count =
-          options.integer_counts ? poisson(rng, expected) : expected;
-      if (count <= 0.0) continue;
-      trace.rows.push_back(
-          TraceBinRow{b, static_cast<std::uint32_t>(a), count});
+      for (std::size_t t = 0; t < options.tenants; ++t) {
+        const double expected = intensity[b] * weight[a] * tenant_weight[t];
+        const double count =
+            options.integer_counts ? poisson(rng, expected) : expected;
+        if (count <= 0.0) continue;
+        trace.rows.push_back(TraceBinRow{b, static_cast<std::uint32_t>(a),
+                                         count,
+                                         static_cast<std::uint32_t>(t)});
+      }
     }
   }
   validate(trace);

@@ -30,6 +30,11 @@ struct AzureShapeOptions {
   /// Poisson-sample integer counts (realistic recorded trace) instead of
   /// storing the fractional expected counts directly.
   bool integer_counts = true;
+  /// Tenants sharing the trace; 1 writes the classic tenant-free format.
+  std::size_t tenants = 1;
+  /// Zipf exponent for tenant popularity: weight of tenant t is (t+1)^-s
+  /// (0 = uniform split across tenants).
+  double tenant_zipf_s = 1.0;
 };
 
 /// Throws std::invalid_argument on out-of-range options. The returned trace

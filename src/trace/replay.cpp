@@ -45,12 +45,12 @@ TraceArrivalGenerator::TraceArrivalGenerator(
   for (const TraceBinRow& row : trace_->rows) {
     if (row.count <= 0.0) continue;  // zero rows never produce arrivals
     auto& cdf = bin_app_cdf_[row.bin];
-    const double prev = cdf.empty() ? 0.0 : cdf.back().second;
-    cdf.emplace_back(row.app, prev + row.count);
+    const double prev = cdf.empty() ? 0.0 : cdf.back().cumulative;
+    cdf.push_back(CdfEntry{row.app, row.tenant, prev + row.count});
   }
   for (std::size_t b = 0; b < bin_rate_.size(); ++b) {
-    const double total = bin_app_cdf_[b].empty() ? 0.0
-                                                 : bin_app_cdf_[b].back().second;
+    const double total =
+        bin_app_cdf_[b].empty() ? 0.0 : bin_app_cdf_[b].back().cumulative;
     bin_rate_[b] = options_.rate_scale * total / scaled_bin_ms_;
     lambda_max_ = std::max(lambda_max_, bin_rate_[b]);
   }
@@ -77,15 +77,15 @@ std::optional<workload::Arrival> TraceArrivalGenerator::try_next() {
     // happens to be the envelope).
     if (rng_.uniform() * lambda_max_ >= rate) continue;
     const auto& cdf = bin_app_cdf_[std::min(bin, bin_app_cdf_.size() - 1)];
-    const double pick = rng_.uniform() * cdf.back().second;
-    std::uint32_t app = cdf.back().first;
-    for (const auto& [candidate, cumulative] : cdf) {
-      if (pick < cumulative) {
-        app = candidate;
+    const double pick = rng_.uniform() * cdf.back().cumulative;
+    const CdfEntry* chosen = &cdf.back();
+    for (const CdfEntry& entry : cdf) {
+      if (pick < entry.cumulative) {
+        chosen = &entry;
         break;
       }
     }
-    return workload::Arrival{clock_ms_, apps_[app]};
+    return workload::Arrival{clock_ms_, apps_[chosen->app], chosen->tenant};
   }
 }
 

@@ -54,8 +54,16 @@ class TraceArrivalGenerator final : public workload::ArrivalSource {
   TimeMs end_ms_ = 0.0;
   double lambda_max_ = 0.0;           ///< thinning envelope, arrivals per ms
   std::vector<double> bin_rate_;      ///< accepted rate per bin, per ms
-  /// Per-bin cumulative (app-index, cumulative-count) for categorical draws.
-  std::vector<std::vector<std::pair<std::uint32_t, double>>> bin_app_cdf_;
+  /// One categorical-draw entry per positive trace row of the bin. Tenant is
+  /// carried alongside the app so multi-tenant traces attribute each arrival;
+  /// single-tenant traces build the same entries (tenant 0) and the draw
+  /// sequence is unchanged.
+  struct CdfEntry {
+    std::uint32_t app = 0;
+    std::uint32_t tenant = 0;
+    double cumulative = 0.0;
+  };
+  std::vector<std::vector<CdfEntry>> bin_app_cdf_;
 
   TimeMs clock_ms_ = 0.0;
   bool exhausted_ = false;

@@ -61,27 +61,34 @@ std::size_t parse_index(std::size_t line_no, std::string_view what,
   return static_cast<std::size_t>(d);
 }
 
-/// Appends a data row, enforcing (bin, app) strictly-increasing order (which
-/// also rejects duplicates) and count sanity.
+/// Appends a data row, enforcing (bin, app, tenant) strictly-increasing
+/// order (which also rejects duplicates) and count sanity.
 void push_row(WorkloadTrace& trace, std::size_t line_no, std::size_t bin,
-              std::size_t app, double count) {
+              std::size_t app, double count, std::size_t tenant) {
   if (app >= trace.app_count) {
     fail_line(line_no, "unknown app " + std::to_string(app) +
                            " (trace declares apps=" +
                            std::to_string(trace.app_count) + ")");
+  }
+  if (tenant >= trace.tenant_count) {
+    fail_line(line_no, "unknown tenant " + std::to_string(tenant) +
+                           " (trace declares tenants=" +
+                           std::to_string(trace.tenant_count) + ")");
   }
   if (count < 0.0) {
     fail_line(line_no, "negative count");
   }
   if (!trace.rows.empty()) {
     const TraceBinRow& prev = trace.rows.back();
-    if (bin < prev.bin || (bin == prev.bin && app <= prev.app)) {
+    if (bin < prev.bin ||
+        (bin == prev.bin &&
+         (app < prev.app || (app == prev.app && tenant <= prev.tenant)))) {
       fail_line(line_no,
-                "rows must be sorted by (bin, app) without duplicates");
+                "rows must be sorted by (bin, app, tenant) without duplicates");
     }
   }
-  trace.rows.push_back(
-      TraceBinRow{bin, static_cast<std::uint32_t>(app), count});
+  trace.rows.push_back(TraceBinRow{bin, static_cast<std::uint32_t>(app), count,
+                                   static_cast<std::uint32_t>(tenant)});
 }
 
 /// Splits `line` on commas into at most `max_fields` pieces; returns count.
@@ -114,10 +121,12 @@ std::string_view keyed(std::size_t line_no, std::string_view field,
 
 void parse_csv_header(WorkloadTrace& trace, std::size_t line_no,
                       std::string_view line) {
-  std::string_view f[4];
-  if (split_csv(line, f, 4) != 4 || f[0] != "esg-trace" || f[1] != "v1") {
+  std::string_view f[5];
+  const std::size_t n = split_csv(line, f, 5);
+  if ((n != 4 && n != 5) || f[0] != "esg-trace" || f[1] != "v1") {
     fail_line(line_no,
-              "expected header 'esg-trace,v1,bin_ms=<ms>,apps=<n>', got '" +
+              "expected header 'esg-trace,v1,bin_ms=<ms>,apps=<n>"
+              "[,tenants=<t>]', got '" +
                   std::string(line) + "'");
   }
   trace.bin_ms = parse_double(line_no, "bin_ms", keyed(line_no, f[2], "bin_ms"));
@@ -125,6 +134,14 @@ void parse_csv_header(WorkloadTrace& trace, std::size_t line_no,
   trace.app_count =
       parse_index(line_no, "apps", keyed(line_no, f[3], "apps"), kMaxTraceApps);
   if (trace.app_count == 0) fail_line(line_no, "apps must be positive");
+  if (n == 5) {
+    trace.tenant_count = parse_index(
+        line_no, "tenants", keyed(line_no, f[4], "tenants"), kMaxTraceTenants);
+    if (trace.tenant_count < 2) {
+      fail_line(line_no,
+                "tenants must be >= 2 (omit the field for a single tenant)");
+    }
+  }
 }
 
 // --- minimal strict flat-JSON-object reader (one object per line) ---------
@@ -279,18 +296,27 @@ void validate(const WorkloadTrace& trace) {
   if (trace.app_count == 0 || trace.app_count > kMaxTraceApps) {
     fail("app count out of range");
   }
+  if (trace.tenant_count == 0 || trace.tenant_count > kMaxTraceTenants) {
+    fail("tenant count out of range");
+  }
   const TraceBinRow* prev = nullptr;
   for (const TraceBinRow& row : trace.rows) {
     if (row.bin >= kMaxTraceBins) fail("bin index out of range");
     if (row.app >= trace.app_count) {
       fail("unknown app " + std::to_string(row.app));
     }
+    if (row.tenant >= trace.tenant_count) {
+      fail("unknown tenant " + std::to_string(row.tenant));
+    }
     if (!std::isfinite(row.count) || row.count < 0.0) {
       fail("counts must be finite and non-negative");
     }
     if (prev != nullptr &&
-        (row.bin < prev->bin || (row.bin == prev->bin && row.app <= prev->app))) {
-      fail("rows must be sorted by (bin, app) without duplicates");
+        (row.bin < prev->bin ||
+         (row.bin == prev->bin &&
+          (row.app < prev->app ||
+           (row.app == prev->app && row.tenant <= prev->tenant))))) {
+      fail("rows must be sorted by (bin, app, tenant) without duplicates");
     }
     prev = &row;
   }
@@ -310,15 +336,21 @@ WorkloadTrace parse_trace_csv(std::istream& in) {
       saw_header = true;
       continue;
     }
-    std::string_view f[3];
-    if (split_csv(line, f, 3) != 3) {
-      fail_line(line_no, "expected 'bin,app,count', got '" + std::string(line) +
-                             "'");
+    const bool tenanted = trace.tenant_count > 1;
+    std::string_view f[4];
+    const std::size_t want = tenanted ? 4 : 3;
+    if (split_csv(line, f, 4) != want) {
+      fail_line(line_no, std::string("expected '") +
+                             (tenanted ? "bin,app,count,tenant"
+                                       : "bin,app,count") +
+                             "', got '" + std::string(line) + "'");
     }
     const std::size_t bin = parse_index(line_no, "bin", f[0], kMaxTraceBins);
     const std::size_t app = parse_index(line_no, "app", f[1], kMaxTraceApps);
     const double count = parse_double(line_no, "count", f[2]);
-    push_row(trace, line_no, bin, app, count);
+    const std::size_t tenant =
+        tenanted ? parse_index(line_no, "tenant", f[3], kMaxTraceTenants) : 0;
+    push_row(trace, line_no, bin, app, count, tenant);
   }
   if (!saw_header) {
     throw std::invalid_argument(
@@ -339,7 +371,8 @@ WorkloadTrace parse_trace_jsonl(std::istream& in) {
     if (line.empty() || line.front() == '#') continue;
     const std::vector<JsonField> fields = parse_flat_object(line_no, line);
     if (!saw_header) {
-      reject_unknown_keys(line_no, fields, {"schema", "bin_ms", "apps"});
+      reject_unknown_keys(line_no, fields,
+                          {"schema", "bin_ms", "apps", "tenants"});
       const JsonField& schema = json_get(line_no, fields, "schema", true);
       if (schema.value != kTraceSchemaV1) {
         fail_line(line_no, "unsupported schema '" + schema.value + "'");
@@ -352,10 +385,25 @@ WorkloadTrace parse_trace_jsonl(std::istream& in) {
                       json_get(line_no, fields, "apps", false).value,
                       kMaxTraceApps);
       if (trace.app_count == 0) fail_line(line_no, "apps must be positive");
+      for (const JsonField& f : fields) {
+        if (f.key != "tenants") continue;
+        if (f.is_string) fail_line(line_no, "key 'tenants' has the wrong type");
+        trace.tenant_count =
+            parse_index(line_no, "tenants", f.value, kMaxTraceTenants);
+        if (trace.tenant_count < 2) {
+          fail_line(line_no,
+                    "tenants must be >= 2 (omit the key for a single tenant)");
+        }
+      }
       saw_header = true;
       continue;
     }
-    reject_unknown_keys(line_no, fields, {"bin", "app", "count"});
+    const bool tenanted = trace.tenant_count > 1;
+    if (tenanted) {
+      reject_unknown_keys(line_no, fields, {"bin", "app", "count", "tenant"});
+    } else {
+      reject_unknown_keys(line_no, fields, {"bin", "app", "count"});
+    }
     const std::size_t bin =
         parse_index(line_no, "bin", json_get(line_no, fields, "bin", false).value,
                     kMaxTraceBins);
@@ -364,7 +412,12 @@ WorkloadTrace parse_trace_jsonl(std::istream& in) {
                     kMaxTraceApps);
     const double count = parse_double(
         line_no, "count", json_get(line_no, fields, "count", false).value);
-    push_row(trace, line_no, bin, app, count);
+    const std::size_t tenant =
+        tenanted ? parse_index(line_no, "tenant",
+                               json_get(line_no, fields, "tenant", false).value,
+                               kMaxTraceTenants)
+                 : 0;
+    push_row(trace, line_no, bin, app, count, tenant);
   }
   if (!saw_header) {
     throw std::invalid_argument(
@@ -388,22 +441,32 @@ WorkloadTrace load_workload_trace(const std::string& path) {
 
 void write_trace_csv(const WorkloadTrace& trace, std::ostream& out) {
   validate(trace);
+  const bool tenanted = trace.tenant_count > 1;
   out << "# ESG workload trace: per-app invocation counts per time bin.\n";
   out << "esg-trace,v1,bin_ms=" << fmt_double(trace.bin_ms)
-      << ",apps=" << trace.app_count << "\n";
+      << ",apps=" << trace.app_count;
+  if (tenanted) out << ",tenants=" << trace.tenant_count;
+  out << "\n";
   for (const TraceBinRow& row : trace.rows) {
-    out << row.bin << ',' << row.app << ',' << fmt_double(row.count) << "\n";
+    out << row.bin << ',' << row.app << ',' << fmt_double(row.count);
+    if (tenanted) out << ',' << row.tenant;
+    out << "\n";
   }
 }
 
 void write_trace_jsonl(const WorkloadTrace& trace, std::ostream& out) {
   validate(trace);
+  const bool tenanted = trace.tenant_count > 1;
   out << "{\"schema\":\"" << kTraceSchemaV1
       << "\",\"bin_ms\":" << fmt_double(trace.bin_ms)
-      << ",\"apps\":" << trace.app_count << "}\n";
+      << ",\"apps\":" << trace.app_count;
+  if (tenanted) out << ",\"tenants\":" << trace.tenant_count;
+  out << "}\n";
   for (const TraceBinRow& row : trace.rows) {
     out << "{\"bin\":" << row.bin << ",\"app\":" << row.app
-        << ",\"count\":" << fmt_double(row.count) << "}\n";
+        << ",\"count\":" << fmt_double(row.count);
+    if (tenanted) out << ",\"tenant\":" << row.tenant;
+    out << "}\n";
   }
 }
 

@@ -4,10 +4,18 @@
 // load settings from: per-application invocation counts in fixed time bins.
 // Two on-disk encodings are supported, both line-oriented and streamable:
 //
-//   CSV    header `esg-trace,v1,bin_ms=<ms>,apps=<n>` then `bin,app,count`
-//          rows sorted by (bin, app); `#` comments and blank lines allowed.
+//   CSV    header `esg-trace,v1,bin_ms=<ms>,apps=<n>[,tenants=<t>]` then
+//          `bin,app,count` rows sorted by (bin, app); `#` comments and blank
+//          lines allowed. A header declaring tenants=<t> (t >= 2) switches
+//          the row format to `bin,app,count,tenant`, sorted by
+//          (bin, app, tenant).
 //   JSONL  header `{"schema":"esg.trace.v1","bin_ms":<ms>,"apps":<n>}` then
-//          one `{"bin":B,"app":A,"count":C}` object per line.
+//          one `{"bin":B,"app":A,"count":C}` object per line; a header with
+//          `"tenants":<t>` requires a `"tenant"` key on every row.
+//
+// The tenant column is optional and defaults to a single tenant: traces
+// written before multi-tenancy parse (and replay) exactly as before, and
+// single-tenant traces write byte-identical files.
 //
 // The parsers are hardened with the same rigor as the --fault-spec grammar:
 // NaN/inf/negative counts, fractional or out-of-range bin/app indices,
@@ -36,6 +44,9 @@ inline constexpr std::size_t kMaxTraceBins = 1u << 20;
 /// cap only guards against corrupted headers).
 inline constexpr std::size_t kMaxTraceApps = 1u << 16;
 
+/// Hard cap on the header's tenant count.
+inline constexpr std::size_t kMaxTraceTenants = 1u << 10;
+
 /// Expected invocation count of one app in one time bin. Counts are doubles:
 /// integer in recorded traces, fractional once rate-scaled or when a trace
 /// stores Poisson intensities directly.
@@ -43,12 +54,14 @@ struct TraceBinRow {
   std::size_t bin = 0;
   std::uint32_t app = 0;
   double count = 0.0;
+  std::uint32_t tenant = 0;  ///< always 0 on single-tenant traces
 };
 
 struct WorkloadTrace {
   TimeMs bin_ms = 0.0;        ///< bin width in trace (unscaled) time
   std::size_t app_count = 0;  ///< apps 0..app_count-1 may appear in rows
-  std::vector<TraceBinRow> rows;  ///< sorted by (bin, app), unique
+  std::size_t tenant_count = 1;   ///< 1 = no tenant column on disk
+  std::vector<TraceBinRow> rows;  ///< sorted by (bin, app, tenant), unique
 
   /// Number of bins spanned: max bin index + 1 (0 for an empty trace).
   [[nodiscard]] std::size_t bin_count() const;

@@ -15,6 +15,9 @@ namespace esg::workload {
 struct Arrival {
   TimeMs time_ms;
   AppId app;
+  /// Submitting tenant; 0 unless a multi-tenant trace says otherwise (the
+  /// static --tenants app mapping is applied downstream by the controller).
+  std::uint32_t tenant = 0;
 };
 
 /// A deterministic, strictly-increasing stream of arrivals. Synthetic

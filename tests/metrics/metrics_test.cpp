@@ -11,11 +11,11 @@ namespace {
 RunMetrics sample_metrics() {
   RunMetrics m;
   m.completions.push_back(
-      {RequestId(0), AppId(0), 0.0, 500.0, 500.0, 600.0, true});
+      {RequestId(0), AppId(0), 0, 0.0, 500.0, 500.0, 600.0, true});
   m.completions.push_back(
-      {RequestId(1), AppId(0), 10.0, 910.0, 900.0, 600.0, false});
+      {RequestId(1), AppId(0), 0, 10.0, 910.0, 900.0, 600.0, false});
   m.completions.push_back(
-      {RequestId(2), AppId(1), 20.0, 420.0, 400.0, 450.0, true});
+      {RequestId(2), AppId(1), 1, 20.0, 420.0, 400.0, 450.0, true});
   m.total_cost = 0.5;
   m.cost_by_app[AppId(0)] = 0.3;
   m.cost_by_app[AppId(1)] = 0.2;

@@ -212,6 +212,22 @@ TEST(Analysis, OnlineAndOfflineReportsAreByteIdentical) {
             std::string::npos);
 }
 
+TEST(Analysis, ReaderRejectsDuplicateObjectKeys) {
+  // A duplicated column in a hand-edited trace is corruption, not data; the
+  // reader must name the line instead of silently keeping one value.
+  std::istringstream dup(
+      "[{\"ph\":\"X\",\"name\":\"a\",\"cat\":\"request\",\"ph\":\"X\","
+      "\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1}]");
+  try {
+    (void)obs::analysis::read_chrome_trace(dup);
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Analysis, ReaderRejectsGarbage) {
   // invalid_argument, so esg_report maps malformed traces to its
   // configuration-error exit code (2) instead of a runtime failure (1).

@@ -1,0 +1,68 @@
+// ChargeModel (ETF's time/energy fairness knob): the three modes must be
+// mutually comparable — all expressed in equivalent single-vGPU service-ms —
+// or a throttle threshold would mean different things per tenant.
+#include "tenant/charge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esg::tenant {
+namespace {
+
+TEST(Charge, TimeChargeScalesWithVgpuSlices) {
+  const ChargeModel model;
+  EXPECT_DOUBLE_EQ(model.time_charge_ms(100.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(model.time_charge_ms(100.0, 2), 200.0);
+  // CPU-only stages still consume scheduler attention: one slice minimum.
+  EXPECT_DOUBLE_EQ(model.time_charge_ms(100.0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(model.time_charge_ms(-5.0, 1), 0.0);
+}
+
+TEST(Charge, JoulesFollowLinearPowerModel) {
+  const ChargeModel model({/*base_w=*/50.0, /*per_vgpu_w=*/250.0,
+                           /*per_vcpu_w=*/12.5});
+  // 1000 ms at (50 + 250 + 2*12.5) W = 325 J.
+  EXPECT_DOUBLE_EQ(model.joules(1000.0, 2, 1), 325.0);
+  EXPECT_DOUBLE_EQ(model.joules(0.0, 2, 1), 0.0);
+}
+
+TEST(Charge, EnergyChargeIsNormalisedToOneVgpuReference) {
+  const ChargeModel model;
+  // A pure one-vGPU zero-vCPU task IS the reference: energy == time charge.
+  EXPECT_DOUBLE_EQ(model.energy_charge_ms(100.0, 0, 1),
+                   model.time_charge_ms(100.0, 1));
+  // Adding vCPUs makes the same occupancy cost more under energy fairness.
+  EXPECT_GT(model.energy_charge_ms(100.0, 8, 1),
+            model.energy_charge_ms(100.0, 0, 1));
+}
+
+TEST(Charge, HybridBlendsEndpoints) {
+  const ChargeModel model;
+  TenantDef tenant;
+  tenant.mode = ChargeMode::kHybrid;
+
+  tenant.hybrid_alpha = 1.0;  // pure time
+  EXPECT_DOUBLE_EQ(model.charge_ms(tenant, 100.0, 8, 2),
+                   model.time_charge_ms(100.0, 2));
+  tenant.hybrid_alpha = 0.0;  // pure energy
+  EXPECT_DOUBLE_EQ(model.charge_ms(tenant, 100.0, 8, 2),
+                   model.energy_charge_ms(100.0, 8, 2));
+
+  tenant.hybrid_alpha = 0.5;
+  const double mid = model.charge_ms(tenant, 100.0, 8, 2);
+  EXPECT_DOUBLE_EQ(mid, 0.5 * model.time_charge_ms(100.0, 2) +
+                            0.5 * model.energy_charge_ms(100.0, 8, 2));
+}
+
+TEST(Charge, DeclaredModeSelectsTheCharge) {
+  const ChargeModel model;
+  TenantDef tenant;
+  tenant.mode = ChargeMode::kTime;
+  EXPECT_DOUBLE_EQ(model.charge_ms(tenant, 50.0, 4, 2),
+                   model.time_charge_ms(50.0, 2));
+  tenant.mode = ChargeMode::kEnergy;
+  EXPECT_DOUBLE_EQ(model.charge_ms(tenant, 50.0, 4, 2),
+                   model.energy_charge_ms(50.0, 4, 2));
+}
+
+}  // namespace
+}  // namespace esg::tenant

@@ -1,0 +1,136 @@
+// FairQueue core invariants (MQFQ-Sticky bookkeeping): weighted virtual
+// time, idle-flow catch-up (no banked credit), the throttle threshold T,
+// and the weight-proportional sticky device ring.
+#include "tenant/fair_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tenant/tenant_spec.hpp"
+
+namespace esg::tenant {
+namespace {
+
+FairQueue make_queue(const std::string& spec_text, std::size_t devices,
+                     bool gate) {
+  return FairQueue(parse_tenant_spec(spec_text), devices, gate);
+}
+
+TEST(FairQueue, VirtualTimeAdvancesByChargeOverWeight) {
+  FairQueue fq = make_queue("heavy:4;light:1", 4, false);
+  fq.on_enqueue(0);
+  fq.on_enqueue(1);
+  fq.on_charge(0, 100.0, 0, 1);  // 100 service-ms at weight 4
+  fq.on_charge(1, 100.0, 0, 1);  // 100 service-ms at weight 1
+  EXPECT_DOUBLE_EQ(fq.virtual_time(0), 25.0);
+  EXPECT_DOUBLE_EQ(fq.virtual_time(1), 100.0);
+  EXPECT_DOUBLE_EQ(fq.charged_ms(0), 100.0);
+  EXPECT_DOUBLE_EQ(fq.charged_ms(1), 100.0);
+}
+
+TEST(FairQueue, OrderedTenantsAscendByVirtualTime) {
+  FairQueue fq = make_queue("a:1;b:1;c:1", 4, false);
+  for (std::uint32_t t = 0; t < 3; ++t) fq.on_enqueue(t);
+  fq.on_charge(0, 300.0, 0, 1);
+  fq.on_charge(2, 100.0, 0, 1);
+  // b (vt 0) first, then c (100), then a (300).
+  EXPECT_EQ(fq.ordered_tenants(), (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(FairQueue, IdleFlowResumesAtGlobalVirtualTime) {
+  FairQueue fq = make_queue("busy:1;sleeper:1", 4, false);
+  // The sleeper stays idle while the busy flow works its backlog up to a
+  // large VT; when the sleeper finally activates it must NOT dispatch from
+  // vt 0 (that would cash in service it never requested).
+  fq.on_enqueue(0);
+  fq.on_charge(0, 500.0, 0, 1);
+  EXPECT_DOUBLE_EQ(fq.virtual_time(1), 0.0);  // still asleep
+  fq.on_enqueue(1);
+  EXPECT_DOUBLE_EQ(fq.virtual_time(1), 500.0);  // caught up on activation
+}
+
+TEST(FairQueue, CatchUpNeverRewindsAnActiveFlow) {
+  FairQueue fq = make_queue("a:1;b:1", 4, false);
+  fq.on_enqueue(0);
+  fq.on_charge(0, 200.0, 0, 1);
+  fq.on_dequeue(0, 1);  // idle again at vt 200
+  fq.on_enqueue(0);
+  EXPECT_DOUBLE_EQ(fq.virtual_time(0), 200.0);  // max(own vt, global vt)
+}
+
+TEST(FairQueue, ThrottleGatesOnlyBeyondThresholdOfActivePeer) {
+  FairQueue fq = make_queue("front:1;behind:1;throttle=50", 4, true);
+  ASSERT_TRUE(fq.gating());
+  fq.on_enqueue(0);
+  fq.on_enqueue(1);
+  fq.on_charge(0, 40.0, 0, 1);  // lead 40 <= T
+  EXPECT_FALSE(fq.throttled(0));
+  fq.on_charge(0, 40.0, 0, 1);  // lead 80 > T
+  EXPECT_TRUE(fq.throttled(0));
+  EXPECT_FALSE(fq.throttled(1));  // the laggard is never paused
+  EXPECT_EQ(fq.throttle_events(0), 1u);
+  // Once the laggard catches up, the gate opens again.
+  fq.on_charge(1, 60.0, 0, 1);
+  EXPECT_FALSE(fq.throttled(0));
+}
+
+TEST(FairQueue, ThrottleIgnoresIdlePeers) {
+  FairQueue fq = make_queue("front:1;idle:1;throttle=50", 4, true);
+  fq.on_enqueue(0);
+  fq.on_charge(0, 1000.0, 0, 1);
+  // The only other flow has no backlog: a flow can never be throttled by a
+  // tenant that is not asking for service.
+  EXPECT_FALSE(fq.throttled(0));
+}
+
+TEST(FairQueue, GatingOffNeverThrottles) {
+  FairQueue fq = make_queue("a:1;b:1;throttle=50", 4, false);
+  fq.on_enqueue(0);
+  fq.on_enqueue(1);
+  fq.on_charge(0, 10'000.0, 0, 1);
+  EXPECT_FALSE(fq.throttled(0));
+  EXPECT_EQ(fq.throttle_events(0), 0u);
+}
+
+TEST(FairQueue, StickyRingIsWeightProportionalAndCoversAllDevices) {
+  FairQueue fq = make_queue("heavy:3;light:1", 8, true);
+  // 8 devices split 3:1 -> 6 and 2, contiguous from device 0.
+  std::size_t heavy = 0, light = 0;
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    const bool h = fq.sticky(0, InvokerId(d));
+    const bool l = fq.sticky(1, InvokerId(d));
+    EXPECT_TRUE(h || l) << "device " << d << " belongs to no slice";
+    heavy += h;
+    light += l;
+  }
+  EXPECT_EQ(heavy, 6u);
+  EXPECT_EQ(light, 2u);
+  EXPECT_EQ(fq.sticky_home(0).get(), 0u);
+  EXPECT_TRUE(fq.sticky(0, fq.sticky_home(0)));
+  EXPECT_TRUE(fq.sticky(1, fq.sticky_home(1)));
+}
+
+TEST(FairQueue, EveryFlowGetsADeviceEvenWhenOutnumbered) {
+  // 3 flows on 2 devices: slices overlap rather than starve anyone.
+  FairQueue fq = make_queue("a:1;b:1;c:1", 2, true);
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    bool anywhere = false;
+    for (std::uint32_t d = 0; d < 2; ++d) {
+      anywhere = anywhere || fq.sticky(t, InvokerId(d));
+    }
+    EXPECT_TRUE(anywhere) << "flow " << t << " has no sticky device";
+  }
+}
+
+TEST(FairQueue, GatedRunWithoutSpecGetsOneImplicitFlow) {
+  // MQFQ-Sticky without --tenants: a single flow covering everything.
+  FairQueue fq(TenantSpec{}, 4, true);
+  EXPECT_EQ(fq.tenant_count(), 1u);
+  EXPECT_EQ(fq.spec().tenant_name(0), "t0");
+  fq.on_enqueue(0);
+  EXPECT_FALSE(fq.throttled(0));  // a lone flow can never be paused
+}
+
+}  // namespace
+}  // namespace esg::tenant

@@ -1,0 +1,146 @@
+// Tenant-column support in esg.trace.v1 (CSV and JSONL): the column is
+// optional, defaults to a single tenant, round-trips byte-identically, and
+// malformed tenant framing is rejected with the same rigor as the rest of
+// the schema.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/workload_trace.hpp"
+
+namespace esg::trace {
+namespace {
+
+WorkloadTrace csv(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace_csv(in);
+}
+
+WorkloadTrace jsonl(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace_jsonl(in);
+}
+
+constexpr const char* kTenantedCsv =
+    "esg-trace,v1,bin_ms=500,apps=2,tenants=2\n"
+    "0,0,4,0\n"
+    "0,0,2,1\n"
+    "0,1,3,1\n"
+    "1,0,1,0\n";
+
+TEST(TraceTenantCsv, ParsesTenantColumn) {
+  const WorkloadTrace t = csv(kTenantedCsv);
+  EXPECT_EQ(t.tenant_count, 2u);
+  ASSERT_EQ(t.rows.size(), 4u);
+  EXPECT_EQ(t.rows[0].tenant, 0u);
+  EXPECT_EQ(t.rows[1].tenant, 1u);
+  EXPECT_DOUBLE_EQ(t.rows[1].count, 2.0);
+  EXPECT_EQ(t.rows[2].tenant, 1u);
+}
+
+TEST(TraceTenantCsv, TenantlessHeaderDefaultsToOneTenant) {
+  const WorkloadTrace t = csv("esg-trace,v1,bin_ms=500,apps=2\n0,0,4\n");
+  EXPECT_EQ(t.tenant_count, 1u);
+  EXPECT_EQ(t.rows[0].tenant, 0u);
+}
+
+TEST(TraceTenantCsv, RoundTripsByteIdentically) {
+  const WorkloadTrace t = csv(kTenantedCsv);
+  std::ostringstream out;
+  write_trace_csv(t, out);
+  const WorkloadTrace again = csv(out.str());
+  std::ostringstream out2;
+  write_trace_csv(again, out2);
+  EXPECT_EQ(out.str(), out2.str());
+  EXPECT_EQ(again.tenant_count, 2u);
+  ASSERT_EQ(again.rows.size(), t.rows.size());
+  EXPECT_EQ(again.rows[1].tenant, t.rows[1].tenant);
+}
+
+TEST(TraceTenantCsv, SingleTenantWriteOmitsTheColumn) {
+  const WorkloadTrace t = csv("esg-trace,v1,bin_ms=500,apps=2\n0,0,4\n");
+  std::ostringstream out;
+  write_trace_csv(t, out);
+  EXPECT_EQ(out.str().find("tenants="), std::string::npos);
+  EXPECT_EQ(out.str().find("0,0,4,0"), std::string::npos);
+}
+
+TEST(TraceTenantCsv, RejectsBadTenantFraming) {
+  const std::string header = "esg-trace,v1,bin_ms=500,apps=2,tenants=2\n";
+  // Declared tenants but missing column.
+  EXPECT_THROW(csv(header + "0,0,4\n"), std::invalid_argument);
+  // Out-of-range and malformed tenant ids.
+  EXPECT_THROW(csv(header + "0,0,4,2\n"), std::invalid_argument);
+  EXPECT_THROW(csv(header + "0,0,4,-1\n"), std::invalid_argument);
+  EXPECT_THROW(csv(header + "0,0,4,0.5\n"), std::invalid_argument);
+  // Rows must sort by (bin, app, tenant) and be unique.
+  EXPECT_THROW(csv(header + "0,0,4,1\n0,0,2,0\n"), std::invalid_argument);
+  EXPECT_THROW(csv(header + "0,0,4,1\n0,0,2,1\n"), std::invalid_argument);
+  // tenants=1 is not a valid multi-tenant declaration.
+  EXPECT_THROW(csv("esg-trace,v1,bin_ms=500,apps=2,tenants=1\n"),
+               std::invalid_argument);
+  // Extra column on an untenanted trace.
+  EXPECT_THROW(csv("esg-trace,v1,bin_ms=500,apps=2\n0,0,4,0\n"),
+               std::invalid_argument);
+}
+
+constexpr const char* kTenantedJsonl =
+    "{\"schema\":\"esg.trace.v1\",\"bin_ms\":500,\"apps\":2,\"tenants\":2}\n"
+    "{\"bin\":0,\"app\":0,\"count\":4,\"tenant\":0}\n"
+    "{\"bin\":0,\"app\":0,\"count\":2,\"tenant\":1}\n";
+
+TEST(TraceTenantJsonl, ParsesTenantKey) {
+  const WorkloadTrace t = jsonl(kTenantedJsonl);
+  EXPECT_EQ(t.tenant_count, 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1].tenant, 1u);
+}
+
+TEST(TraceTenantJsonl, RoundTripsByteIdentically) {
+  const WorkloadTrace t = jsonl(kTenantedJsonl);
+  std::ostringstream out;
+  write_trace_jsonl(t, out);
+  const WorkloadTrace again = jsonl(out.str());
+  std::ostringstream out2;
+  write_trace_jsonl(again, out2);
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(TraceTenantJsonl, CrossFormatConversionPreservesTenants) {
+  const WorkloadTrace t = jsonl(kTenantedJsonl);
+  std::ostringstream as_csv;
+  write_trace_csv(t, as_csv);
+  const WorkloadTrace back = csv(as_csv.str());
+  EXPECT_EQ(back.tenant_count, t.tenant_count);
+  ASSERT_EQ(back.rows.size(), t.rows.size());
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].tenant, t.rows[i].tenant);
+    EXPECT_DOUBLE_EQ(back.rows[i].count, t.rows[i].count);
+  }
+}
+
+TEST(TraceTenantJsonl, RejectsBadTenantFraming) {
+  const std::string header =
+      "{\"schema\":\"esg.trace.v1\",\"bin_ms\":500,\"apps\":2,\"tenants\":2}\n";
+  // Declared tenants require the tenant key on every row.
+  EXPECT_THROW(jsonl(header + "{\"bin\":0,\"app\":0,\"count\":4}\n"),
+               std::invalid_argument);
+  // Out-of-range tenant id.
+  EXPECT_THROW(
+      jsonl(header + "{\"bin\":0,\"app\":0,\"count\":4,\"tenant\":2}\n"),
+      std::invalid_argument);
+  // Tenant key on an untenanted trace.
+  EXPECT_THROW(
+      jsonl("{\"schema\":\"esg.trace.v1\",\"bin_ms\":500,\"apps\":2}\n"
+            "{\"bin\":0,\"app\":0,\"count\":4,\"tenant\":0}\n"),
+      std::invalid_argument);
+  // Header tenant count above the cap.
+  EXPECT_THROW(jsonl("{\"schema\":\"esg.trace.v1\",\"bin_ms\":500,"
+                     "\"apps\":2,\"tenants\":999999}\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esg::trace

@@ -6,9 +6,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exp/cli.hpp"
 #include "metrics/export.hpp"
+#include "tenant/tenant_spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace esg;
@@ -40,6 +42,18 @@ int main(int argc, char** argv) {
   if (opts.scenario.elastic.enabled()) {
     elastic_desc =
         " elastic=" + elastic::to_string(opts.scenario.elastic);
+  }
+  // Same suppression for --tenants: single-tenant stdout stays unchanged.
+  // Resolve against the (eagerly loaded) trace so a trace-borne tenant
+  // column shows up here too.
+  const std::size_t trace_tenants =
+      opts.scenario.arrivals.trace != nullptr
+          ? opts.scenario.arrivals.trace->tenant_count
+          : 1;
+  const tenant::TenantSpec tenants =
+      tenant::resolve_for_trace(opts.scenario.tenants, trace_tenants);
+  if (!tenants.inert()) {
+    elastic_desc += " tenants=" + tenant::to_string(tenants);
   }
   std::printf("scheduler=%s load=%s slo=%s arrivals=%s horizon=%.0fms "
               "warmup=%.0fms nodes=%zu seeds=%zu%s\n\n",
@@ -146,6 +160,33 @@ int main(int argc, char** argv) {
                 scale_outs, scale_ins, reclaims, sheds);
   }
 
+  // Per-tenant fairness rollup across all seeds, printed only on
+  // multi-tenant runs (single-tenant stdout is byte-identical to pre-tenant
+  // builds).
+  if (!tenants.inert()) {
+    for (std::uint32_t t = 0;
+         t < static_cast<std::uint32_t>(tenants.tenants.size()); ++t) {
+      std::size_t requests = 0, hits = 0;
+      std::vector<double> latencies;
+      for (const auto& out : outputs) {
+        for (const auto& c : out.metrics.completions) {
+          if (c.tenant != t) continue;
+          ++requests;
+          if (c.hit) ++hits;
+          if (!c.shed) latencies.push_back(c.latency_ms);
+        }
+      }
+      const double rate =
+          requests > 0
+              ? 100.0 * static_cast<double>(hits) / static_cast<double>(requests)
+              : 0.0;
+      std::printf("tenant %-12s weight=%-4.4g requests=%-6zu "
+                  "hit rate %5.1f%%  p99 %.1f ms\n",
+                  tenants.tenant_name(t).c_str(), tenants.weight_of(t),
+                  requests, rate, percentile(latencies, 0.99));
+    }
+  }
+
   if (!opts.csv_dir.empty()) {
     namespace fs = std::filesystem;
     fs::create_directories(opts.csv_dir);
@@ -166,6 +207,21 @@ int main(int argc, char** argv) {
       metrics::write_per_app_summary_csv(
           outputs[i].metrics, "seed" + std::to_string(opts.seeds[i]), per_app,
           i == 0);
+    }
+    // per_tenant.csv exists only on multi-tenant runs, so single-tenant
+    // --csv-dir output keeps the exact legacy file set.
+    if (!tenants.inert()) {
+      std::vector<std::string> names;
+      for (std::uint32_t t = 0;
+           t < static_cast<std::uint32_t>(tenants.tenants.size()); ++t) {
+        names.push_back(tenants.tenant_name(t));
+      }
+      std::ofstream per_tenant(opts.csv_dir + "/per_tenant.csv");
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        metrics::write_per_tenant_summary_csv(
+            outputs[i].metrics, names,
+            "seed" + std::to_string(opts.seeds[i]), per_tenant, i == 0);
+      }
     }
     std::printf("CSVs written to %s/\n", opts.csv_dir.c_str());
   }

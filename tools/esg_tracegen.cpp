@@ -44,6 +44,9 @@ usage: esg_tracegen [flags]
   --burst-fraction <f>  mean episode length / trace length (default 0.05)
   --fractional  on|off  store expected counts instead of
                         Poisson-sampled integers           (default off)
+  --tenants     <n>     tenants sharing the trace; >= 2 emits
+                        the tenant column                  (default 1)
+  --tenant-zipf <f>     tenant-popularity skew (0=uniform) (default 1)
   --seed        <n>     RNG seed                           (default 42)
   --format      csv|jsonl                                  (default csv)
   --out         <path>  output file (default: stdout)
@@ -114,6 +117,13 @@ Options parse_args(std::span<const char* const> args) {
       opts.shape.burst_fraction = parse_number(key, value);
     } else if (key == "--fractional") {
       opts.shape.integer_counts = !parse_bool(key, value);
+    } else if (key == "--tenants") {
+      opts.shape.tenants = parse_count(key, value);
+      if (opts.shape.tenants < 1) {
+        throw std::invalid_argument("--tenants must be >= 1");
+      }
+    } else if (key == "--tenant-zipf") {
+      opts.shape.tenant_zipf_s = parse_number(key, value);
     } else if (key == "--seed") {
       opts.seed = static_cast<std::uint64_t>(parse_count(key, value));
     } else if (key == "--format") {
