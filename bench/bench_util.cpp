@@ -5,42 +5,9 @@
 #include <cstdlib>
 #include <thread>
 
-#ifdef __unix__
-#include <sys/utsname.h>
-#endif
+#include "common/build_info.hpp"
 
 namespace esg::bench {
-
-namespace {
-
-/// Keeps captured strings safe to embed in a JSON string literal.
-std::string json_safe(std::string s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) continue;
-    out += c;
-  }
-  return out;
-}
-
-std::string first_line_of(const char* command) {
-  std::string out;
-#ifdef __unix__
-  if (std::FILE* pipe = ::popen(command, "r")) {
-    char buf[256];
-    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
-    ::pclose(pipe);
-  }
-#else
-  (void)command;
-#endif
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out;
-}
-
-}  // namespace
 
 TimeMs horizon_ms() {
   if (const char* env = std::getenv("ESG_BENCH_HORIZON_MS")) {
@@ -119,24 +86,9 @@ std::vector<GridResult> run_grid(std::span<const exp::Scenario> grid) {
 }
 
 void write_meta_json(std::FILE* out) {
-  std::string host;
-  std::string kernel;
-#ifdef __unix__
-  utsname info{};
-  if (::uname(&info) == 0) {
-    host = info.nodename;
-    kernel = std::string(info.sysname) + " " + info.release;
-  }
-#endif
-  std::string commit = first_line_of("git rev-parse --short HEAD 2>/dev/null");
-  if (commit.empty()) commit = "unknown";
-  if (host.empty()) host = "unknown";
-  if (kernel.empty()) kernel = "unknown";
-  std::fprintf(out,
-               "  \"meta\": {\"host\": \"%s\", \"kernel\": \"%s\", "
-               "\"cpus\": %u, \"commit\": \"%s\"},\n",
-               json_safe(host).c_str(), json_safe(kernel).c_str(),
-               std::thread::hardware_concurrency(), json_safe(commit).c_str());
+  // Single source of truth for the provenance block: the same object backs
+  // esg_sim --build-info, the esg.perf.v1 "meta" field, and every BENCH_*.json.
+  std::fprintf(out, "  \"meta\": %s,\n", common::meta_json_object().c_str());
 }
 
 void print_banner(const std::string& id, const std::string& paper_claim) {

@@ -1,0 +1,201 @@
+// Core-throughput baseline: every scheduler (the paper's five plus
+// MQFQ-Sticky) replaying the same Azure-shaped trace at rate-scale 1, 10 and
+// 100, measured in simulator events/sec and invocations/sec of wall time.
+// This is the self-profiling PR's anchor artefact (DESIGN.md §13): the
+// checked-in BENCH_core.json gives esg_perfdiff a baseline so later PRs can
+// see when they slow the hot path down.
+//
+// Built on google-benchmark with a custom main so the binary can also write
+// the machine-readable baseline (argv[1] after benchmark flags, default
+// BENCH_core.json).
+//
+// Environment knobs:
+//   ESG_BENCH_CORE_HORIZON_MS — arrival-window length per run (default
+//   2000; deliberately shorter than ESG_BENCH_HORIZON_MS because the
+//   rate-scale-100 rows replay ~100x the paper's arrival rate — over a
+//   hundred thousand invocations even at this horizon).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "trace/azure_shape.hpp"
+#include "workload/applications.hpp"
+
+namespace {
+
+using namespace esg;
+
+constexpr double kRateScales[] = {1.0, 10.0, 100.0};
+constexpr std::uint64_t kSeed = 42;
+
+double core_horizon_ms() {
+  if (const char* env = std::getenv("ESG_BENCH_CORE_HORIZON_MS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 2'000.0;
+}
+
+/// All six scheduler kinds: the paper's five-way comparison plus the
+/// multi-tenant MQFQ-Sticky strategy (not in all_schedulers() by design).
+std::vector<exp::SchedulerKind> six_schedulers() {
+  std::vector<exp::SchedulerKind> kinds(exp::all_schedulers().begin(),
+                                        exp::all_schedulers().end());
+  kinds.push_back(exp::SchedulerKind::kMqfqSticky);
+  return kinds;
+}
+
+/// Totals for one (scheduler, rate-scale) cell, accumulated across however
+/// many iterations google-benchmark decides to run.
+struct CellTotals {
+  std::uint64_t events = 0;
+  std::uint64_t invocations = 0;
+  double wall_seconds = 0.0;
+  perf::Counters counters;
+};
+
+/// Keyed by (scheduler index, rate-scale index) so the JSON rows come out in
+/// registration order regardless of benchmark filters.
+std::map<std::pair<std::size_t, std::size_t>, CellTotals> g_cells;
+
+void BM_CoreThroughput(benchmark::State& state, exp::SchedulerKind kind,
+                       std::size_t kind_index, std::size_t scale_index,
+                       std::shared_ptr<const trace::WorkloadTrace> trace) {
+  const exp::SettingCombo combo = exp::paper_combos()[1];  // moderate-normal
+  exp::Scenario s;
+  s.scheduler = kind;
+  s.slo = combo.slo;
+  s.load = combo.load;
+  s.horizon_ms = core_horizon_ms();
+  s.warmup_ms = 0.0;  // throughput counts every event, not steady state
+  s.seed = kSeed;
+  s.arrivals.mode = exp::ArrivalMode::kTrace;
+  s.arrivals.trace = std::move(trace);
+  s.arrivals.replay.rate_scale = kRateScales[scale_index];
+
+  CellTotals& cell = g_cells[{kind_index, scale_index}];
+  for (auto _ : state) {
+    const exp::RunOutput out = exp::run_scenario(s);
+    cell.events += out.counters.events_fired;
+    cell.invocations += out.metrics.requests();
+    cell.wall_seconds += out.wall_seconds;
+    cell.counters.merge(out.counters);
+    benchmark::DoNotOptimize(cell.events);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(cell.events), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(cell.invocations));  // items/s = invocations/s
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::string out_path = "BENCH_core.json";
+  if (argc > 1 && argv[1][0] != '-') {
+    out_path = argv[1];
+    --argc;
+    for (int i = 1; i < argc; ++i) argv[i] = argv[i + 1];
+  }
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  const auto kinds = six_schedulers();
+
+  // One diurnal cycle + bursts across the horizon; mean rate matches the
+  // paper's "normal" setting (one arrival per ~26.8 ms at rate-scale 1).
+  trace::AzureShapeOptions shape;
+  shape.apps = workload::kBuiltinAppCount;
+  shape.bin_ms = 500.0;
+  // Round up so a sub-bin ESG_BENCH_CORE_HORIZON_MS still yields a trace.
+  shape.bins = static_cast<std::size_t>(
+      (core_horizon_ms() + shape.bin_ms - 1.0) / shape.bin_ms);
+  shape.mean_rate_per_bin = shape.bin_ms / 26.8;
+  const auto workload_trace = std::make_shared<const trace::WorkloadTrace>(
+      trace::generate_azure_shaped(shape, RngFactory(7).stream("azure-shape")));
+
+  std::printf("=== Core throughput: events/sec per scheduler x rate-scale ===\n");
+  std::printf("trace: %zu bins x %.0f ms, %.0f invocations at rate-scale 1; "
+              "horizon %.0f ms, seed %llu\n\n",
+              workload_trace->bin_count(), workload_trace->bin_ms,
+              workload_trace->total_count(), core_horizon_ms(),
+              static_cast<unsigned long long>(kSeed));
+
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    for (std::size_t ri = 0; ri < std::size(kRateScales); ++ri) {
+      const std::string name =
+          "core/" + std::string(exp::to_string(kinds[ki])) + "/x" +
+          std::to_string(static_cast<int>(kRateScales[ri]));
+      benchmark::RegisterBenchmark(name.c_str(), BM_CoreThroughput, kinds[ki],
+                                   ki, ri, workload_trace)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (g_cells.empty()) {
+    std::fprintf(stderr, "no benchmarks ran (filtered out?); not writing %s\n",
+                 out_path.c_str());
+    return 0;
+  }
+
+  AsciiTable table({"scheduler", "rate-scale", "invocations", "events",
+                    "wall (s)", "events/s", "inv/s"});
+  for (const auto& [key, cell] : g_cells) {
+    const double wall = cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
+    table.add_row({std::string(exp::to_string(kinds[key.first])),
+                   AsciiTable::num(kRateScales[key.second], 0),
+                   std::to_string(cell.invocations),
+                   std::to_string(cell.events),
+                   AsciiTable::num(cell.wall_seconds, 3),
+                   AsciiTable::num(static_cast<double>(cell.events) / wall, 0),
+                   AsciiTable::num(
+                       static_cast<double>(cell.invocations) / wall, 0)});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  // Machine-readable baseline: esg_perfdiff matches rows by scheduler +
+  // rate_scale + seed and gates on the *_per_sec fields.
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::write_meta_json(out);
+  std::fprintf(out,
+               "  \"bench\": \"core_throughput\",\n"
+               "  \"horizon_ms\": %.0f,\n  \"seed\": %llu,\n  \"rows\": [\n",
+               core_horizon_ms(), static_cast<unsigned long long>(kSeed));
+  std::size_t emitted = 0;
+  for (const auto& [key, cell] : g_cells) {
+    const double wall = cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
+    std::fprintf(
+        out,
+        "    {\"scheduler\": \"%s\", \"rate_scale\": %g, \"seed\": %llu, "
+        "\"invocations\": %llu, \"events\": %llu, \"wall_seconds\": %.4f, "
+        "\"events_per_sec\": %.1f, \"invocations_per_sec\": %.1f}%s\n",
+        std::string(exp::to_string(kinds[key.first])).c_str(),
+        kRateScales[key.second], static_cast<unsigned long long>(kSeed),
+        static_cast<unsigned long long>(cell.invocations),
+        static_cast<unsigned long long>(cell.events), cell.wall_seconds,
+        static_cast<double>(cell.events) / wall,
+        static_cast<double>(cell.invocations) / wall,
+        ++emitted < g_cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), g_cells.size());
+  return 0;
+}

@@ -1,8 +1,20 @@
 // google-benchmark microbenchmarks of the scheduling core: ESG_1Q at several
 // group sizes and K values, dominator-tree construction, SLO distribution,
 // placement, profile lookup, and raw simulator event throughput.
+//
+// The custom main also writes the rows as a BENCH_*.json-shaped baseline
+// (argv[1] after benchmark flags, default BENCH_micro_core.json) so
+// esg_perfdiff can compare microbench runs the same way it compares the
+// macro baselines.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/dominator.hpp"
 #include "core/esg_1q.hpp"
 #include "core/slo_distribution.hpp"
@@ -113,4 +125,90 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that additionally collects per-benchmark rows for the
+/// JSON baseline. Aggregate and errored runs are skipped; times are
+/// normalised to ns/iteration so the JSON is unit-stable regardless of each
+/// benchmark's display unit.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns_per_iter = 0.0;
+    double cpu_ns_per_iter = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.real_ns_per_iter = run.real_accumulated_time * 1e9 / iters;
+      row.cpu_ns_per_iter = run.cpu_accumulated_time * 1e9 / iters;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
+std::string json_counter_name(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += (c == '"' || c == '\\') ? '_' : c;
+  }
+  return out;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::string out_path = "BENCH_micro_core.json";
+  if (argc > 1 && argv[1][0] != '-') {
+    out_path = argv[1];
+    --argc;
+    for (int i = 1; i < argc; ++i) argv[i] = argv[i + 1];
+  }
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (reporter.rows.empty()) return 0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  esg::bench::write_meta_json(out);
+  std::fprintf(out, "  \"bench\": \"micro_core\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
+    const auto& row = reporter.rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_ns_per_iter\": %.1f, \"cpu_ns_per_iter\": %.1f",
+                 json_counter_name(row.name).c_str(),
+                 static_cast<long long>(row.iterations), row.real_ns_per_iter,
+                 row.cpu_ns_per_iter);
+    for (const auto& [name, value] : row.counters) {
+      std::fprintf(out, ", \"%s\": %.4f", json_counter_name(name).c_str(),
+                   value);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < reporter.rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), reporter.rows.size());
+  return 0;
+}

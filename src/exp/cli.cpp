@@ -270,6 +270,15 @@ usage: esg_sim [flags]
   --report-out <path>    write the SLO-attribution report (critical-path
                          latency decomposition + per-app miss causes) as JSON;
                          esg_report produces the same file from a saved trace
+  --perf-out   <path>    write the simulator self-profiling report
+                         (esg.perf.v1 JSON: hot-path counters, throughput,
+                         and — in ESG_PROFILE=ON builds — the scoped timer
+                         tree); with --seeds n>1 each seed gets a _seed<N>
+                         suffix. Also adds perf/* counter tracks to
+                         --stats-out / --trace-out when those are active
+  --perf-summary         print the per-seed self-profiling summary (counter
+                         table + scope tree) after the run; seeds run
+                         sequentially like the traced path
   --fault-spec <spec>    deterministic fault injection; `@file` reads the
                          spec from a file. Clauses are `;`-separated:
                            crash:invoker=3,at=2000,down=1500
@@ -309,6 +318,8 @@ usage: esg_sim [flags]
                          runs the exact single-tenant path byte-for-byte;
                          with several, all schedulers get weighted per-tenant
                          queues and mqfq-sticky adds throttling + stickiness.
+  --version              print one provenance line (commit, compiler, build)
+  --build-info           print the full build/host provenance record
   --help
 
 exit codes: 0 success; 2 configuration error (bad flag/spec/scenario);
@@ -324,6 +335,18 @@ CliOptions parse_cli(std::span<const char* const> args) {
     if (key == "--help" || key == "-h") {
       opts.help = true;
       return opts;
+    }
+    if (key == "--version") {
+      opts.version = true;
+      return opts;
+    }
+    if (key == "--build-info") {
+      opts.build_info = true;
+      return opts;
+    }
+    if (key == "--perf-summary") {
+      opts.perf_summary = true;
+      continue;
     }
     if (i + 1 >= args.size()) {
       throw std::invalid_argument("missing value for " + std::string(key));
@@ -370,6 +393,8 @@ CliOptions parse_cli(std::span<const char* const> args) {
       opts.scenario.trace.stats_path = std::string(value);
     } else if (key == "--report-out") {
       opts.scenario.trace.report_path = std::string(value);
+    } else if (key == "--perf-out") {
+      opts.scenario.trace.perf_path = std::string(value);
     } else if (key == "--stats-interval-ms") {
       opts.scenario.trace.stats_interval_ms = parse_number(key, value);
       if (opts.scenario.trace.stats_interval_ms <= 0.0) {

@@ -17,6 +17,12 @@ struct CliOptions {
   /// Directory to write completions/tasks/summary CSVs into (empty = none).
   std::string csv_dir;
   bool help = false;
+  /// Print the per-seed self-profiling summary (counters + scope tree) after
+  /// each run. Forces sequential seed execution like the traced path.
+  bool perf_summary = false;
+  /// --version / --build-info: print provenance and exit 0.
+  bool version = false;
+  bool build_info = false;
 };
 
 /// Parses argv (excluding argv[0]). Throws std::invalid_argument with a

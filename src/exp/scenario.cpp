@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
@@ -13,6 +14,8 @@
 #include "obs/analysis/dataset.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sinks.hpp"
+#include "perf/profiler.hpp"
+#include "perf/report.hpp"
 #include "sim/simulator.hpp"
 #include "tenant/fair_queue.hpp"
 #include "tenant/mqfq_scheduler.hpp"
@@ -132,6 +135,10 @@ std::unique_ptr<workload::ArrivalSource> make_arrival_source(
 RunOutput run_scenario(const Scenario& scenario) {
   if (!scenario.trace.enabled()) return run_scenario(scenario, nullptr);
 
+  // Each perf report covers exactly one run: clear this thread's scope tree
+  // (a no-op in ESG_PROFILE=OFF builds, where it is always empty).
+  if (!scenario.trace.perf_path.empty()) perf::Profiler::instance().reset();
+
   obs::TraceRecorder recorder;
   if (!scenario.trace.trace_path.empty()) {
     auto file = std::make_unique<std::ofstream>(scenario.trace.trace_path);
@@ -156,6 +163,22 @@ RunOutput run_scenario(const Scenario& scenario) {
     recorder.add_sink(std::move(sink));
   }
   RunOutput out = run_scenario(scenario, &recorder);
+  if (!scenario.trace.perf_path.empty()) {
+    std::FILE* file = std::fopen(scenario.trace.perf_path.c_str(), "w");
+    if (file == nullptr) {
+      throw std::runtime_error("run_scenario: cannot open perf file '" +
+                               scenario.trace.perf_path + "'");
+    }
+    perf::RunInfo info;
+    info.scheduler = to_string(scenario.scheduler);
+    info.seed = scenario.seed;
+    info.simulated_ms = out.simulated_end_ms;
+    info.wall_seconds = out.wall_seconds;
+    info.invocations = out.metrics.requests();
+    perf::write_perf_json(file, info, out.counters,
+                          perf::Profiler::instance().snapshot());
+    std::fclose(file);
+  }
   if (analysis != nullptr) {
     std::ofstream file(scenario.trace.report_path);
     if (!file) {
@@ -323,6 +346,25 @@ RunOutput run_scenario(const Scenario& scenario_in,
         });
       }
     }
+    // Self-profiling counter tracks, only on perf-enabled runs so existing
+    // stats/trace artefacts stay byte-identical (DESIGN.md §13). Each gauge
+    // samples the merged view across the event loop, controller (incl.
+    // prewarm), and fair queue.
+    if (!scenario.trace.perf_path.empty()) {
+      const sim::Simulator* sim_ptr = &sim;
+      const platform::Controller* ctl = &controller;
+      const tenant::FairQueue* fq = fair_queue.get();
+      for (const perf::CounterField& field : perf::kCounterFields) {
+        sampler.add_gauge(
+            std::string(perf::kGaugePrefix) + field.name,
+            [sim_ptr, ctl, fq, member = field.member] {
+              perf::Counters merged = sim_ptr->counters();
+              merged.merge(ctl->perf_counters());
+              if (fq != nullptr) merged.merge(fq->counters());
+              return static_cast<double>(merged.*member);
+            });
+      }
+    }
     sampler.start();
   }
 
@@ -344,6 +386,9 @@ RunOutput run_scenario(const Scenario& scenario_in,
   out.wall_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - wall_start)
                          .count();
+  out.counters = sim.counters();
+  out.counters.merge(controller.perf_counters());
+  if (fair_queue != nullptr) out.counters.merge(fair_queue->counters());
   return out;
 }
 

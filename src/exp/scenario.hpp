@@ -18,6 +18,7 @@
 #include "elastic/elastic_spec.hpp"
 #include "fault/fault_spec.hpp"
 #include "metrics/run_metrics.hpp"
+#include "perf/counters.hpp"
 #include "platform/controller.hpp"
 #include "profile/profile_table.hpp"
 #include "tenant/tenant_spec.hpp"
@@ -73,10 +74,12 @@ struct TraceConfig {
   std::string trace_path;   ///< Chrome-trace-event JSON (Perfetto-loadable)
   std::string stats_path;   ///< counter time series as JSON Lines
   std::string report_path;  ///< SLO-attribution report JSON (--report-out)
+  std::string perf_path;    ///< esg.perf.v1 self-profiling JSON (--perf-out)
   TimeMs stats_interval_ms = 100.0;
 
   [[nodiscard]] bool enabled() const {
-    return !trace_path.empty() || !stats_path.empty() || !report_path.empty();
+    return !trace_path.empty() || !stats_path.empty() ||
+           !report_path.empty() || !perf_path.empty();
   }
 };
 
@@ -142,6 +145,9 @@ struct RunOutput {
   metrics::RunMetrics metrics;
   TimeMs simulated_end_ms = 0.0;
   double wall_seconds = 0.0;
+  /// Merged hot-path counters (event loop + controller/prewarm + fair
+  /// queue). Deterministic per seed; always populated (DESIGN.md §13).
+  perf::Counters counters;
 };
 
 /// Builds the arrival source a scenario asks for. Synthetic and bursty

@@ -1,0 +1,206 @@
+// Scoped hierarchical self-profiler for the simulator (DESIGN.md §13).
+//
+// Usage on a hot path:
+//
+//   void Controller::scan() {
+//     ESG_PROF_SCOPE("controller/scan");
+//     ...
+//   }
+//
+// The macro expands to a stack-allocated RAII timer only when the build is
+// configured with -DESG_PROFILE=ON (which defines ESG_PROFILE_BUILD); in the
+// default OFF build it expands to a no-op statement, so instrumented
+// binaries are byte-identical in behaviour and output to uninstrumented
+// ones — CI cmp-enforces this. The idiom follows the compile-out
+// CHRONO_START/STOP pattern from nvcache's internal_profile.h and ARDiS's
+// chrono_profiler.hpp.
+//
+// The Profiler class itself is always compiled (tests exercise enter/leave
+// directly in OFF builds); only the macro is gated. State is thread_local,
+// so parallel seed replicas profile independently; reporting surfaces read
+// the calling thread's tree, which is why --perf-out forces sequential seed
+// runs in esg_sim.
+#pragma once
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace esg::perf {
+
+class Profiler {
+ public:
+  static constexpr int kBucketCount = 64;
+
+  /// One node per distinct scope *path* (the same label under two different
+  /// parents is two nodes). Durations land in log2 buckets so p99 is O(1)
+  /// memory per scope at ~2x value resolution.
+  struct Node {
+    std::string name;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ns = 0;
+    std::uint64_t buckets[kBucketCount] = {};
+  };
+
+  static Profiler& instance() {
+    thread_local Profiler profiler;
+    return profiler;
+  }
+
+  /// Opens scope `name` under the current scope and makes it current.
+  /// Returns the node to pass back to leave(). Never fails; reentrancy
+  /// (the same label nested under itself) creates a child node as usual.
+  Node* enter(const char* name) {
+    Node* parent = current_;
+    for (const auto& child : parent->children) {
+      if (child->name == name) {
+        current_ = child.get();
+        return current_;
+      }
+    }
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    node->parent = parent;
+    current_ = node.get();
+    parent->children.push_back(std::move(node));
+    return current_;
+  }
+
+  /// Closes `node` with a measured duration and restores its parent as the
+  /// current scope. Safe on any unwind path (early return, exception):
+  /// the current scope is reset from the node itself, not from a stack.
+  void leave(Node* node, std::uint64_t elapsed_ns) {
+    ++node->calls;
+    node->total_ns += elapsed_ns;
+    if (elapsed_ns < node->min_ns) node->min_ns = elapsed_ns;
+    if (elapsed_ns > node->max_ns) node->max_ns = elapsed_ns;
+    ++node->buckets[bucket_of(elapsed_ns)];
+    current_ = node->parent != nullptr ? node->parent : &root_;
+  }
+
+  /// Drops all recorded scopes. Called between runs so each run's report
+  /// covers exactly that run.
+  void reset() {
+    root_.children.clear();
+    current_ = &root_;
+  }
+
+  [[nodiscard]] bool empty() const { return root_.children.empty(); }
+  [[nodiscard]] const Node& root() const { return root_; }
+
+  /// Flattened per-scope statistics in depth-first (reporting) order.
+  struct ScopeStats {
+    std::string path;  ///< "/"-joined labels from the root, e.g. "sim.run/sim.step"
+    int depth = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;  ///< total_ns minus direct children's total_ns
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    double mean_ns = 0.0;
+    double p99_ns = 0.0;  ///< approximate (log2-bucket upper bound)
+  };
+
+  [[nodiscard]] std::vector<ScopeStats> snapshot() const {
+    std::vector<ScopeStats> out;
+    for (const auto& child : root_.children) collect(*child, "", 0, out);
+    return out;
+  }
+
+  /// log2 bucket index for a nanosecond duration (0 for 0 ns).
+  static int bucket_of(std::uint64_t ns) {
+    return ns == 0 ? 0 : std::bit_width(ns) - 1;
+  }
+
+  /// Approximate p99 for one node: the upper bound of the first bucket whose
+  /// cumulative count reaches 99% of calls.
+  static double p99_of(const Node& node) {
+    if (node.calls == 0) return 0.0;
+    const std::uint64_t target =
+        (node.calls * 99 + 99) / 100;  // ceil(0.99 * calls), >= 1
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+      seen += node.buckets[i];
+      if (seen >= target) {
+        return i == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << (i + 1));
+      }
+    }
+    return static_cast<double>(node.max_ns);
+  }
+
+ private:
+  Profiler() : current_(&root_) {}
+
+  static void collect(const Node& node, const std::string& prefix, int depth,
+                      std::vector<ScopeStats>& out) {
+    ScopeStats s;
+    s.path = prefix.empty() ? node.name : prefix + "/" + node.name;
+    s.depth = depth;
+    s.calls = node.calls;
+    s.total_ns = node.total_ns;
+    std::uint64_t child_total = 0;
+    for (const auto& child : node.children) child_total += child->total_ns;
+    s.self_ns = node.total_ns > child_total ? node.total_ns - child_total : 0;
+    s.min_ns = node.calls > 0 ? node.min_ns : 0;
+    s.max_ns = node.max_ns;
+    s.mean_ns = node.calls > 0
+                    ? static_cast<double>(node.total_ns) /
+                          static_cast<double>(node.calls)
+                    : 0.0;
+    s.p99_ns = p99_of(node);
+    // Capture the prefix before recursing: out.back() changes as child
+    // subtrees append their own entries.
+    const std::string path = s.path;
+    out.push_back(std::move(s));
+    for (const auto& child : node.children) {
+      collect(*child, path, depth + 1, out);
+    }
+  }
+
+  Node root_;
+  Node* current_;
+};
+
+/// RAII timer bound to one Profiler scope. Exception-safe: the destructor
+/// records the elapsed time and unwinds the current scope even when leaving
+/// via throw or early return.
+class ScopedProfile {
+ public:
+  explicit ScopedProfile(const char* name)
+      : node_(Profiler::instance().enter(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+  ~ScopedProfile() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().leave(
+        node_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                       .count()));
+  }
+
+ private:
+  Profiler::Node* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace esg::perf
+
+#ifdef ESG_PROFILE_BUILD
+#define ESG_PROF_CONCAT_IMPL(a, b) a##b
+#define ESG_PROF_CONCAT(a, b) ESG_PROF_CONCAT_IMPL(a, b)
+#define ESG_PROF_SCOPE(name) \
+  ::esg::perf::ScopedProfile ESG_PROF_CONCAT(esg_prof_scope_, __LINE__)(name)
+#else
+#define ESG_PROF_SCOPE(name) static_cast<void>(0)
+#endif

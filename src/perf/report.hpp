@@ -1,0 +1,43 @@
+// Reporting surfaces for the self-profiling layer: the esg.perf.v1 JSON
+// artefact (--perf-out), and the human-readable --perf-summary table.
+// Counter gauges for the stats JSONL / Perfetto tracks are registered in
+// exp/scenario.cpp via obs::StatsSampler; this header only fixes their
+// naming convention ("perf/<counter>").
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "perf/profiler.hpp"
+
+namespace esg::perf {
+
+/// Per-run context stamped into the report next to the counters.
+struct RunInfo {
+  std::string scheduler;        ///< e.g. "esg"
+  std::uint64_t seed = 0;
+  double simulated_ms = 0.0;    ///< simulated horizon actually covered
+  double wall_seconds = 0.0;    ///< host wall-clock for the run
+  std::uint64_t invocations = 0;  ///< completed requests (measured window)
+};
+
+/// Gauge-name prefix for counter series in the stats JSONL and the
+/// Chrome-trace counter tracks ("perf/events_fired", ...).
+inline constexpr const char* kGaugePrefix = "perf/";
+
+/// Writes the esg.perf.v1 JSON document. Schema (key order, field set) is
+/// deterministic; counter *values* are deterministic per seed, while
+/// wall-clock and profile timings naturally vary run to run. The profile
+/// array is empty in ESG_PROFILE=OFF builds (no scopes recorded).
+void write_perf_json(std::FILE* out, const RunInfo& run, const Counters& counters,
+                     const std::vector<Profiler::ScopeStats>& profile);
+
+/// Human table: throughput line, counter table, and (when non-empty) the
+/// indented scope tree with calls / total / self / mean / p99 per scope.
+void write_perf_summary(std::FILE* out, const RunInfo& run,
+                        const Counters& counters,
+                        const std::vector<Profiler::ScopeStats>& profile);
+
+}  // namespace esg::perf

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 #include "profile/perf_model.hpp"
 
 namespace esg::platform {
@@ -306,8 +307,19 @@ bool Controller::any_queue_nonempty() const {
                      [](const AfwQueue& q) { return !q.jobs.empty(); });
 }
 
+perf::Counters Controller::perf_counters() const {
+  perf::Counters c = counters_;
+  if (prewarm_) {
+    c.prewarms_issued = prewarm_->prewarms_issued();
+    c.prewarms_skipped = prewarm_->prewarms_skipped();
+  }
+  return c;
+}
+
 void Controller::scan() {
+  ESG_PROF_SCOPE("controller/scan");
   scan_scheduled_ = false;
+  ++counters_.scan_rounds;
   if (fq_ == nullptr) {
     const std::size_t q_count = queues_.size();
     // Round-robin over the AFW queues; queues whose placement failed are
@@ -342,6 +354,7 @@ void Controller::scan() {
 }
 
 QueueView Controller::make_view(const AfwQueue& queue) const {
+  ++counters_.afw_peeks;
   QueueView view;
   view.app = queue.app;
   view.stage = queue.stage;
@@ -391,6 +404,8 @@ InvokerId Controller::majority_input_location(const AfwQueue& queue,
 }
 
 void Controller::process_queue(std::size_t qi) {
+  ESG_PROF_SCOPE("controller/process_queue");
+  ++counters_.queue_visits;
   AfwQueue& queue = queues_[qi];
   if (queue.jobs.empty()) {
     queue.planned_length = AfwQueue::kNoPlan;
@@ -403,9 +418,14 @@ void Controller::process_queue(std::size_t qi) {
   const bool need_plan = queue.jobs.size() != queue.planned_length ||
                          sim_.now() >= queue.replan_at_ms;
   if (need_plan) {
+    ++counters_.plans;
+    if (queue.planned_length != AfwQueue::kNoPlan) ++counters_.replans;
     const QueueView view = make_view(queue);
     const auto wall_start = std::chrono::steady_clock::now();
-    PlanResult plan = scheduler_.plan(view);
+    PlanResult plan = [&] {
+      ESG_PROF_SCOPE("controller/plan");
+      return scheduler_.plan(view);
+    }();
     const auto wall_end = std::chrono::steady_clock::now();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
@@ -533,6 +553,7 @@ void Controller::process_queue(std::size_t qi) {
       return std::nullopt;
     }();
     if (warm_fit.has_value()) {
+      ++counters_.warm_hits;
       queue.placement_failures = 0;
       const TimeMs overhead = queue.pending_overhead_ms;
       queue.planned_length = AfwQueue::kNoPlan;  // plan consumed
@@ -588,6 +609,8 @@ void Controller::process_queue(std::size_t qi) {
 
 void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
                           InvokerId invoker_id, TimeMs overhead_ms) {
+  ESG_PROF_SCOPE("controller/dispatch");
+  ++counters_.dispatches;
   check(config.batch > 0 && config.batch <= queue.jobs.size(),
         "dispatch: batch exceeds queue length");
 
@@ -1219,6 +1242,7 @@ void Controller::provision_container(InvokerId invoker, FunctionId function) {
   const std::uint64_t key = (std::uint64_t{invoker.get()} << 32) | function.get();
   auto [slot, inserted] = provisioning_.emplace(key, sim::EventHandle{});
   if (!inserted) return;  // already underway
+  ++counters_.warm_misses;
   if (sim_.now() >= options_.metrics_warmup_ms) ++metrics_.cold_starts;
   const TimeMs cold = profiles_.table(function).spec().cold_start_ms;
   // Fault injection: the provisioning burns the full cold-start time and

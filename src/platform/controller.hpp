@@ -22,6 +22,7 @@
 #include "fault/fault_engine.hpp"
 #include "metrics/run_metrics.hpp"
 #include "obs/recorder.hpp"
+#include "perf/counters.hpp"
 #include "platform/job.hpp"
 #include "platform/scheduler.hpp"
 #include "prewarm/prewarm_manager.hpp"
@@ -139,6 +140,9 @@ class Controller {
   [[nodiscard]] std::size_t inflight_requests() const { return requests_.size(); }
   /// Jobs currently waiting across all AFW queues (stats-sampler gauge).
   [[nodiscard]] std::size_t total_queued_jobs() const;
+  /// Always-on hot-path counters (DESIGN.md §13), with the prewarm
+  /// subsystem's issue/skip tallies folded in.
+  [[nodiscard]] perf::Counters perf_counters() const;
 
  private:
   struct AfwQueue {
@@ -212,6 +216,8 @@ class Controller {
 
   RngStream noise_rng_;
   metrics::RunMetrics metrics_;
+  /// mutable: make_view() is const but afw_peeks must tally its calls.
+  mutable perf::Counters counters_;
   std::unique_ptr<prewarm::PrewarmManager> prewarm_;
   obs::TraceRecorder* rec_ = nullptr;     ///< = options_.recorder
   obs::LaneAllocator trace_gpu_lanes_;    ///< vGPU-slice rows for the trace

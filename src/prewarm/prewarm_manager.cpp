@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perf/profiler.hpp"
+
 namespace esg::prewarm {
 
 PrewarmManager::PrewarmManager(sim::Simulator& sim, cluster::Cluster& cluster,
@@ -25,6 +27,7 @@ std::size_t PrewarmManager::target_pool(const Stream& stream) {
 void PrewarmManager::on_invocation(AppId app, FunctionId function,
                                    InvokerId invoker, TimeMs now_ms,
                                    TimeMs duration_ms) {
+  ESG_PROF_SCOPE("prewarm/on_invocation");
   auto [it, inserted] = streams_.try_emplace(key(app, function), alpha_);
   Stream& stream = it->second;
 

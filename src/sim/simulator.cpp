@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "perf/profiler.hpp"
 
 namespace esg::sim {
 
@@ -18,6 +19,8 @@ EventHandle Simulator::schedule_at(TimeMs when, Action action) {
   const std::uint64_t seq = next_seq_++;
   heap_.push(Entry{when, seq, std::move(action)});
   live_.insert(seq);
+  ++counters_.events_scheduled;
+  ++counters_.heap_pushes;
   return EventHandle(seq);
 }
 
@@ -29,6 +32,7 @@ void Simulator::cancel(EventHandle handle) {
   if (is_cancelled(handle.seq_)) return;
   cancelled_seqs_.push_back(handle.seq_);
   ++cancelled_;
+  ++counters_.events_cancelled;
 }
 
 bool Simulator::is_cancelled(std::uint64_t seq) const {
@@ -46,6 +50,7 @@ void Simulator::forget_cancelled(std::uint64_t seq) {
 }
 
 bool Simulator::step() {
+  ESG_PROF_SCOPE("sim/step");
   while (!heap_.empty()) {
     // priority_queue::top is const; the entry is copied cheaply except for
     // the action, which we move out via const_cast before popping — the
@@ -57,12 +62,14 @@ bool Simulator::step() {
     Action action = std::move(top.action);
     heap_.pop();
     live_.erase(seq);
+    ++counters_.heap_pops;
     if (is_cancelled(seq)) {
       forget_cancelled(seq);
       continue;
     }
     check(when >= now_, "event queue went backwards in time");
     now_ = when;
+    ++counters_.events_fired;
     action();
     return true;
   }
@@ -70,12 +77,14 @@ bool Simulator::step() {
 }
 
 std::size_t Simulator::run() {
+  ESG_PROF_SCOPE("sim/run");
   std::size_t fired = 0;
   while (step()) ++fired;
   return fired;
 }
 
 std::size_t Simulator::run_until(TimeMs deadline) {
+  ESG_PROF_SCOPE("sim/run_until");
   std::size_t fired = 0;
   while (!heap_.empty()) {
     // Peek: drop cancelled entries so the time check sees a live event.
@@ -83,6 +92,7 @@ std::size_t Simulator::run_until(TimeMs deadline) {
       forget_cancelled(heap_.top().seq);
       live_.erase(heap_.top().seq);
       heap_.pop();
+      ++counters_.heap_pops;
     }
     if (heap_.empty() || heap_.top().when > deadline) break;
     if (step()) ++fired;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "perf/counters.hpp"
 
 namespace esg::sim {
 
@@ -58,6 +59,9 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
   [[nodiscard]] bool empty() const { return pending() == 0; }
 
+  /// Always-on hot-path counters for the event loop (DESIGN.md §13).
+  [[nodiscard]] const perf::Counters& counters() const { return counters_; }
+
  private:
   struct Entry {
     TimeMs when;
@@ -80,6 +84,7 @@ class Simulator {
   std::size_t cancelled_ = 0;
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+  perf::Counters counters_;
 
   [[nodiscard]] bool is_cancelled(std::uint64_t seq) const;
   void forget_cancelled(std::uint64_t seq);

@@ -75,6 +75,7 @@ void FairQueue::on_enqueue(std::uint32_t t) {
     // Start-time catch-up: an idle flow resumes at the global virtual time
     // instead of cashing in the service it never requested.
     flow.vt = std::max(flow.vt, global_vt_);
+    ++counters_.vt_updates;
   }
   ++flow.backlog;
   refresh_global_vt();
@@ -95,6 +96,7 @@ void FairQueue::on_charge(std::uint32_t t, double occupancy_ms,
       charge_.charge_ms(spec_.tenants[t], occupancy_ms, vcpus, vgpus);
   flow.charged_ms += charge;
   flow.vt += charge / spec_.tenants[t].weight;
+  ++counters_.vt_updates;
   refresh_global_vt();
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "perf/counters.hpp"
 #include "tenant/charge.hpp"
 #include "tenant/tenant_spec.hpp"
 
@@ -79,6 +80,9 @@ class FairQueue {
   /// First device of the tenant's slice (deterministic warm anchor).
   [[nodiscard]] InvokerId sticky_home(std::uint32_t t) const;
 
+  /// Always-on hot-path counters (vt_updates; DESIGN.md §13).
+  [[nodiscard]] const perf::Counters& counters() const { return counters_; }
+
  private:
   struct Flow {
     double vt = 0.0;
@@ -99,6 +103,7 @@ class FairQueue {
   std::size_t devices_ = 1;
   bool gate_ = false;
   double global_vt_ = 0.0;
+  perf::Counters counters_;
 };
 
 }  // namespace esg::tenant

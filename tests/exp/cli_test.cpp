@@ -112,6 +112,32 @@ TEST(Cli, ParsesReportOut) {
   EXPECT_NE(cli_usage().find("--report-out"), std::string::npos);
 }
 
+TEST(Cli, ParsesPerfOut) {
+  const CliOptions opts = parse({"--perf-out", "perf.json"});
+  EXPECT_EQ(opts.scenario.trace.perf_path, "perf.json");
+  // --perf-out alone must enable the traced (sequential) run path.
+  EXPECT_TRUE(opts.scenario.trace.enabled());
+  EXPECT_NE(cli_usage().find("--perf-out"), std::string::npos);
+}
+
+TEST(Cli, ParsesPerfSummary) {
+  EXPECT_FALSE(parse({}).perf_summary);
+  const CliOptions opts = parse({"--perf-summary", "--seeds", "2"});
+  EXPECT_TRUE(opts.perf_summary);
+  // The flag takes no value: the next token parsed as a normal flag.
+  EXPECT_EQ(opts.seeds, (std::vector<std::uint64_t>{42, 43}));
+  EXPECT_NE(cli_usage().find("--perf-summary"), std::string::npos);
+}
+
+TEST(Cli, VersionAndBuildInfoShortCircuit) {
+  EXPECT_FALSE(parse({}).version);
+  EXPECT_FALSE(parse({}).build_info);
+  // Like --help, these return immediately without demanding values for
+  // anything that follows.
+  EXPECT_TRUE(parse({"--version", "--bogus"}).version);
+  EXPECT_TRUE(parse({"--build-info", "--bogus"}).build_info);
+}
+
 TEST(Cli, UnknownFlagNamesItselfAndPointsAtHelp) {
   try {
     (void)parse({"--no-such-flag", "1"});

@@ -1,0 +1,118 @@
+// Determinism and plumbing of the always-on hot-path counters (DESIGN.md
+// §13): two runs with the same seed must produce bit-identical counters —
+// that is the whole point of keeping them separate from the wall-clock
+// timers — and the merged RunOutput view must line up with what the
+// components actually did.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "perf/counters.hpp"
+#include "tenant/tenant_spec.hpp"
+
+namespace esg::perf {
+namespace {
+
+exp::Scenario small_scenario(exp::SchedulerKind kind, std::uint64_t seed) {
+  exp::Scenario s;
+  s.scheduler = kind;
+  s.horizon_ms = 1'000.0;
+  s.seed = seed;
+  return s;
+}
+
+TEST(CountersTest, MergeSumsEveryField) {
+  Counters a;
+  Counters b;
+  // Give each field a distinct value on both sides via the descriptor table
+  // so a forgotten field in merge() cannot hide.
+  for (std::size_t i = 0; i < kCounterFieldCount; ++i) {
+    a.*kCounterFields[i].member = i + 1;
+    b.*kCounterFields[i].member = 100 * (i + 1);
+  }
+  a.merge(b);
+  for (std::size_t i = 0; i < kCounterFieldCount; ++i) {
+    EXPECT_EQ(a.*kCounterFields[i].member, 101 * (i + 1))
+        << kCounterFields[i].name;
+  }
+}
+
+TEST(CountersTest, FieldNamesAreUnique) {
+  for (std::size_t i = 0; i < kCounterFieldCount; ++i) {
+    for (std::size_t j = i + 1; j < kCounterFieldCount; ++j) {
+      EXPECT_STRNE(kCounterFields[i].name, kCounterFields[j].name);
+    }
+  }
+}
+
+TEST(CountersTest, SameSeedSameCounters) {
+  const exp::Scenario s = small_scenario(exp::SchedulerKind::kEsg, 42);
+  const exp::RunOutput first = exp::run_scenario(s);
+  const exp::RunOutput second = exp::run_scenario(s);
+  for (const CounterField& f : kCounterFields) {
+    EXPECT_EQ(first.counters.*f.member, second.counters.*f.member) << f.name;
+  }
+}
+
+TEST(CountersTest, DifferentSeedsDiverge) {
+  const exp::RunOutput a =
+      exp::run_scenario(small_scenario(exp::SchedulerKind::kEsg, 1));
+  const exp::RunOutput b =
+      exp::run_scenario(small_scenario(exp::SchedulerKind::kEsg, 2));
+  bool any_differs = false;
+  for (const CounterField& f : kCounterFields) {
+    any_differs |= a.counters.*f.member != b.counters.*f.member;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(CountersTest, EventLoopInvariants) {
+  const exp::RunOutput out =
+      exp::run_scenario(small_scenario(exp::SchedulerKind::kEsg, 42));
+  const Counters& c = out.counters;
+  EXPECT_GT(c.events_scheduled, 0u);
+  EXPECT_GT(c.events_fired, 0u);
+  // Every fired event was scheduled and popped; cancelled events never fire.
+  EXPECT_LE(c.events_fired, c.events_scheduled);
+  EXPECT_LE(c.heap_pops, c.heap_pushes);
+  EXPECT_LE(c.events_fired + c.events_cancelled, c.events_scheduled);
+  // The controller did real work on a 1 s arrival window.
+  EXPECT_GT(c.scan_rounds, 0u);
+  EXPECT_GT(c.queue_visits, 0u);
+  EXPECT_GT(c.plans, 0u);
+  EXPECT_GE(c.plans, c.replans);
+  EXPECT_GT(c.dispatches, 0u);
+  // Warm hits are dispatches that found a container; misses are cold
+  // provisions — both bounded by the work that actually happened.
+  EXPECT_LE(c.warm_hits, c.dispatches);
+  EXPECT_GT(c.warm_misses, 0u);
+}
+
+TEST(CountersTest, SingleTenantRunHasNoVirtualTimeUpdates) {
+  const exp::RunOutput out =
+      exp::run_scenario(small_scenario(exp::SchedulerKind::kEsg, 42));
+  EXPECT_EQ(out.counters.vt_updates, 0u);
+}
+
+TEST(CountersTest, TenantedRunAdvancesVirtualTime) {
+  exp::Scenario s = small_scenario(exp::SchedulerKind::kEsg, 42);
+  s.horizon_ms = 2'000.0;
+  s.tenants = tenant::parse_tenant_spec("a:1:apps=0,1;b:1:apps=2,3");
+  const exp::RunOutput out = exp::run_scenario(s);
+  EXPECT_GT(out.counters.vt_updates, 0u);
+}
+
+TEST(CountersTest, EverySchedulerKindPopulatesCounters) {
+  std::vector<exp::SchedulerKind> kinds(exp::all_schedulers().begin(),
+                                        exp::all_schedulers().end());
+  kinds.push_back(exp::SchedulerKind::kMqfqSticky);
+  for (const exp::SchedulerKind kind : kinds) {
+    const exp::RunOutput out = exp::run_scenario(small_scenario(kind, 42));
+    EXPECT_GT(out.counters.events_fired, 0u)
+        << std::string(exp::to_string(kind));
+    EXPECT_GT(out.counters.dispatches, 0u)
+        << std::string(exp::to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace esg::perf

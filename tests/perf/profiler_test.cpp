@@ -1,0 +1,208 @@
+// The scoped hierarchical profiler is always compiled (only the
+// ESG_PROF_SCOPE macro is gated behind -DESG_PROFILE=ON), so these tests
+// exercise enter/leave, the RAII wrapper, and every unwind edge case in the
+// default OFF build too.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "perf/profiler.hpp"
+
+namespace esg::perf {
+namespace {
+
+/// Finds one scope by path in a snapshot; fails the test when absent.
+Profiler::ScopeStats find_scope(const std::vector<Profiler::ScopeStats>& all,
+                                const std::string& path) {
+  for (const auto& s : all) {
+    if (s.path == path) return s;
+  }
+  ADD_FAILURE() << "scope not found: " << path;
+  return {};
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Profiler::instance().reset(); }
+  void TearDown() override { Profiler::instance().reset(); }
+};
+
+TEST_F(ProfilerTest, StartsEmpty) {
+  EXPECT_TRUE(Profiler::instance().empty());
+  EXPECT_TRUE(Profiler::instance().snapshot().empty());
+}
+
+TEST_F(ProfilerTest, NestedScopesBuildPaths) {
+  auto& p = Profiler::instance();
+  Profiler::Node* outer = p.enter("run");
+  Profiler::Node* inner = p.enter("step");
+  p.leave(inner, 100);
+  p.leave(outer, 500);
+
+  const auto all = p.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].path, "run");
+  EXPECT_EQ(all[0].depth, 0);
+  EXPECT_EQ(all[1].path, "run/step");
+  EXPECT_EQ(all[1].depth, 1);
+}
+
+TEST_F(ProfilerTest, RepeatedScopeReusesNode) {
+  auto& p = Profiler::instance();
+  for (int i = 0; i < 3; ++i) p.leave(p.enter("scan"), 10);
+  const auto all = p.snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].calls, 3u);
+  EXPECT_EQ(all[0].total_ns, 30u);
+}
+
+TEST_F(ProfilerTest, SameLabelUnderDifferentParentsIsTwoNodes) {
+  auto& p = Profiler::instance();
+  Profiler::Node* a = p.enter("a");
+  p.leave(p.enter("plan"), 10);
+  p.leave(a, 20);
+  Profiler::Node* b = p.enter("b");
+  p.leave(p.enter("plan"), 30);
+  p.leave(b, 40);
+
+  const auto all = p.snapshot();
+  EXPECT_EQ(find_scope(all, "a/plan").total_ns, 10u);
+  EXPECT_EQ(find_scope(all, "b/plan").total_ns, 30u);
+}
+
+TEST_F(ProfilerTest, ReentrantScopeNestsAsChild) {
+  auto& p = Profiler::instance();
+  Profiler::Node* outer = p.enter("recurse");
+  Profiler::Node* inner = p.enter("recurse");
+  EXPECT_NE(outer, inner);
+  p.leave(inner, 5);
+  p.leave(outer, 20);
+
+  const auto all = p.snapshot();
+  EXPECT_EQ(find_scope(all, "recurse").calls, 1u);
+  EXPECT_EQ(find_scope(all, "recurse/recurse").calls, 1u);
+  // Self time subtracts the nested child.
+  EXPECT_EQ(find_scope(all, "recurse").self_ns, 15u);
+}
+
+TEST_F(ProfilerTest, MinMaxMeanAndSelf) {
+  auto& p = Profiler::instance();
+  Profiler::Node* node = p.enter("work");
+  p.leave(node, 10);
+  p.leave(p.enter("work"), 30);
+
+  const auto s = find_scope(p.snapshot(), "work");
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_EQ(s.min_ns, 10u);
+  EXPECT_EQ(s.max_ns, 30u);
+  EXPECT_EQ(s.total_ns, 40u);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 20.0);
+  EXPECT_EQ(s.self_ns, 40u);  // no children
+}
+
+TEST_F(ProfilerTest, ScopedProfileRecordsOnEarlyReturn) {
+  auto& p = Profiler::instance();
+  const auto fn = [](int x) {
+    ScopedProfile scope("early");
+    if (x > 0) return x;  // early return must still record the scope
+    return -x;
+  };
+  EXPECT_EQ(fn(7), 7);
+  const auto all = p.snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].path, "early");
+  EXPECT_EQ(all[0].calls, 1u);
+}
+
+TEST_F(ProfilerTest, ScopedProfileUnwindsThroughExceptions) {
+  auto& p = Profiler::instance();
+  Profiler::Node* outer = p.enter("outer");
+  try {
+    ScopedProfile scope("throws");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // The thrown-through scope recorded itself and restored "outer" as
+  // current: a new scope must open under outer, not under "throws".
+  p.leave(p.enter("after"), 1);
+  p.leave(outer, 100);
+
+  const auto all = p.snapshot();
+  EXPECT_EQ(find_scope(all, "outer/throws").calls, 1u);
+  EXPECT_EQ(find_scope(all, "outer/after").calls, 1u);
+}
+
+TEST_F(ProfilerTest, LeaveOnDetachedNodeFallsBackToRoot) {
+  auto& p = Profiler::instance();
+  Profiler::Node* node = p.enter("solo");
+  // Simulate a node whose parent pointer is gone mid-unwind; leave() must
+  // restore the root rather than dereference null.
+  node->parent = nullptr;
+  p.leave(node, 10);
+  p.leave(p.enter("next"), 1);
+  const auto all = p.snapshot();
+  EXPECT_EQ(find_scope(all, "next").depth, 0);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverything) {
+  auto& p = Profiler::instance();
+  p.leave(p.enter("gone"), 10);
+  EXPECT_FALSE(p.empty());
+  p.reset();
+  EXPECT_TRUE(p.empty());
+  // And the current scope is back at the root.
+  p.leave(p.enter("fresh"), 1);
+  EXPECT_EQ(p.snapshot()[0].depth, 0);
+}
+
+TEST_F(ProfilerTest, BucketOfIsLog2) {
+  EXPECT_EQ(Profiler::bucket_of(0), 0);
+  EXPECT_EQ(Profiler::bucket_of(1), 0);
+  EXPECT_EQ(Profiler::bucket_of(2), 1);
+  EXPECT_EQ(Profiler::bucket_of(3), 1);
+  EXPECT_EQ(Profiler::bucket_of(1024), 10);
+  EXPECT_EQ(Profiler::bucket_of(1025), 10);
+}
+
+TEST_F(ProfilerTest, P99IsABucketUpperBound) {
+  auto& p = Profiler::instance();
+  // 99 fast calls (~1 us) and 1 slow call (~1 ms): p99 must land at the
+  // fast bucket's upper bound, not at the outlier.
+  for (int i = 0; i < 99; ++i) p.leave(p.enter("mixed"), 1000);
+  p.leave(p.enter("mixed"), 1'000'000);
+
+  const auto s = find_scope(p.snapshot(), "mixed");
+  EXPECT_GE(s.p99_ns, 1000.0);
+  EXPECT_LE(s.p99_ns, 2048.0);
+  EXPECT_EQ(s.max_ns, 1'000'000u);
+}
+
+TEST_F(ProfilerTest, P99OfUniformCallsCoversTheValue) {
+  auto& p = Profiler::instance();
+  for (int i = 0; i < 100; ++i) p.leave(p.enter("uniform"), 700);
+  const auto s = find_scope(p.snapshot(), "uniform");
+  // 700 ns lives in bucket 9 ([512, 1024)); the approximate p99 reports the
+  // bucket's upper bound.
+  EXPECT_DOUBLE_EQ(s.p99_ns, 1024.0);
+}
+
+#ifdef ESG_PROFILE_BUILD
+TEST_F(ProfilerTest, MacroRecordsWhenCompiledIn) {
+  {
+    ESG_PROF_SCOPE("macro/on");
+  }
+  EXPECT_EQ(Profiler::instance().snapshot().at(0).path, "macro/on");
+}
+#else
+TEST_F(ProfilerTest, MacroIsANoOpWhenCompiledOut) {
+  {
+    ESG_PROF_SCOPE("macro/off");
+  }
+  EXPECT_TRUE(Profiler::instance().empty());
+}
+#endif
+
+}  // namespace
+}  // namespace esg::perf

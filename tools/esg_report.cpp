@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/build_info.hpp"
 #include "obs/analysis/attribution.hpp"
 #include "obs/analysis/trace_reader.hpp"
 
@@ -24,6 +25,8 @@ usage: esg_report <trace.json> [--json-out <path>] [--json]
   --json-out <path>  also write the attribution report as JSON (byte-identical
                      to esg_sim --report-out for the same run)
   --json             print the JSON report to stdout instead of the table
+  --version          print one provenance line (commit, compiler, build)
+  --build-info       print the full build/host provenance record
   --help
 
 exit codes: 0 success; 2 configuration error (bad flag, missing/malformed
@@ -42,6 +45,14 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("%s", kUsage);
+      return 0;
+    }
+    if (arg == "--version") {
+      std::printf("%s\n", esg::common::version_line("esg_report").c_str());
+      return 0;
+    }
+    if (arg == "--build-info") {
+      esg::common::write_build_info(stdout, "esg_report");
       return 0;
     }
     if (arg == "--json") {

@@ -6,10 +6,13 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/build_info.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exp/cli.hpp"
 #include "metrics/export.hpp"
+#include "perf/profiler.hpp"
+#include "perf/report.hpp"
 #include "tenant/tenant_spec.hpp"
 
 int main(int argc, char** argv) {
@@ -24,6 +27,14 @@ int main(int argc, char** argv) {
   }
   if (opts.help) {
     std::printf("%s", exp::cli_usage().c_str());
+    return 0;
+  }
+  if (opts.version) {
+    std::printf("%s\n", common::version_line("esg_sim").c_str());
+    return 0;
+  }
+  if (opts.build_info) {
+    common::write_build_info(stdout, "esg_sim");
     return 0;
   }
 
@@ -64,11 +75,11 @@ int main(int argc, char** argv) {
               opts.scenario.warmup_ms, opts.scenario.nodes, opts.seeds.size(),
               elastic_desc.c_str());
 
-  // With tracing the seeds run sequentially, each into its own file; the
-  // untraced path keeps the parallel replica runner.
+  // With tracing (or a perf summary) the seeds run sequentially, each into
+  // its own file; the untraced path keeps the parallel replica runner.
   std::vector<exp::RunOutput> outputs;
   try {
-  if (opts.scenario.trace.enabled()) {
+  if (opts.scenario.trace.enabled() || opts.perf_summary) {
     const auto per_seed = [&](const std::string& path, std::uint64_t seed) {
       if (path.empty() || opts.seeds.size() == 1) return path;
       const auto dot = path.rfind('.');
@@ -82,6 +93,10 @@ int main(int argc, char** argv) {
       scenario.trace.trace_path = per_seed(scenario.trace.trace_path, seed);
       scenario.trace.stats_path = per_seed(scenario.trace.stats_path, seed);
       scenario.trace.report_path = per_seed(scenario.trace.report_path, seed);
+      scenario.trace.perf_path = per_seed(scenario.trace.perf_path, seed);
+      // Per-seed scope trees: run_scenario resets when --perf-out is set,
+      // but a summary-only run must clear the previous seed's tree itself.
+      if (opts.perf_summary) perf::Profiler::instance().reset();
       outputs.push_back(exp::run_scenario(scenario));
       if (!scenario.trace.trace_path.empty()) {
         std::printf("trace written to %s (open in ui.perfetto.dev)\n",
@@ -93,6 +108,21 @@ int main(int argc, char** argv) {
       if (!scenario.trace.report_path.empty()) {
         std::printf("report written to %s (inspect with tools/esg_report)\n",
                     scenario.trace.report_path.c_str());
+      }
+      if (!scenario.trace.perf_path.empty()) {
+        std::printf("perf report written to %s (compare with tools/esg_perfdiff)\n",
+                    scenario.trace.perf_path.c_str());
+      }
+      if (opts.perf_summary) {
+        const exp::RunOutput& out = outputs.back();
+        perf::RunInfo info;
+        info.scheduler = exp::to_string(scenario.scheduler);
+        info.seed = seed;
+        info.simulated_ms = out.simulated_end_ms;
+        info.wall_seconds = out.wall_seconds;
+        info.invocations = out.metrics.requests();
+        perf::write_perf_summary(stdout, info, out.counters,
+                                 perf::Profiler::instance().snapshot());
       }
     }
     std::printf("\n");

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/build_info.hpp"
 #include "common/rng.hpp"
 #include "trace/azure_shape.hpp"
 #include "trace/workload_trace.hpp"
@@ -25,6 +26,8 @@ struct Options {
   std::string format = "csv";  // csv|jsonl
   std::string out;             // empty = stdout
   bool help = false;
+  bool version = false;
+  bool build_info = false;
 };
 
 const char* kUsage =
@@ -50,6 +53,8 @@ usage: esg_tracegen [flags]
   --seed        <n>     RNG seed                           (default 42)
   --format      csv|jsonl                                  (default csv)
   --out         <path>  output file (default: stdout)
+  --version             print one provenance line (commit, compiler, build)
+  --build-info          print the full build/host provenance record
   --help
 
 exit codes: 0 success; 2 configuration error (bad flag or shape options);
@@ -89,6 +94,14 @@ Options parse_args(std::span<const char* const> args) {
     const std::string_view key = args[i];
     if (key == "--help" || key == "-h") {
       opts.help = true;
+      return opts;
+    }
+    if (key == "--version") {
+      opts.version = true;
+      return opts;
+    }
+    if (key == "--build-info") {
+      opts.build_info = true;
       return opts;
     }
     if (i + 1 >= args.size()) {
@@ -156,6 +169,14 @@ int main(int argc, char** argv) {
   }
   if (opts.help) {
     std::printf("%s", kUsage);
+    return 0;
+  }
+  if (opts.version) {
+    std::printf("%s\n", common::version_line("esg_tracegen").c_str());
+    return 0;
+  }
+  if (opts.build_info) {
+    common::write_build_info(stdout, "esg_tracegen");
     return 0;
   }
 
