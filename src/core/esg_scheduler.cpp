@@ -117,7 +117,22 @@ platform::PlanResult EsgScheduler::plan(const platform::QueueView& view) {
     // A larger batch would be cheaper and still meet the target. Wait for it
     // while slack allows; the head-of-queue wait already consumed part of it.
     const TimeMs slack = std::max(0.0, g_slo - want.total_latency_ms);
-    if (view.head_wait_ms < options_.defer_safety * slack) {
+    bool defer_ok = view.head_wait_ms < options_.defer_safety * slack;
+    if (defer_ok && view.forecast_rate_per_s >= 0.0) {
+      // Foresight: deferring only pays if the missing batch-mates actually
+      // arrive inside the slack. At the forecast rate the gap takes fill_ms
+      // to close — when that blows the defer window (in particular when the
+      // forecast says nothing is coming), dispatch now instead of waiting
+      // for a batch that will not form.
+      const double missing = static_cast<double>(desired_batch) -
+                             static_cast<double>(view.queue_length);
+      const TimeMs fill_ms =
+          view.forecast_rate_per_s > 0.0
+              ? 1000.0 * missing / view.forecast_rate_per_s
+              : kNoTime;
+      defer_ok = view.head_wait_ms + fill_ms < options_.defer_safety * slack;
+    }
+    if (defer_ok) {
       plan.defer = true;
       plan.overhead_ms = options_.overhead.overhead_ms(nodes);
       stats_.nodes_expanded += nodes;

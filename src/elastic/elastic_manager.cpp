@@ -109,6 +109,14 @@ void ElasticManager::scale_out(TimeMs now, std::size_t in_fleet) {
   } else if (spec_.policy == ElasticPolicy::kQueue) {
     fire = static_cast<double>(queued) >
            spec_.out_threshold * static_cast<double>(in_fleet);
+  } else if (spec_.policy == ElasticPolicy::kForecast) {
+    // Anticipatory: provision when the *predicted* demand provision-ms
+    // ahead exceeds the per-node threshold, so the node activates right as
+    // that demand lands instead of provision-ms after it shows up.
+    if (forecast_rate_) {
+      fire = forecast_rate_(now) >
+             spec_.out_threshold * static_cast<double>(in_fleet);
+    }
   } else {
     if (ewma_gap_ms_ > 0.0) {
       const double per_s = 1000.0 / ewma_gap_ms_;

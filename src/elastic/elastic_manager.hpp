@@ -49,6 +49,12 @@ class ElasticManager {
   void set_queue_depth_provider(std::function<std::size_t()> provider) {
     queue_depth_ = std::move(provider);
   }
+  /// Predicted aggregate arrival rate (arrivals/s) `provision-ms` ahead of
+  /// the passed instant; required by the forecast policy (which otherwise
+  /// never fires — there is nothing to anticipate without a forecaster).
+  void set_forecast_provider(std::function<double(TimeMs)> provider) {
+    forecast_rate_ = std::move(provider);
+  }
   /// Fired when a warming node activates (the controller re-arms its scan).
   void set_on_activate(std::function<void(InvokerId)> hook) {
     on_activate_ = std::move(hook);
@@ -79,6 +85,7 @@ class ElasticManager {
   ElasticSpec spec_;
   RngFactory rng_;  // reserved for stochastic policies; current ones draw nothing
   std::function<std::size_t()> queue_depth_;
+  std::function<double(TimeMs)> forecast_rate_;
   std::function<void(InvokerId)> on_activate_;
   std::function<void(InvokerId)> on_drain_;
   obs::TraceRecorder* recorder_ = nullptr;

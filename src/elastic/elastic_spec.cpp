@@ -59,6 +59,8 @@ std::string_view to_string(ElasticPolicy policy) {
       return "queue";
     case ElasticPolicy::kRate:
       return "rate";
+    case ElasticPolicy::kForecast:
+      return "forecast";
   }
   return "unknown";
 }
@@ -75,9 +77,11 @@ ElasticSpec parse_elastic_spec(std::string_view text) {
     spec.policy = ElasticPolicy::kQueue;
   } else if (policy == "rate") {
     spec.policy = ElasticPolicy::kRate;
+  } else if (policy == "forecast") {
+    spec.policy = ElasticPolicy::kForecast;
   } else {
-    bad_spec(clause,
-             "unknown policy '" + std::string(policy) + "' (queue|rate|none)");
+    bad_spec(clause, "unknown policy '" + std::string(policy) +
+                         "' (queue|rate|forecast|none)");
   }
 
   // key=value list after the colon; duplicates rejected.

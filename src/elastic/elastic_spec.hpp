@@ -10,6 +10,11 @@
 //   rate:min=2,max=16,out=4,alpha=0.3,idle-ms=30000
 //       same lifecycle, but the scale-out signal is an EWMA of the request
 //       arrival rate (arrivals/s per in-fleet node exceeding `out`)
+//   forecast:min=2,max=16,out=4,provision-ms=2000
+//       same lifecycle, but the scale-out signal is the *forecast* arrival
+//       rate `provision-ms` ahead (arrivals/s per in-fleet node exceeding
+//       `out`), so capacity activates as the predicted demand lands; needs
+//       a forecaster (--forecast) wired at run assembly
 //
 // Shared keys (both policies):
 //   min=<n>          floor for scale-in; 0 allows scale-to-zero   (default 1)
@@ -41,6 +46,7 @@ enum class ElasticPolicy : std::uint8_t {
   kNone,   ///< no elasticity (static fleet)
   kQueue,  ///< scale out on queued jobs per in-fleet node
   kRate,   ///< scale out on EWMA arrival rate per in-fleet node
+  kForecast,  ///< scale out on forecast arrival rate per in-fleet node
 };
 
 [[nodiscard]] std::string_view to_string(ElasticPolicy policy);

@@ -314,11 +314,37 @@ RunOutput run_scenario(const Scenario& scenario_in,
         sim, cluster, elastic_spec, rng.scoped("elastic"), scenario.nodes);
   }
 
+  // Arrival forecasting: an inert spec builds no service at all, so the
+  // run takes the exact reactive code path (byte-identical outputs). The
+  // service is draw-free — enabling it perturbs no RNG substream.
+  std::unique_ptr<forecast::ForecastService> forecast_service;
+  if (scenario.forecast.enabled()) {
+    forecast_service = std::make_unique<forecast::ForecastService>(
+        scenario.forecast, apps.size(), scenario.arrivals.trace,
+        scenario.arrivals.replay);
+    if (tracing) forecast_service->set_trace(recorder);
+    if (elastic_manager != nullptr &&
+        elastic_spec.policy == elastic::ElasticPolicy::kForecast) {
+      elastic_manager->set_forecast_provider(
+          [svc = forecast_service.get(),
+           provision = elastic_spec.provision_ms](TimeMs now) {
+            return svc->predicted_total_rate(now, provision);
+          });
+    }
+  }
+  if (elastic_spec.policy == elastic::ElasticPolicy::kForecast &&
+      forecast_service == nullptr) {
+    throw std::invalid_argument(
+        "run_scenario: --elastic forecast needs --forecast (the policy has "
+        "no signal without a forecaster)");
+  }
+
   platform::ControllerOptions controller_options = scenario.controller;
   controller_options.metrics_warmup_ms = scenario.warmup_ms;
   controller_options.recorder = recorder;
   controller_options.fault = fault_engine.get();
   controller_options.elastic = elastic_manager.get();
+  controller_options.forecast = forecast_service.get();
   controller_options.fair_queue = fair_queue.get();
   platform::Controller controller(sim, cluster, profiles, apps, scenario.slo,
                                   *scheduler, rng, controller_options);
@@ -346,21 +372,38 @@ RunOutput run_scenario(const Scenario& scenario_in,
         });
       }
     }
+    // Per-app forecast gauges, absent on reactive runs so the stats JSONL
+    // stays byte-identical to pre-forecast builds.
+    if (forecast_service != nullptr) {
+      forecast::ForecastService* svc = forecast_service.get();
+      for (std::uint32_t a = 0; a < svc->app_count(); ++a) {
+        const std::string app = "app" + std::to_string(a);
+        sampler.add_gauge("forecast/predicted/" + app, [svc, a] {
+          return svc->current_prediction(a);
+        });
+        sampler.add_gauge("forecast/mae/" + app,
+                          [svc, a] { return svc->accuracy(a).mae; });
+        sampler.add_gauge("forecast/smape/" + app,
+                          [svc, a] { return svc->accuracy(a).smape; });
+      }
+    }
     // Self-profiling counter tracks, only on perf-enabled runs so existing
     // stats/trace artefacts stay byte-identical (DESIGN.md §13). Each gauge
     // samples the merged view across the event loop, controller (incl.
-    // prewarm), and fair queue.
+    // prewarm), fair queue, and forecaster.
     if (!scenario.trace.perf_path.empty()) {
       const sim::Simulator* sim_ptr = &sim;
       const platform::Controller* ctl = &controller;
       const tenant::FairQueue* fq = fair_queue.get();
+      const forecast::ForecastService* fc = forecast_service.get();
       for (const perf::CounterField& field : perf::kCounterFields) {
         sampler.add_gauge(
             std::string(perf::kGaugePrefix) + field.name,
-            [sim_ptr, ctl, fq, member = field.member] {
+            [sim_ptr, ctl, fq, fc, member = field.member] {
               perf::Counters merged = sim_ptr->counters();
               merged.merge(ctl->perf_counters());
               if (fq != nullptr) merged.merge(fq->counters());
+              if (fc != nullptr) merged.merge(fc->counters());
               return static_cast<double>(merged.*member);
             });
       }
@@ -389,6 +432,13 @@ RunOutput run_scenario(const Scenario& scenario_in,
   out.counters = sim.counters();
   out.counters.merge(controller.perf_counters());
   if (fair_queue != nullptr) out.counters.merge(fair_queue->counters());
+  if (forecast_service != nullptr) {
+    out.counters.merge(forecast_service->counters());
+    out.forecast_accuracy.reserve(apps.size());
+    for (std::uint32_t a = 0; a < apps.size(); ++a) {
+      out.forecast_accuracy.push_back(forecast_service->accuracy(a));
+    }
+  }
   return out;
 }
 

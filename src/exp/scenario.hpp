@@ -17,6 +17,7 @@
 #include "core/esg_scheduler.hpp"
 #include "elastic/elastic_spec.hpp"
 #include "fault/fault_spec.hpp"
+#include "forecast/forecaster.hpp"
 #include "metrics/run_metrics.hpp"
 #include "perf/counters.hpp"
 #include "platform/controller.hpp"
@@ -116,6 +117,14 @@ struct Scenario {
   /// invokers (0 = resolved to `nodes`); an inert spec (min == max, no
   /// idle-out, no shedding) is byte-identical to the static run.
   elastic::ElasticSpec elastic;
+  /// Arrival forecasting (--forecast). Inert by default: no ForecastService
+  /// is built and the run takes the exact reactive code path — outputs are
+  /// byte-identical to pre-forecast builds. When enabled, arrivals are
+  /// binned per app, the named predictor estimates next-bin intensity, and
+  /// three consumers act on it: proactive prewarm targets, the elastic
+  /// `forecast` policy, and the ESG planner's defer look-ahead. The oracle
+  /// predictor additionally requires trace arrivals.
+  forecast::ForecastSpec forecast;
   /// Multi-tenant fair queueing (--tenants). An inert spec (absent or a
   /// single tenant) with any of the five paper schedulers runs the exact
   /// single-tenant code path — outputs are byte-identical to pre-tenant
@@ -146,8 +155,12 @@ struct RunOutput {
   TimeMs simulated_end_ms = 0.0;
   double wall_seconds = 0.0;
   /// Merged hot-path counters (event loop + controller/prewarm + fair
-  /// queue). Deterministic per seed; always populated (DESIGN.md §13).
+  /// queue + forecaster). Deterministic per seed; always populated
+  /// (DESIGN.md §13).
   perf::Counters counters;
+  /// Per-app forecast accuracy over the run's closed bins; empty unless the
+  /// scenario ran with a forecaster.
+  std::vector<forecast::AppAccuracy> forecast_accuracy;
 };
 
 /// Builds the arrival source a scenario asks for. Synthetic and bursty

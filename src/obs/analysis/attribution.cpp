@@ -396,6 +396,35 @@ AttributionReport build_report(const TraceDataset& dataset) {
     acc.report.latency_ms = latency_quantiles(std::move(acc.latencies));
     report.tenants.push_back(std::move(acc.report));
   }
+
+  // Forecast accuracy: one kForecastBin instant per (app, closed bin) with
+  // the prediction standing at the bin's start and the realized count.
+  // Reactive traces carry none, leaving the section empty.
+  std::map<std::uint32_t, ForecastReport> forecast_accs;
+  for (const Instant& instant : dataset.instants) {
+    if (instant.kind != InstantKind::kForecastBin) continue;
+    const auto app =
+        static_cast<std::uint32_t>(arg_double(instant.args, "app", 0.0));
+    const double predicted = arg_double(instant.args, "predicted", 0.0);
+    const double realized = arg_double(instant.args, "realized", 0.0);
+    ForecastReport& f = forecast_accs[app];
+    f.app = app;
+    ++f.bins;
+    const double err = std::abs(predicted - realized);
+    f.mae += err;  // sums for now, divided below
+    const double denom = std::abs(predicted) + std::abs(realized);
+    if (denom > 0.0) f.smape += 2.0 * err / denom;
+    f.predicted_mean += predicted;
+    f.realized_mean += realized;
+  }
+  for (auto& [app_id, f] : forecast_accs) {
+    const auto n = static_cast<double>(f.bins);
+    f.mae /= n;
+    f.smape /= n;
+    f.predicted_mean /= n;
+    f.realized_mean /= n;
+    report.forecast.push_back(f);
+  }
   return report;
 }
 
@@ -475,6 +504,23 @@ void write_report_json(const AttributionReport& report, std::ostream& out) {
     }
     out << "]";
   }
+  // Same omission for forecast-free traces: reactive reports stay
+  // byte-identical to pre-forecast builds.
+  if (!report.forecast.empty()) {
+    out << ",\"forecast_accuracy\":[";
+    for (std::size_t i = 0; i < report.forecast.size(); ++i) {
+      const ForecastReport& f = report.forecast[i];
+      if (i > 0) out << ",";
+      out << "{\"app\":" << f.app;
+      out << ",\"bins\":" << f.bins;
+      out << ",\"mae\":" << fmt(f.mae);
+      out << ",\"smape\":" << fmt(f.smape);
+      out << ",\"predicted_mean\":" << fmt(f.predicted_mean);
+      out << ",\"realized_mean\":" << fmt(f.realized_mean);
+      out << "}";
+    }
+    out << "]";
+  }
   out << "}\n";
 }
 
@@ -536,6 +582,19 @@ std::string render_report_table(const AttributionReport& report) {
     }
     out += "\n";
     out += tenants.render();
+  }
+
+  if (!report.forecast.empty()) {
+    AsciiTable forecast({"app", "bins", "MAE (req/bin)", "sMAPE",
+                         "predicted mean", "realized mean"});
+    for (const ForecastReport& f : report.forecast) {
+      forecast.add_row({std::to_string(f.app), std::to_string(f.bins),
+                        AsciiTable::num(f.mae, 3), AsciiTable::num(f.smape, 3),
+                        AsciiTable::num(f.predicted_mean, 2),
+                        AsciiTable::num(f.realized_mean, 2)});
+    }
+    out += "\n";
+    out += forecast.render();
   }
   return out;
 }

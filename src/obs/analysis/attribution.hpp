@@ -124,6 +124,20 @@ struct TenantReport {
   }
 };
 
+/// Per-app forecast accuracy, rebuilt from the kForecastBin instants a
+/// forecaster emits at every closed observation bin (predicted vs realized
+/// arrivals per bin). Forecast-free traces carry no such instants, so the
+/// section is empty — and omitted from the JSON, keeping reactive reports
+/// byte-identical to pre-forecast builds.
+struct ForecastReport {
+  std::uint32_t app = 0;
+  std::size_t bins = 0;
+  double mae = 0.0;    ///< mean |predicted - realized|, arrivals per bin
+  double smape = 0.0;  ///< symmetric MAPE in [0, 2]; zero-zero bins score 0
+  double predicted_mean = 0.0;
+  double realized_mean = 0.0;
+};
+
 struct AttributionReport {
   std::size_t requests = 0;
   std::size_t misses = 0;
@@ -134,6 +148,7 @@ struct AttributionReport {
   std::vector<AppReport> apps;  ///< sorted by app id
   std::vector<ReplanReport> replans;  ///< sorted by (app, stage)
   std::vector<TenantReport> tenants;  ///< sorted by name; empty = no tenancy
+  std::vector<ForecastReport> forecast;  ///< sorted by app; empty = reactive
   Histogram drift_histogram = make_drift_histogram();
 
   [[nodiscard]] double hit_rate() const {

@@ -74,6 +74,10 @@ std::string_view to_string(InstantKind kind) {
       return "spot_reclaim";
     case InstantKind::kShed:
       return "shed";
+    case InstantKind::kForecastBin:
+      return "forecast_bin";
+    case InstantKind::kForecastPrewarm:
+      return "forecast_prewarm";
   }
   return "unknown";
 }
@@ -102,7 +106,8 @@ std::optional<InstantKind> instant_kind_from_string(std::string_view s) {
       InstantKind::kScaleOut,       InstantKind::kScaleIn,
       InstantKind::kNodeActivated,  InstantKind::kNodeRetired,
       InstantKind::kSpotWarning,    InstantKind::kSpotReclaim,
-      InstantKind::kShed};
+      InstantKind::kShed,           InstantKind::kForecastBin,
+      InstantKind::kForecastPrewarm};
   for (const InstantKind kind : kAll) {
     if (to_string(kind) == s) return kind;
   }

@@ -59,6 +59,8 @@ enum class InstantKind : std::uint8_t {
   kSpotWarning,       ///< spot reclamation notice; the node starts draining
   kSpotReclaim,       ///< reclamation deadline hit; in-flight work was killed
   kShed,              ///< request rejected at admission (load shedding)
+  kForecastBin,       ///< one closed forecast bin: predicted vs realized
+  kForecastPrewarm,   ///< proactive warm target raised from a forecast
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind);

@@ -37,6 +37,10 @@ struct Counters {
   // src/tenant fair queueing.
   std::uint64_t vt_updates = 0;  ///< per-flow virtual-time advances
 
+  // src/forecast.
+  std::uint64_t forecasts_issued = 0;    ///< per-app per-bin predictions made
+  std::uint64_t forecasts_consumed = 0;  ///< consumer queries served
+
   void merge(const Counters& other);
 };
 
@@ -66,6 +70,8 @@ inline constexpr CounterField kCounterFields[] = {
     {"prewarms_issued", &Counters::prewarms_issued},
     {"prewarms_skipped", &Counters::prewarms_skipped},
     {"vt_updates", &Counters::vt_updates},
+    {"forecasts_issued", &Counters::forecasts_issued},
+    {"forecasts_consumed", &Counters::forecasts_consumed},
 };
 
 inline constexpr std::size_t kCounterFieldCount =

@@ -257,10 +257,20 @@ void flatten(const Json& v, const std::string& path, std::vector<Leaf>& out) {
   }
 }
 
-bool is_gating(const std::string& path) {
-  constexpr const char* kSuffix = "_per_sec";
-  const std::string::size_type n = std::string(kSuffix).size();
-  return path.size() >= n && path.compare(path.size() - n, n, kSuffix) == 0;
+/// 0 = not gating; +1 = gating, higher is better; -1 = gating, lower is
+/// better (suffix written with a leading '-'). First matching suffix wins.
+int gate_direction(const std::string& path, const DiffOptions& options) {
+  for (const std::string& raw : options.gate_suffixes) {
+    const bool lower_better = !raw.empty() && raw.front() == '-';
+    const std::string_view suffix =
+        lower_better ? std::string_view(raw).substr(1) : std::string_view(raw);
+    if (suffix.empty() || path.size() < suffix.size()) continue;
+    if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+        0) {
+      return lower_better ? -1 : 1;
+    }
+  }
+  return 0;
 }
 
 /// Provenance leaves (meta.cpus and friends) never carry a perf signal.
@@ -302,8 +312,12 @@ DiffResult diff_json(const std::string& baseline_text,
         base.value != 0.0
             ? (it->second - base.value) / std::fabs(base.value)
             : (it->second == 0.0 ? 0.0 : 1.0);
-    line.gating = is_gating(base.path);
-    line.regression = line.gating && line.delta_frac < -options.threshold;
+    const int direction = gate_direction(base.path, options);
+    line.gating = direction != 0;
+    line.regression = direction > 0
+                          ? line.delta_frac < -options.threshold
+                          : direction < 0 &&
+                                line.delta_frac > options.threshold;
     if (line.regression) result.regressed = true;
     result.lines.push_back(std::move(line));
   }

@@ -19,12 +19,17 @@
 namespace esg::perf {
 
 struct DiffOptions {
-  /// Allowed fractional drop on *_per_sec metrics before a regression is
-  /// declared (0.10 = 10% slower than baseline fails).
+  /// Allowed fractional drop on gating metrics before a regression is
+  /// declared (0.10 = 10% worse than baseline fails).
   double threshold = 0.10;
   /// Report the comparison but never declare regressions (CI smoke mode on
   /// hosts that differ from the baseline's).
   bool report_only = false;
+  /// Metric-path suffixes that gate the verdict. The default gates only
+  /// throughput; benches append quality fields (e.g. "attainment") with
+  /// --gate-suffix. A suffix is higher-is-better unless prefixed with '-'
+  /// (e.g. "-cold_start_rate": a rise past the threshold regresses).
+  std::vector<std::string> gate_suffixes = {"_per_sec"};
 };
 
 struct DiffLine {

@@ -36,6 +36,7 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       rec_(options.recorder),
       fault_(options.fault),
       elastic_(options.elastic),
+      forecast_(options.forecast),
       fq_(options.fair_queue) {
   if (apps.empty()) throw std::invalid_argument("Controller: no applications");
 
@@ -107,6 +108,14 @@ Controller::Controller(sim::Simulator& sim, cluster::Cluster& cluster,
       cluster_.invoker(home).add_warm(queue.function, 0.0,
                                       options_.keep_alive_ms);
     }
+  }
+
+  if (forecast_ != nullptr && prewarm_ != nullptr) {
+    // Proactive prewarm: every closed forecast bin re-derives per-stream
+    // warm targets from the predicted rates lead-ms ahead.
+    prewarm_->enable_proactive(forecast_);
+    forecast_->set_bin_callback(
+        [this](TimeMs now) { prewarm_->on_forecast_bin(now); });
   }
 
   if (elastic_ != nullptr) {
@@ -223,6 +232,11 @@ RequestId Controller::inject_request(AppId app) {
 }
 
 RequestId Controller::inject_request(AppId app, std::uint32_t tenant) {
+  if (forecast_ != nullptr) {
+    // Observed before admission control: shed requests are still offered
+    // load, and the predictors must see the demand that caused the shed.
+    forecast_->on_arrival(app.get(), sim_.now());
+  }
   if (elastic_ != nullptr) {
     elastic_->on_arrival(sim_.now());
     if (elastic_->spec().shed && should_shed(app)) {
@@ -371,6 +385,10 @@ QueueView Controller::make_view(const AfwQueue& queue) const {
     view.head_wait_ms = std::max(view.head_wait_ms, sim_.now() - job.enqueue_ms);
     view.oldest_elapsed_ms =
         std::max(view.oldest_elapsed_ms, sim_.now() - job.request_arrival_ms);
+  }
+  if (forecast_ != nullptr) {
+    view.forecast_rate_per_s = forecast_->predicted_rate(
+        queue.app.get(), sim_.now(), forecast_->spec().lead_ms);
   }
   return view;
 }

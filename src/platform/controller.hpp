@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "elastic/elastic_manager.hpp"
+#include "forecast/forecaster.hpp"
 #include "fault/fault_engine.hpp"
 #include "metrics/run_metrics.hpp"
 #include "obs/recorder.hpp"
@@ -101,6 +102,12 @@ struct ControllerOptions {
   /// control: requests whose projected latency cannot meet the SLO on the
   /// current fleet are rejected up front and counted as `shed@admission`.
   elastic::ElasticManager* elastic = nullptr;
+  /// Arrival forecaster (non-owning; nullptr = reactive run on the exact
+  /// legacy code path — outputs stay byte-identical). When set, the
+  /// controller feeds it every arrival, surfaces its per-app predictions in
+  /// QueueView::forecast_rate_per_s (the ESG planner's look-ahead), and
+  /// drives the prewarm manager's proactive mode from its bin callback.
+  forecast::ForecastService* forecast = nullptr;
   /// Multi-tenant fair queueing (non-owning; nullptr = single-tenant run on
   /// the exact legacy code path — outputs stay byte-identical). When set, the
   /// controller keeps one AFW queue per (tenant, app, stage), scans tenants
@@ -229,6 +236,7 @@ class Controller {
 
   fault::FaultEngine* fault_ = nullptr;  ///< = options_.fault
   elastic::ElasticManager* elastic_ = nullptr;  ///< = options_.elastic
+  forecast::ForecastService* forecast_ = nullptr;  ///< = options_.forecast
   tenant::FairQueue* fq_ = nullptr;      ///< = options_.fair_queue
   /// Tasks in flight, by TaskId value (fault-injection runs only).
   std::unordered_map<std::uint32_t, InFlightTask> inflight_;

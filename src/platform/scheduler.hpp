@@ -40,6 +40,11 @@ struct QueueView {
   /// Owning tenant of this queue (always 0 on single-tenant runs; only the
   /// fair-queueing strategies look at it).
   std::uint32_t tenant = 0;
+  /// Forecast arrival rate of this queue's app (arrivals/second) over the
+  /// next forecast window. Negative when no forecaster is attached —
+  /// strategies must then behave exactly as before the forecast subsystem
+  /// existed; 0 is a real prediction ("nothing is coming").
+  double forecast_rate_per_s = -1.0;
 };
 
 struct PlanResult {

@@ -15,6 +15,10 @@ void check_options(const AzureShapeOptions& o) {
   };
   if (o.apps == 0 || o.apps > kMaxTraceApps) fail("apps out of range");
   if (o.bins == 0 || o.bins > kMaxTraceBins) fail("bins out of range");
+  if (o.days < 1) fail("days must be >= 1");
+  if (o.bins > kMaxTraceBins / o.days) {
+    fail("bins*days out of range");
+  }
   if (!std::isfinite(o.bin_ms) || o.bin_ms <= 0.0) {
     fail("bin_ms must be positive");
   }
@@ -78,32 +82,19 @@ WorkloadTrace generate_azure_shaped(const AzureShapeOptions& options,
   }
   for (double& w : weight) w /= weight_sum;
 
-  // Diurnal intensity profile; mean of 1 + A*sin over a full cycle is 1, so
-  // mean_rate_per_bin stays the mean offered rate.
+  // Diurnal intensity profile for one day; mean of 1 + A*sin over a full
+  // cycle is 1, so mean_rate_per_bin stays the mean offered rate. Every day
+  // repeats this shape (the period defaults to one day).
   const double period = options.diurnal_period_bins > 0.0
                             ? options.diurnal_period_bins
                             : static_cast<double>(options.bins);
-  std::vector<double> intensity(options.bins, 0.0);
+  std::vector<double> base_intensity(options.bins, 0.0);
   for (std::size_t b = 0; b < options.bins; ++b) {
     const double phase =
         2.0 * std::numbers::pi * static_cast<double>(b) / period;
-    intensity[b] =
+    base_intensity[b] =
         options.mean_rate_per_bin *
         (1.0 + options.diurnal_amplitude * std::sin(phase));
-  }
-
-  // Burst episodes: random start, exponential length, multiplicative lift.
-  for (std::size_t e = 0; e < options.burst_count; ++e) {
-    const auto start = static_cast<std::size_t>(rng.below(options.bins));
-    const double mean_len =
-        options.burst_fraction * static_cast<double>(options.bins);
-    double u = rng.uniform();
-    while (u <= 0.0) u = rng.uniform();
-    const auto len = static_cast<std::size_t>(
-        std::ceil(std::max(1.0, mean_len * -std::log(u))));
-    for (std::size_t b = start; b < std::min(start + len, options.bins); ++b) {
-      intensity[b] *= options.burst_factor;
-    }
   }
 
   // Zipf-skewed tenant popularity. With one tenant this is the single
@@ -122,16 +113,41 @@ WorkloadTrace generate_azure_shaped(const AzureShapeOptions& options,
   trace.bin_ms = options.bin_ms;
   trace.app_count = options.apps;
   trace.tenant_count = options.tenants;
-  for (std::size_t b = 0; b < options.bins; ++b) {
-    for (std::size_t a = 0; a < options.apps; ++a) {
-      for (std::size_t t = 0; t < options.tenants; ++t) {
-        const double expected = intensity[b] * weight[a] * tenant_weight[t];
-        const double count =
-            options.integer_counts ? poisson(rng, expected) : expected;
-        if (count <= 0.0) continue;
-        trace.rows.push_back(TraceBinRow{b, static_cast<std::uint32_t>(a),
-                                         count,
-                                         static_cast<std::uint32_t>(t)});
+  // Per day: fresh burst draws over the day's bins, then the Poisson pass.
+  // With days=1 this interleaving is exactly the legacy draw sequence, so
+  // single-day traces regenerate byte-identically.
+  for (std::size_t day = 0; day < options.days; ++day) {
+    std::vector<double> intensity = base_intensity;
+
+    // Burst episodes: random start, exponential length (clipped to the
+    // day), multiplicative lift.
+    for (std::size_t e = 0; e < options.burst_count; ++e) {
+      const auto start = static_cast<std::size_t>(rng.below(options.bins));
+      const double mean_len =
+          options.burst_fraction * static_cast<double>(options.bins);
+      double u = rng.uniform();
+      while (u <= 0.0) u = rng.uniform();
+      const auto len = static_cast<std::size_t>(
+          std::ceil(std::max(1.0, mean_len * -std::log(u))));
+      for (std::size_t b = start; b < std::min(start + len, options.bins);
+           ++b) {
+        intensity[b] *= options.burst_factor;
+      }
+    }
+
+    const std::size_t day_offset = day * options.bins;
+    for (std::size_t b = 0; b < options.bins; ++b) {
+      for (std::size_t a = 0; a < options.apps; ++a) {
+        for (std::size_t t = 0; t < options.tenants; ++t) {
+          const double expected = intensity[b] * weight[a] * tenant_weight[t];
+          const double count =
+              options.integer_counts ? poisson(rng, expected) : expected;
+          if (count <= 0.0) continue;
+          trace.rows.push_back(TraceBinRow{day_offset + b,
+                                           static_cast<std::uint32_t>(a),
+                                           count,
+                                           static_cast<std::uint32_t>(t)});
+        }
       }
     }
   }

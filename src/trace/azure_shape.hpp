@@ -13,7 +13,13 @@ namespace esg::trace {
 
 struct AzureShapeOptions {
   std::size_t apps = 4;          ///< builtin workload size
-  std::size_t bins = 120;        ///< trace length in bins
+  std::size_t bins = 120;        ///< bins per day (trace length = bins*days)
+  /// Days to repeat the diurnal pattern over. Each day shares the sinusoid
+  /// shape but draws its own burst episodes (clipped to the day), so a
+  /// multi-day trace has day-to-day variation a seasonal predictor can
+  /// average over. days=1 draws the exact legacy sequence (byte-identical
+  /// traces); must be >= 1 and bins*days must fit kMaxTraceBins.
+  std::size_t days = 1;
   TimeMs bin_ms = 1'000.0;       ///< bin width
   /// Mean invocations per bin summed over all apps (before bursts).
   double mean_rate_per_bin = 60.0;

@@ -295,5 +295,48 @@ TEST(Cli, RejectsMalformedTraceArrivals) {
   EXPECT_NE(cli_usage().find("--arrivals"), std::string::npos);
 }
 
+TEST(Cli, ForecastDefaultsToInert) {
+  const CliOptions opts = parse({});
+  EXPECT_TRUE(opts.scenario.forecast.inert());
+  EXPECT_TRUE(parse({"--forecast", "none"}).scenario.forecast.inert());
+}
+
+TEST(Cli, ParsesForecastSpec) {
+  const CliOptions opts =
+      parse({"--forecast", "ewma:alpha=0.5;lead-ms=3000,bin-ms=500"});
+  EXPECT_EQ(opts.scenario.forecast.kind, forecast::ForecastKind::kEwma);
+  EXPECT_DOUBLE_EQ(opts.scenario.forecast.ewma_alpha, 0.5);
+  EXPECT_DOUBLE_EQ(opts.scenario.forecast.lead_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(opts.scenario.forecast.bin_ms, 500.0);
+  EXPECT_NE(cli_usage().find("--forecast"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedForecastSpecs) {
+  EXPECT_THROW(parse({"--forecast"}), std::invalid_argument);  // no value
+  EXPECT_THROW(parse({"--forecast", "arima"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--forecast", "ewma:alpha=2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--forecast", "oracle;lead-ms=-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--forecast", "@/no/such/forecast.spec"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, OracleForecastRequiresTraceArrivals) {
+  // Hindsight needs a trace to read; synthetic arrivals have no truth.
+  EXPECT_THROW(parse({"--forecast", "oracle"}), std::invalid_argument);
+  const TempTrace trace("cli_test_trace3.csv");
+  const CliOptions opts = parse(
+      {"--arrivals", ("trace:@" + trace.path).c_str(), "--forecast", "oracle"});
+  EXPECT_EQ(opts.scenario.forecast.kind, forecast::ForecastKind::kOracle);
+}
+
+TEST(Cli, ElasticForecastPolicyRequiresAForecaster) {
+  EXPECT_THROW(parse({"--elastic", "forecast"}), std::invalid_argument);
+  const CliOptions opts =
+      parse({"--elastic", "forecast", "--forecast", "ewma"});
+  EXPECT_EQ(opts.scenario.elastic.policy, elastic::ElasticPolicy::kForecast);
+  EXPECT_EQ(opts.scenario.forecast.kind, forecast::ForecastKind::kEwma);
+}
+
 }  // namespace
 }  // namespace esg::exp

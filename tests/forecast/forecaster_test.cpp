@@ -1,0 +1,202 @@
+// Predictor math against closed-form expectations (oracle exactness on a
+// hand-built trace, EWMA step response, seasonal convergence after two
+// periods) and the ForecastService harness contract: lazy bin rolling,
+// MAE/sMAPE scoring, counters, and the bin callback.
+#include "forecast/forecaster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "forecast/forecast_spec.hpp"
+#include "trace/replay.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace esg::forecast {
+namespace {
+
+/// Two apps, 1000 ms bins: app 0 sees 5 then 10 arrivals, app 1 sees 2.
+std::shared_ptr<const trace::WorkloadTrace> hand_trace() {
+  trace::WorkloadTrace t;
+  t.bin_ms = 1'000.0;
+  t.app_count = 2;
+  t.rows = {{0, 0, 5.0, 0}, {0, 1, 2.0, 0}, {1, 0, 10.0, 0}};
+  return std::make_shared<const trace::WorkloadTrace>(std::move(t));
+}
+
+ForecastSpec spec_of(const char* text) { return parse_forecast_spec(text); }
+
+TEST(Forecaster, OracleReadsTrueBinRatesExactly) {
+  const auto oracle =
+      make_forecaster(spec_of("oracle"), 2, hand_trace(), trace::ReplayOptions{});
+  EXPECT_EQ(oracle->name(), "oracle");
+  // Whole bins: 5 arrivals over 1000 ms = 5/s, then 10/s; app 1 only bin 0.
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 0.0, 1'000.0), 5.0);
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 1'000.0, 1'000.0), 10.0);
+  EXPECT_DOUBLE_EQ(oracle->forecast(1, 0.0, 1'000.0), 2.0);
+  EXPECT_DOUBLE_EQ(oracle->forecast(1, 1'000.0, 1'000.0), 0.0);
+  // A window straddling both bins integrates the overlap of each.
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 500.0, 1'000.0), 7.5);
+  // Past the trace end the truth is "no arrivals"; bad app ids are 0 too.
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 2'000.0, 1'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(oracle->forecast(7, 0.0, 1'000.0), 0.0);
+}
+
+TEST(Forecaster, OracleAppliesReplayScaling) {
+  trace::ReplayOptions replay;
+  replay.rate_scale = 2.0;
+  replay.time_scale = 2.0;  // bins stretch to 2000 ms
+  const auto oracle = make_forecaster(spec_of("oracle"), 2, hand_trace(), replay);
+  // Bin 0 now spans [0, 2000) with 2x5 expected arrivals: 10/2 s = 5/s.
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 0.0, 2'000.0), 5.0);
+  EXPECT_DOUBLE_EQ(oracle->forecast(0, 2'000.0, 2'000.0), 10.0);
+}
+
+TEST(Forecaster, OracleWithoutTraceIsRejected) {
+  EXPECT_THROW(
+      make_forecaster(spec_of("oracle"), 2, nullptr, trace::ReplayOptions{}),
+      std::invalid_argument);
+}
+
+TEST(Forecaster, LastBinPredictsThePreviousBin) {
+  const auto f =
+      make_forecaster(spec_of("last-bin"), 1, nullptr, trace::ReplayOptions{});
+  EXPECT_DOUBLE_EQ(f->forecast(0, 0.0, 500.0), 0.0);  // nothing observed yet
+  f->observe_bin(0, 0.0, 500.0, 4.0);
+  EXPECT_DOUBLE_EQ(f->forecast(0, 500.0, 500.0), 8.0);  // 4 per 500 ms = 8/s
+  f->observe_bin(0, 500.0, 500.0, 0.0);
+  EXPECT_DOUBLE_EQ(f->forecast(0, 1'000.0, 500.0), 0.0);
+}
+
+TEST(Forecaster, EwmaStepResponseConvergesGeometrically) {
+  const auto f = make_forecaster(spec_of("ewma:alpha=0.5"), 1, nullptr,
+                                 trace::ReplayOptions{});
+  f->observe_bin(0, 0.0, 1'000.0, 0.0);
+  // Step to 8/bin: the estimate halves its distance each bin.
+  f->observe_bin(0, 1'000.0, 1'000.0, 8.0);
+  EXPECT_DOUBLE_EQ(f->forecast(0, 2'000.0, 1'000.0), 4.0);
+  f->observe_bin(0, 2'000.0, 1'000.0, 8.0);
+  EXPECT_DOUBLE_EQ(f->forecast(0, 3'000.0, 1'000.0), 6.0);
+  f->observe_bin(0, 3'000.0, 1'000.0, 8.0);
+  EXPECT_DOUBLE_EQ(f->forecast(0, 4'000.0, 1'000.0), 7.0);
+}
+
+TEST(Forecaster, SeasonalLearnsThePatternAfterTwoPeriods) {
+  // Period of 4 one-second bins carrying the pattern 1, 2, 3, 4.
+  const auto f = make_forecaster(spec_of("seasonal:period-ms=4000,bins=4"), 1,
+                                 nullptr, trace::ReplayOptions{});
+  for (int day = 0; day < 2; ++day) {
+    for (int slot = 0; slot < 4; ++slot) {
+      const double start = (day * 4 + slot) * 1'000.0;
+      f->observe_bin(0, start, 1'000.0, 1.0 + slot);
+    }
+  }
+  // Day 3 queries hit the converged per-slot means exactly.
+  for (int slot = 0; slot < 4; ++slot) {
+    const double start = (8 + slot) * 1'000.0;
+    EXPECT_DOUBLE_EQ(f->forecast(0, start, 1'000.0), 1.0 + slot) << slot;
+  }
+}
+
+TEST(Forecaster, SeasonalFallsBackToGlobalMeanOnUnvisitedSlots) {
+  const auto f = make_forecaster(spec_of("seasonal:period-ms=4000,bins=4"), 1,
+                                 nullptr, trace::ReplayOptions{});
+  EXPECT_DOUBLE_EQ(f->forecast(0, 0.0, 1'000.0), 0.0);  // no data at all
+  f->observe_bin(0, 0.0, 1'000.0, 6.0);  // only slot 0 visited
+  // Slot 2 was never seen: predict the global mean rather than zero.
+  EXPECT_DOUBLE_EQ(f->forecast(0, 2'000.0, 1'000.0), 6.0);
+}
+
+TEST(ForecastService, ScoresClosedBinsWithMaeAndSmape) {
+  ForecastService svc(spec_of("last-bin;bin-ms=1000"), 1, nullptr,
+                      trace::ReplayOptions{});
+  // Bin 0: three arrivals against a cold (0) prediction.
+  svc.on_arrival(0, 100.0);
+  svc.on_arrival(0, 200.0);
+  svc.on_arrival(0, 300.0);
+  // Bin 1: one arrival against a last-bin prediction of 3.
+  svc.on_arrival(0, 1'500.0);
+  // Rolling past bin 1 closes it.
+  svc.on_arrival(0, 2'500.0);
+  const AppAccuracy acc = svc.accuracy(0);
+  EXPECT_EQ(acc.bins, 2u);
+  EXPECT_DOUBLE_EQ(acc.mae, (3.0 + 2.0) / 2.0);
+  // sMAPE: bin 0 = 2*3/(0+3) = 2 (worst case), bin 1 = 2*2/(3+1) = 1.
+  EXPECT_DOUBLE_EQ(acc.smape, (2.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(acc.predicted_mean, (0.0 + 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(acc.realized_mean, (3.0 + 1.0) / 2.0);
+}
+
+TEST(ForecastService, QuietBinsScoreAsPerfectCalls) {
+  ForecastService svc(spec_of("ewma;bin-ms=1000"), 1, nullptr,
+                      trace::ReplayOptions{});
+  // Advance 5 bins with no arrivals: zero predicted vs zero realized.
+  (void)svc.predicted_rate(0, 5'000.0, 0.0);
+  const AppAccuracy acc = svc.accuracy(0);
+  EXPECT_EQ(acc.bins, 5u);
+  EXPECT_DOUBLE_EQ(acc.mae, 0.0);
+  EXPECT_DOUBLE_EQ(acc.smape, 0.0);
+}
+
+TEST(ForecastService, SkippedBinsAreClosedInOrder) {
+  ForecastService svc(spec_of("last-bin;bin-ms=1000"), 1, nullptr,
+                      trace::ReplayOptions{});
+  std::vector<TimeMs> fired;
+  svc.set_bin_callback([&](TimeMs now) { fired.push_back(now); });
+  svc.on_arrival(0, 0.0);
+  svc.on_arrival(0, 5'500.0);  // the clock jumped over bins 0..4
+  EXPECT_EQ(svc.accuracy(0).bins, 5u);
+  // One callback per roll (not per closed bin), after predictions refresh.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired.front(), 5'500.0);
+}
+
+TEST(ForecastService, PredictedRateQueriesLeadMsAhead) {
+  ForecastService svc(spec_of("oracle;bin-ms=1000"), 2, hand_trace(),
+                      trace::ReplayOptions{});
+  // Lead of one bin: standing at t=0 the oracle reads bin 1's 10/s.
+  EXPECT_DOUBLE_EQ(svc.predicted_rate(0, 0.0, 1'000.0), 10.0);
+  EXPECT_DOUBLE_EQ(svc.predicted_rate(0, 0.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(svc.predicted_total_rate(0.0, 0.0), 7.0);  // 5 + 2
+}
+
+TEST(ForecastService, CountsIssuedAndConsumedForecasts) {
+  ForecastService svc(spec_of("last-bin;bin-ms=1000"), 2, nullptr,
+                      trace::ReplayOptions{});
+  // Construction issues one prediction per app for the open bin.
+  EXPECT_EQ(svc.counters().forecasts_issued, 2u);
+  EXPECT_EQ(svc.counters().forecasts_consumed, 0u);
+  (void)svc.predicted_rate(0, 0.0, 500.0);
+  (void)svc.predicted_total_rate(0.0, 500.0);  // one consume, not per-app
+  EXPECT_EQ(svc.counters().forecasts_consumed, 2u);
+  // Rolling one bin forward refreshes both apps' open-bin predictions.
+  (void)svc.predicted_rate(0, 1'000.0, 0.0);
+  EXPECT_EQ(svc.counters().forecasts_issued, 4u);
+}
+
+TEST(ForecastService, BinCallbackMayQueryWithoutRecursing) {
+  ForecastService svc(spec_of("ewma;bin-ms=1000"), 1, nullptr,
+                      trace::ReplayOptions{});
+  int calls = 0;
+  svc.set_bin_callback([&](TimeMs now) {
+    ++calls;
+    // Re-entrant query at the same instant: served from the fresh
+    // predictions without re-rolling (no infinite recursion, no recount).
+    (void)svc.predicted_rate(0, now, 500.0);
+  });
+  svc.on_arrival(0, 100.0);
+  svc.on_arrival(0, 1'200.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(svc.accuracy(0).bins, 1u);
+}
+
+TEST(ForecastService, InertSpecIsRejected) {
+  EXPECT_THROW(
+      ForecastService(ForecastSpec{}, 1, nullptr, trace::ReplayOptions{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esg::forecast

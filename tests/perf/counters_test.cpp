@@ -5,6 +5,8 @@
 // components actually did.
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "exp/scenario.hpp"
 #include "perf/counters.hpp"
 #include "tenant/tenant_spec.hpp"
@@ -42,6 +44,29 @@ TEST(CountersTest, FieldNamesAreUnique) {
       EXPECT_STRNE(kCounterFields[i].name, kCounterFields[j].name);
     }
   }
+}
+
+TEST(CountersTest, DescriptorTableCarriesPrewarmAndForecastAccounting) {
+  // These names feed the perf/* gauge stream and the stats JSONL schema;
+  // removing one would silently drop the telemetry consumers key on.
+  const char* required[] = {"prewarms_issued", "prewarms_skipped",
+                           "forecasts_issued", "forecasts_consumed"};
+  for (const char* name : required) {
+    bool found = false;
+    for (const CounterField& f : kCounterFields) {
+      found |= std::string_view(f.name) == name;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(CountersTest, PrewarmAccountingReachesTheMergedView) {
+  exp::Scenario s = small_scenario(exp::SchedulerKind::kEsg, 42);
+  s.horizon_ms = 4'000.0;
+  const exp::RunOutput out = exp::run_scenario(s);
+  // A multi-second run drives the prewarm manager; whichever way each
+  // decision went, the issued/skipped pair must be plumbed through.
+  EXPECT_GT(out.counters.prewarms_issued + out.counters.prewarms_skipped, 0u);
 }
 
 TEST(CountersTest, SameSeedSameCounters) {

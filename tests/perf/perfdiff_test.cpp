@@ -152,6 +152,42 @@ TEST(PerfDiffTest, ZeroBaselineDoesNotDivide) {
   EXPECT_FALSE(result.regressed);
 }
 
+TEST(PerfDiffTest, GateSuffixPromotesQualityMetrics) {
+  // attainment is informational by default but gates once promoted.
+  const std::string base = R"({"rows": [{"scheduler": "ESG",
+    "attainment": 0.80, "events_per_sec": 100}]})";
+  const std::string cur = R"({"rows": [{"scheduler": "ESG",
+    "attainment": 0.60, "events_per_sec": 100}]})";
+  EXPECT_FALSE(diff_json(base, cur, DiffOptions{}).regressed);
+  DiffOptions options;
+  options.gate_suffixes.push_back("attainment");
+  const DiffResult result = diff_json(base, cur, options);
+  EXPECT_TRUE(result.regressed);
+  const DiffLine* line =
+      find_line(result, "rows[scheduler=ESG].attainment");
+  ASSERT_NE(line, nullptr);
+  EXPECT_TRUE(line->gating);
+  EXPECT_TRUE(line->regression);
+  // The default *_per_sec gate keeps working alongside the extra suffix.
+  const DiffLine* eps =
+      find_line(result, "rows[scheduler=ESG].events_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_TRUE(eps->gating);
+}
+
+TEST(PerfDiffTest, MinusPrefixedSuffixGatesLowerIsBetter) {
+  const std::string base = R"({"run": {"cold_start_rate": 0.10}})";
+  const std::string worse = R"({"run": {"cold_start_rate": 0.20}})";
+  const std::string better = R"({"run": {"cold_start_rate": 0.05}})";
+  DiffOptions options;
+  options.gate_suffixes.push_back("-cold_start_rate");
+  // A rise past the threshold regresses; a drop is an improvement.
+  EXPECT_TRUE(diff_json(base, worse, options).regressed);
+  EXPECT_FALSE(diff_json(base, better, options).regressed);
+  // Without the promotion the same rise is informational.
+  EXPECT_FALSE(diff_json(base, worse, DiffOptions{}).regressed);
+}
+
 TEST(PerfDiffTest, ReportOnlyStillReportsRegressions) {
   // report_only changes only the CLI exit code; the result keeps the flag
   // so CI logs still show what would have failed.

@@ -101,6 +101,46 @@ TEST(AzureShape, FractionalModeStoresExpectedCounts) {
   }
 }
 
+TEST(AzureShape, SingleDayIsByteIdenticalToTheLegacyShape) {
+  // days was introduced after traces were already checked in: days=1 must
+  // consume the RNG in exactly the legacy order so old seeds reproduce.
+  AzureShapeOptions legacy = small_options();
+  AzureShapeOptions one_day = small_options();
+  one_day.days = 1;
+  const WorkloadTrace a = generate_azure_shaped(legacy, stream());
+  const WorkloadTrace b = generate_azure_shaped(one_day, stream());
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].bin, b.rows[i].bin);
+    EXPECT_EQ(a.rows[i].app, b.rows[i].app);
+    EXPECT_DOUBLE_EQ(a.rows[i].count, b.rows[i].count);
+  }
+}
+
+TEST(AzureShape, MultiDayRepeatsTheDiurnalPatternWithFreshBursts) {
+  AzureShapeOptions o = small_options();
+  o.days = 3;
+  o.integer_counts = false;
+  o.burst_count = 0;  // deterministic sinusoid: day 2 must equal day 1
+  const WorkloadTrace t = generate_azure_shaped(o, stream());
+  EXPECT_EQ(t.bin_count(), o.bins * o.days);
+  const std::vector<double> totals = t.bin_totals();
+  for (std::size_t b = 0; b < o.bins; ++b) {
+    EXPECT_NEAR(totals[b], totals[b + o.bins], 1e-9) << "bin " << b;
+    EXPECT_NEAR(totals[b], totals[b + 2 * o.bins], 1e-9) << "bin " << b;
+  }
+  // With bursts back on, the days diverge (fresh draws per day).
+  o.burst_count = 4;
+  o.burst_factor = 8.0;
+  const std::vector<double> bursty =
+      generate_azure_shaped(o, stream()).bin_totals();
+  bool any_differs = false;
+  for (std::size_t b = 0; b < o.bins; ++b) {
+    any_differs |= std::fabs(bursty[b] - bursty[b + o.bins]) > 1e-9;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
 TEST(AzureShape, RejectsBadOptions) {
   AzureShapeOptions o = small_options();
   o.apps = 0;
@@ -122,6 +162,12 @@ TEST(AzureShape, RejectsBadOptions) {
   EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
   o = small_options();
   o.mean_rate_per_bin = -1.0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.days = 0;
+  EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
+  o = small_options();
+  o.days = kMaxTraceBins;  // bins * days overflows the trace bin cap
   EXPECT_THROW(generate_azure_shaped(o, stream()), std::invalid_argument);
 }
 

@@ -17,15 +17,21 @@ constexpr const char* kUsage =
 
 usage: esg_perfdiff [flags] <baseline.json> <current.json>
 
-  --threshold <frac>   allowed fractional drop on *_per_sec metrics before
+  --threshold <frac>   allowed fractional move on gating metrics before
                        a regression is declared (default 0.10 = 10%)
+  --gate-suffix <sfx>  also gate metrics ending in <sfx> (repeatable;
+                       appended to the default *_per_sec). Suffixes are
+                       higher-is-better; prefix with '-' for lower-is-
+                       better fields (e.g. --gate-suffix -cold_start_rate
+                       fails when the rate rises past the threshold)
   --report-only        print the comparison but always exit 0 on success
                        (for CI hosts that differ from the baseline's)
   --version            print one provenance line and exit
   --help
 
-Only *_per_sec metrics gate the verdict (higher is better); counters and
-wall times are reported informationally when they move past the threshold.
+By default only *_per_sec metrics gate the verdict (higher is better);
+counters and wall times are reported informationally when they move past
+the threshold. --gate-suffix promotes more fields into the verdict.
 Rows are matched by their string fields (scheduler, ...) plus rate_scale and
 seed, so reordered baselines still line up.
 
@@ -68,6 +74,15 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("missing value for --threshold");
         }
         options.threshold = parse_threshold(argv[++i]);
+      } else if (arg == "--gate-suffix") {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for --gate-suffix");
+        }
+        const std::string suffix = argv[++i];
+        if (suffix.empty() || suffix == "-") {
+          throw std::invalid_argument("--gate-suffix must not be empty");
+        }
+        options.gate_suffixes.push_back(suffix);
       } else if (arg.rfind("--", 0) == 0) {
         throw std::invalid_argument("unknown flag '" + std::string(arg) +
                                     "' (see --help)");

@@ -54,6 +54,10 @@ int main(int argc, char** argv) {
     elastic_desc =
         " elastic=" + elastic::to_string(opts.scenario.elastic);
   }
+  // Same suppression for --forecast: reactive stdout stays unchanged.
+  if (opts.scenario.forecast.enabled()) {
+    elastic_desc += " forecast=" + forecast::to_string(opts.scenario.forecast);
+  }
   // Same suppression for --tenants: single-tenant stdout stays unchanged.
   // Resolve against the (eagerly loaded) trace so a trace-borne tenant
   // column shows up here too.
@@ -188,6 +192,31 @@ int main(int argc, char** argv) {
     std::printf("elasticity: %zu scale-outs, %zu scale-ins, %zu spot "
                 "reclamations, %zu shed requests\n",
                 scale_outs, scale_ins, reclaims, sheds);
+  }
+
+  // Forecast-accuracy rollup, printed only when a forecaster ran (reactive
+  // stdout is byte-identical to pre-forecast builds). Averages the per-app
+  // MAE/sMAPE over apps with at least one closed bin, across all seeds.
+  if (opts.scenario.forecast.enabled()) {
+    double mae_sum = 0.0, smape_sum = 0.0;
+    std::size_t scored = 0, bins = 0;
+    for (const auto& out : outputs) {
+      for (const auto& acc : out.forecast_accuracy) {
+        if (acc.bins == 0) continue;
+        mae_sum += acc.mae;
+        smape_sum += acc.smape;
+        bins += acc.bins;
+        ++scored;
+      }
+    }
+    if (scored > 0) {
+      std::printf("forecast: %zu scored app-series over %zu bins, "
+                  "mean MAE %.3f req/bin, mean sMAPE %.3f\n",
+                  scored, bins, mae_sum / static_cast<double>(scored),
+                  smape_sum / static_cast<double>(scored));
+    } else {
+      std::printf("forecast: no bins closed (run shorter than bin-ms?)\n");
+    }
   }
 
   // Per-tenant fairness rollup across all seeds, printed only on

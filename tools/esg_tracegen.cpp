@@ -36,7 +36,10 @@ const char* kUsage =
 usage: esg_tracegen [flags]
 
   --apps        <n>     applications in the trace          (default 4)
-  --bins        <n>     trace length in bins               (default 120)
+  --bins        <n>     bins per day                       (default 120)
+  --days        <n>     days to repeat the diurnal pattern
+                        over (fresh burst draws each day;
+                        trace length = bins*days)          (default 1)
   --bin-ms      <ms>    bin width                          (default 1000)
   --mean-rate   <f>     mean invocations per bin, all apps (default 60)
   --diurnal-amplitude <f>  sinusoid depth in [0,1)         (default 0.6)
@@ -112,6 +115,11 @@ Options parse_args(std::span<const char* const> args) {
       opts.shape.apps = parse_count(key, value);
     } else if (key == "--bins") {
       opts.shape.bins = parse_count(key, value);
+    } else if (key == "--days") {
+      opts.shape.days = parse_count(key, value);
+      if (opts.shape.days < 1) {
+        throw std::invalid_argument("--days must be >= 1");
+      }
     } else if (key == "--bin-ms") {
       opts.shape.bin_ms = parse_number(key, value);
     } else if (key == "--mean-rate") {
