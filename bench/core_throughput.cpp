@@ -3,29 +3,37 @@
 // 100, measured in simulator events/sec and invocations/sec of wall time.
 // This is the self-profiling PR's anchor artefact (DESIGN.md §13): the
 // checked-in BENCH_core.json gives esg_perfdiff a baseline so later PRs can
-// see when they slow the hot path down.
+// see when they slow the hot path down (CI gates on events_per_sec).
 //
-// Built on google-benchmark with a custom main so the binary can also write
-// the machine-readable baseline (argv[1] after benchmark flags, default
-// BENCH_core.json).
+// The cells run as sweep tasks on the work-stealing pool (DESIGN.md §15) —
+// the same runner behind `esg_sim --sweep` — so the bench exercises the
+// production replica path instead of a bespoke loop. argv[1] (when not a
+// flag) overrides the output path, default BENCH_core.json.
 //
 // Environment knobs:
 //   ESG_BENCH_CORE_HORIZON_MS — arrival-window length per run (default
-//   2000; deliberately shorter than ESG_BENCH_HORIZON_MS because the
-//   rate-scale-100 rows replay ~100x the paper's arrival rate — over a
-//   hundred thousand invocations even at this horizon).
-#include <benchmark/benchmark.h>
-
+//     2000; deliberately shorter than ESG_BENCH_HORIZON_MS because the
+//     rate-scale-100 rows replay ~100x the paper's arrival rate — over a
+//     hundred thousand invocations even at this horizon).
+//   ESG_BENCH_CORE_BUDGET_MS — wall-clock budget per row (default 0 =
+//     unlimited). A row that exhausts it stops mid-run and is marked
+//     "truncated": its throughput covers only the fired prefix, and
+//     esg_perfdiff comparisons against an untruncated baseline are
+//     meaningless. CI sets a generous budget purely as a hang backstop.
+//   ESG_BENCH_CORE_JOBS — pool worker threads (default 1: concurrent rows
+//     steal each other's wall clock, so parallelism is for smoke runs, not
+//     for numbers worth checking in).
+//   ESG_BENCH_CORE_ENGINE — heap|calendar event-queue engine (default
+//     calendar). Recorded in every row; informational for esg_perfdiff.
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "sweep/sweep.hpp"
 #include "trace/azure_shape.hpp"
 #include "workload/applications.hpp"
 
@@ -44,6 +52,32 @@ double core_horizon_ms() {
   return 2'000.0;
 }
 
+double core_budget_ms() {
+  if (const char* env = std::getenv("ESG_BENCH_CORE_BUDGET_MS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.0;
+}
+
+unsigned core_jobs() {
+  if (const char* env = std::getenv("ESG_BENCH_CORE_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+sim::EngineKind core_engine() {
+  if (const char* env = std::getenv("ESG_BENCH_CORE_ENGINE")) {
+    if (const auto engine = sim::parse_engine(env)) return *engine;
+    std::fprintf(stderr, "unknown ESG_BENCH_CORE_ENGINE '%s' (heap|calendar)\n",
+                 env);
+    std::exit(2);
+  }
+  return sim::EngineKind::kCalendar;
+}
+
 /// All six scheduler kinds: the paper's five-way comparison plus the
 /// multi-tenant MQFQ-Sticky strategy (not in all_schedulers() by design).
 std::vector<exp::SchedulerKind> six_schedulers() {
@@ -53,62 +87,16 @@ std::vector<exp::SchedulerKind> six_schedulers() {
   return kinds;
 }
 
-/// Totals for one (scheduler, rate-scale) cell, accumulated across however
-/// many iterations google-benchmark decides to run.
-struct CellTotals {
-  std::uint64_t events = 0;
-  std::uint64_t invocations = 0;
-  double wall_seconds = 0.0;
-  perf::Counters counters;
-};
-
-/// Keyed by (scheduler index, rate-scale index) so the JSON rows come out in
-/// registration order regardless of benchmark filters.
-std::map<std::pair<std::size_t, std::size_t>, CellTotals> g_cells;
-
-void BM_CoreThroughput(benchmark::State& state, exp::SchedulerKind kind,
-                       std::size_t kind_index, std::size_t scale_index,
-                       std::shared_ptr<const trace::WorkloadTrace> trace) {
-  const exp::SettingCombo combo = exp::paper_combos()[1];  // moderate-normal
-  exp::Scenario s;
-  s.scheduler = kind;
-  s.slo = combo.slo;
-  s.load = combo.load;
-  s.horizon_ms = core_horizon_ms();
-  s.warmup_ms = 0.0;  // throughput counts every event, not steady state
-  s.seed = kSeed;
-  s.arrivals.mode = exp::ArrivalMode::kTrace;
-  s.arrivals.trace = std::move(trace);
-  s.arrivals.replay.rate_scale = kRateScales[scale_index];
-
-  CellTotals& cell = g_cells[{kind_index, scale_index}];
-  for (auto _ : state) {
-    const exp::RunOutput out = exp::run_scenario(s);
-    cell.events += out.counters.events_fired;
-    cell.invocations += out.metrics.requests();
-    cell.wall_seconds += out.wall_seconds;
-    cell.counters.merge(out.counters);
-    benchmark::DoNotOptimize(cell.events);
-  }
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(cell.events), benchmark::Counter::kIsRate);
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(cell.invocations));  // items/s = invocations/s
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
   std::string out_path = "BENCH_core.json";
-  if (argc > 1 && argv[1][0] != '-') {
-    out_path = argv[1];
-    --argc;
-    for (int i = 1; i < argc; ++i) argv[i] = argv[i + 1];
-  }
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (argc > 1 && argv[1][0] != '-') out_path = argv[1];
 
   const auto kinds = six_schedulers();
+  const double horizon_ms = core_horizon_ms();
+  const double budget_ms = core_budget_ms();
+  const sim::EngineKind engine = core_engine();
 
   // One diurnal cycle + bursts across the horizon; mean rate matches the
   // paper's "normal" setting (one arrival per ~26.8 ms at rate-scale 1).
@@ -117,56 +105,80 @@ int main(int argc, char** argv) {
   shape.bin_ms = 500.0;
   // Round up so a sub-bin ESG_BENCH_CORE_HORIZON_MS still yields a trace.
   shape.bins = static_cast<std::size_t>(
-      (core_horizon_ms() + shape.bin_ms - 1.0) / shape.bin_ms);
+      (horizon_ms + shape.bin_ms - 1.0) / shape.bin_ms);
   shape.mean_rate_per_bin = shape.bin_ms / 26.8;
   const auto workload_trace = std::make_shared<const trace::WorkloadTrace>(
       trace::generate_azure_shaped(shape, RngFactory(7).stream("azure-shape")));
 
   std::printf("=== Core throughput: events/sec per scheduler x rate-scale ===\n");
   std::printf("trace: %zu bins x %.0f ms, %.0f invocations at rate-scale 1; "
-              "horizon %.0f ms, seed %llu\n\n",
+              "horizon %.0f ms, seed %llu, engine %s\n",
               workload_trace->bin_count(), workload_trace->bin_ms,
-              workload_trace->total_count(), core_horizon_ms(),
-              static_cast<unsigned long long>(kSeed));
+              workload_trace->total_count(), horizon_ms,
+              static_cast<unsigned long long>(kSeed),
+              sim::engine_name(engine));
+  if (budget_ms > 0.0) {
+    std::printf("budget: %.0f ms wall per row (rows that hit it are marked "
+                "truncated)\n", budget_ms);
+  }
+  std::printf("\n");
 
-  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-    for (std::size_t ri = 0; ri < std::size(kRateScales); ++ri) {
-      const std::string name =
-          "core/" + std::string(exp::to_string(kinds[ki])) + "/x" +
-          std::to_string(static_cast<int>(kRateScales[ri]));
-      benchmark::RegisterBenchmark(name.c_str(), BM_CoreThroughput, kinds[ki],
-                                   ki, ri, workload_trace)
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1)
-          ->UseRealTime();
+  const exp::SettingCombo combo = exp::paper_combos()[1];  // moderate-normal
+  std::vector<sweep::SweepTask> tasks;
+  for (const exp::SchedulerKind kind : kinds) {
+    for (const double scale : kRateScales) {
+      sweep::SweepTask task;
+      exp::Scenario& s = task.scenario;
+      s.scheduler = kind;
+      s.slo = combo.slo;
+      s.load = combo.load;
+      s.horizon_ms = horizon_ms;
+      s.warmup_ms = 0.0;  // throughput counts every event, not steady state
+      s.seed = kSeed;
+      s.engine = engine;
+      s.wall_budget_ms = budget_ms;
+      s.arrivals.mode = exp::ArrivalMode::kTrace;
+      s.arrivals.trace = workload_trace;
+      s.arrivals.replay.rate_scale = scale;
+      task.label = "core/" + std::string(exp::to_string(kind)) + "/x" +
+                   std::to_string(static_cast<int>(scale));
+      tasks.push_back(std::move(task));
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
 
-  if (g_cells.empty()) {
-    std::fprintf(stderr, "no benchmarks ran (filtered out?); not writing %s\n",
-                 out_path.c_str());
-    return 0;
+  sweep::SweepOptions sweep_opts;
+  sweep_opts.jobs = core_jobs();
+  const auto results = sweep::run_sweep(std::move(tasks), sweep_opts);
+  for (const auto& cell : results) {
+    if (cell.failed) {
+      std::fprintf(stderr, "cell %s failed: %s\n", cell.label.c_str(),
+                   cell.error.c_str());
+      return 1;
+    }
   }
 
   AsciiTable table({"scheduler", "rate-scale", "invocations", "events",
                     "wall (s)", "events/s", "inv/s"});
-  for (const auto& [key, cell] : g_cells) {
-    const double wall = cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
-    table.add_row({std::string(exp::to_string(kinds[key.first])),
-                   AsciiTable::num(kRateScales[key.second], 0),
-                   std::to_string(cell.invocations),
-                   std::to_string(cell.events),
-                   AsciiTable::num(cell.wall_seconds, 3),
-                   AsciiTable::num(static_cast<double>(cell.events) / wall, 0),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunOutput& out = results[i].output;
+    const double wall = out.wall_seconds > 0.0 ? out.wall_seconds : 1e-9;
+    const double events = static_cast<double>(out.counters.events_fired);
+    std::string scale = AsciiTable::num(kRateScales[i % 3], 0);
+    if (out.truncated) scale += "*";
+    table.add_row({std::string(exp::to_string(kinds[i / 3])), scale,
+                   std::to_string(out.metrics.requests()),
+                   std::to_string(out.counters.events_fired),
+                   AsciiTable::num(out.wall_seconds, 3),
+                   AsciiTable::num(events / wall, 0),
                    AsciiTable::num(
-                       static_cast<double>(cell.invocations) / wall, 0)});
+                       static_cast<double>(out.metrics.requests()) / wall, 0)});
   }
-  std::printf("\n%s\n", table.render().c_str());
+  std::printf("%s\n", table.render().c_str());
+  if (budget_ms > 0.0) std::printf("* = truncated by the wall budget\n");
 
   // Machine-readable baseline: esg_perfdiff matches rows by scheduler +
-  // rate_scale + seed and gates on the *_per_sec fields.
+  // rate_scale + seed ("engine" is deliberately NOT part of the identity)
+  // and gates on the *_per_sec fields.
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -177,25 +189,28 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"bench\": \"core_throughput\",\n"
                "  \"horizon_ms\": %.0f,\n  \"seed\": %llu,\n  \"rows\": [\n",
-               core_horizon_ms(), static_cast<unsigned long long>(kSeed));
-  std::size_t emitted = 0;
-  for (const auto& [key, cell] : g_cells) {
-    const double wall = cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
+               horizon_ms, static_cast<unsigned long long>(kSeed));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunOutput& row = results[i].output;
+    const double wall = row.wall_seconds > 0.0 ? row.wall_seconds : 1e-9;
     std::fprintf(
         out,
         "    {\"scheduler\": \"%s\", \"rate_scale\": %g, \"seed\": %llu, "
-        "\"invocations\": %llu, \"events\": %llu, \"wall_seconds\": %.4f, "
+        "\"engine\": \"%s\", \"truncated\": %s, "
+        "\"invocations\": %zu, \"events\": %llu, \"wall_seconds\": %.4f, "
         "\"events_per_sec\": %.1f, \"invocations_per_sec\": %.1f}%s\n",
-        std::string(exp::to_string(kinds[key.first])).c_str(),
-        kRateScales[key.second], static_cast<unsigned long long>(kSeed),
-        static_cast<unsigned long long>(cell.invocations),
-        static_cast<unsigned long long>(cell.events), cell.wall_seconds,
-        static_cast<double>(cell.events) / wall,
-        static_cast<double>(cell.invocations) / wall,
-        ++emitted < g_cells.size() ? "," : "");
+        std::string(exp::to_string(kinds[i / 3])).c_str(),
+        kRateScales[i % 3], static_cast<unsigned long long>(kSeed),
+        sim::engine_name(engine),
+        row.truncated ? "true" : "false", row.metrics.requests(),
+        static_cast<unsigned long long>(row.counters.events_fired),
+        row.wall_seconds,
+        static_cast<double>(row.counters.events_fired) / wall,
+        static_cast<double>(row.metrics.requests()) / wall,
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), g_cells.size());
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), results.size());
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace esg::cluster {
 
 Cluster::Cluster(std::size_t node_count, NodeCapacity capacity) {
@@ -12,6 +14,7 @@ Cluster::Cluster(std::size_t node_count, NodeCapacity capacity) {
   for (std::size_t i = 0; i < node_count; ++i) {
     invokers_.emplace_back(InvokerId(static_cast<std::uint32_t>(i)), capacity);
   }
+  attach_index();
 }
 
 Cluster::Cluster(const std::vector<NodeCapacity>& capacities) {
@@ -22,6 +25,55 @@ Cluster::Cluster(const std::vector<NodeCapacity>& capacities) {
   for (std::size_t i = 0; i < capacities.size(); ++i) {
     invokers_.emplace_back(InvokerId(static_cast<std::uint32_t>(i)),
                            capacities[i]);
+  }
+  attach_index();
+}
+
+void Cluster::attach_index() {
+  index_ = std::make_unique<ClusterStateIndex>();
+  for (auto& inv : invokers_) {
+    inv.attach_index(index_.get());
+    // Every node starts Active with an empty warm pool: seed the totals.
+    index_->free_vcpus += inv.free_vcpus();
+    index_->free_vgpus += inv.free_vgpus();
+  }
+}
+
+const std::set<InvokerId>& Cluster::warm_candidates(FunctionId function) const {
+  static const std::set<InvokerId> kEmpty;
+  const auto it = index_->warm.find(function);
+  return it == index_->warm.end() ? kEmpty : it->second;
+}
+
+void Cluster::drop_warm_candidate(FunctionId function, InvokerId id) const {
+  const auto it = index_->warm.find(function);
+  // Keep emptied sets alive: callers iterate warm_candidates() while
+  // dropping, and erasing the set object would invalidate their range.
+  if (it != index_->warm.end()) it->second.erase(id);
+}
+
+void Cluster::check_index_invariants(TimeMs now) const {
+  std::size_t scan_vcpus = 0;
+  std::size_t scan_vgpus = 0;
+  for (const auto& inv : invokers_) {
+    if (inv.state() != NodeState::kRetired) {
+      scan_vcpus += inv.free_vcpus();
+      scan_vgpus += inv.free_vgpus();
+    }
+  }
+  check(scan_vcpus == index_->free_vcpus,
+        "ClusterStateIndex: free_vcpus diverged from the fleet scan");
+  check(scan_vgpus == index_->free_vgpus,
+        "ClusterStateIndex: free_vgpus diverged from the fleet scan");
+  // Superset property: any node holding an unexpired warm container must be
+  // a candidate for that function. (Warm queries prune lazily, so this scan
+  // may shrink warm pools — the same observation a controller query makes.)
+  for (const auto& inv : invokers_) {
+    for (FunctionId fn : inv.warm_functions(now)) {
+      const auto it = index_->warm.find(fn);
+      check(it != index_->warm.end() && it->second.count(inv.id()) == 1,
+            "ClusterStateIndex: warm invoker missing from candidate set");
+    }
   }
 }
 
@@ -46,24 +98,6 @@ InvokerId Cluster::home_invoker(AppId app, FunctionId function) const {
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
   h ^= h >> 31;
   return InvokerId(static_cast<std::uint32_t>(h % invokers_.size()));
-}
-
-std::size_t Cluster::total_free_vcpus() const {
-  std::size_t total = 0;
-  for (const auto& inv : invokers_) {
-    if (inv.state() == NodeState::kRetired) continue;
-    total += inv.free_vcpus();
-  }
-  return total;
-}
-
-std::size_t Cluster::total_free_vgpus() const {
-  std::size_t total = 0;
-  for (const auto& inv : invokers_) {
-    if (inv.state() == NodeState::kRetired) continue;
-    total += inv.free_vgpus();
-  }
-  return total;
 }
 
 std::size_t Cluster::count_state(NodeState state) const {

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <set>
 #include <vector>
 
+#include "cluster/cluster_index.hpp"
 #include "cluster/data_transfer.hpp"
 #include "cluster/invoker.hpp"
 #include "common/types.hpp"
@@ -22,6 +25,13 @@ class Cluster {
   /// the scheduling algorithms work unchanged on heterogeneous hardware).
   explicit Cluster(const std::vector<NodeCapacity>& capacities);
 
+  // Invokers hold a raw pointer into the heap-allocated state index, so the
+  // cluster can move (the allocation is stable) but must not be copied.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+
   [[nodiscard]] std::size_t size() const { return invokers_.size(); }
   [[nodiscard]] Invoker& invoker(InvokerId id);
   [[nodiscard]] const Invoker& invoker(InvokerId id) const;
@@ -34,9 +44,34 @@ class Cluster {
 
   /// Total free resources across the fleet. Retired nodes are not part of
   /// the fleet and contribute nothing; on a static fleet (no retired nodes)
-  /// this is the plain sum over every invoker, dead or alive.
-  [[nodiscard]] std::size_t total_free_vcpus() const;
-  [[nodiscard]] std::size_t total_free_vgpus() const;
+  /// this is the plain sum over every invoker, dead or alive. O(1): running
+  /// sums maintained by Invoker hooks (DESIGN.md §15).
+  [[nodiscard]] std::size_t total_free_vcpus() const {
+    return index_->free_vcpus;
+  }
+  [[nodiscard]] std::size_t total_free_vgpus() const {
+    return index_->free_vgpus;
+  }
+
+  /// Ascending-id set of invokers that *may* hold a warm container for
+  /// `function` — a lazy superset (keep-alive expiry is evaluated lazily), so
+  /// each candidate must be confirmed with Invoker::has_warm before use.
+  /// Iterating this set in order reproduces the historical whole-fleet
+  /// first-fit scan exactly. Never invalidated by drop_warm_candidate of a
+  /// *different* id (std::set erase semantics).
+  [[nodiscard]] const std::set<InvokerId>& warm_candidates(
+      FunctionId function) const;
+
+  /// Removes a candidate the caller has just observed with has_warm == false
+  /// (it can only re-enter via another add_warm, which re-inserts it).
+  void drop_warm_candidate(FunctionId function, InvokerId id) const;
+
+  /// Cross-validates the incremental index against a full fleet scan:
+  /// every invoker holding an unexpired warm container must appear in its
+  /// function's candidate set, and the free-resource sums must match the
+  /// O(n) recomputation. Throws via check() on violation (test hook for the
+  /// crash/reclaim/drain/retire transitions).
+  void check_index_invariants(TimeMs now) const;
 
   /// Fleet-size census by lifecycle state (for stats and elastic policies).
   [[nodiscard]] std::size_t count_state(NodeState state) const;
@@ -67,8 +102,14 @@ class Cluster {
   }
 
  private:
+  void attach_index();
+
   std::vector<Invoker> invokers_;
   DataTransferModel transfer_;
+  // Heap allocation keeps invoker back-pointers stable across cluster moves.
+  // std::unique_ptr does not propagate const, so the lazy candidate cleanup
+  // works from const queries.
+  std::unique_ptr<ClusterStateIndex> index_;
 };
 
 }  // namespace esg::cluster

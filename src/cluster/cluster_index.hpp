@@ -1,0 +1,34 @@
+// Incremental cluster state index (DESIGN.md §15): the structures that let
+// the controller's hot path stop rescanning every node per queued request.
+//
+// Owned by Cluster (behind a stable heap allocation so the cluster can move)
+// and maintained by Invoker hooks:
+//
+//  - `warm` maps a function to the ascending-id set of invokers that *may*
+//    hold a warm container for it. It is a lazy superset: add_warm inserts
+//    eagerly, but keep-alive expiry is evaluated lazily, so a candidate must
+//    be confirmed with Invoker::has_warm before use. Once has_warm observes
+//    false the candidate can be dropped — a node only re-enters via another
+//    add_warm, which re-inserts it. Crash and retire erase their node
+//    eagerly (they clear the whole warm pool anyway).
+//
+//  - `free_vcpus` / `free_vgpus` mirror Cluster::total_free_* as running
+//    sums over non-retired nodes, updated on allocate/release and on the
+//    retired-boundary transitions (retire, begin_warming).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+
+#include "common/types.hpp"
+
+namespace esg::cluster {
+
+struct ClusterStateIndex {
+  std::map<FunctionId, std::set<InvokerId>> warm;
+  std::size_t free_vcpus = 0;
+  std::size_t free_vgpus = 0;
+};
+
+}  // namespace esg::cluster

@@ -10,6 +10,10 @@ void Invoker::allocate(std::uint16_t vcpus, std::uint16_t vgpus) {
   check(can_fit(vcpus, vgpus), "Invoker::allocate over-commits the node");
   used_vcpus_ = static_cast<std::uint16_t>(used_vcpus_ + vcpus);
   used_vgpus_ = static_cast<std::uint16_t>(used_vgpus_ + vgpus);
+  if (index_ != nullptr) {  // can_fit implies non-retired: always counted
+    index_->free_vcpus -= vcpus;
+    index_->free_vgpus -= vgpus;
+  }
 }
 
 void Invoker::release(std::uint16_t vcpus, std::uint16_t vgpus) {
@@ -17,6 +21,20 @@ void Invoker::release(std::uint16_t vcpus, std::uint16_t vgpus) {
         "Invoker::release returns more than allocated");
   used_vcpus_ = static_cast<std::uint16_t>(used_vcpus_ - vcpus);
   used_vgpus_ = static_cast<std::uint16_t>(used_vgpus_ - vgpus);
+  // A retired node cannot hold task resources (retire checks used == 0), so
+  // a release always lands on a counted node.
+  if (index_ != nullptr) {
+    index_->free_vcpus += vcpus;
+    index_->free_vgpus += vgpus;
+  }
+}
+
+void Invoker::index_erase_warm() {
+  if (index_ == nullptr) return;
+  for (const auto& [fn, _] : warm_) {
+    auto it = index_->warm.find(fn);
+    if (it != index_->warm.end()) it->second.erase(id_);
+  }
 }
 
 void Invoker::prune_expired(FunctionId function, TimeMs now) const {
@@ -66,6 +84,7 @@ void Invoker::add_warm(FunctionId function, TimeMs now, TimeMs keep_alive) {
     return;
   }
   warm_[function].push_back(WarmEntry{now + keep_alive, now});
+  if (index_ != nullptr) index_->warm[function].insert(id_);
 }
 
 void Invoker::crash(TimeMs now) {
@@ -85,6 +104,7 @@ void Invoker::crash(TimeMs now) {
       }
     }
   }
+  index_erase_warm();
   warm_.clear();
   alive_ = false;
 }
@@ -95,6 +115,11 @@ void Invoker::begin_warming() {
   check(state_ == NodeState::kRetired,
         "Invoker::begin_warming: node is not retired");
   state_ = NodeState::kWarming;
+  // The node rejoins the free-resource totals (used is 0 while retired).
+  if (index_ != nullptr) {
+    index_->free_vcpus += free_vcpus();
+    index_->free_vgpus += free_vgpus();
+  }
 }
 
 void Invoker::activate() {
@@ -128,8 +153,15 @@ void Invoker::retire(TimeMs now) {
       }
     }
   }
+  index_erase_warm();
   warm_.clear();
   state_ = NodeState::kRetired;
+  // The node leaves the free-resource totals; used is 0 (checked above), so
+  // its entire free capacity goes away.
+  if (index_ != nullptr) {
+    index_->free_vcpus -= free_vcpus();
+    index_->free_vgpus -= free_vgpus();
+  }
 }
 
 void Invoker::flush_warm_spans(TimeMs now) const {
@@ -145,6 +177,16 @@ void Invoker::flush_warm_spans(TimeMs now) const {
       warm_callback_(id_, fn, e.since, now, WarmEnd::kOpen);
     }
   }
+}
+
+std::vector<FunctionId> Invoker::warm_functions(TimeMs now) const {
+  std::vector<FunctionId> functions;
+  functions.reserve(warm_.size());
+  for (const auto& [fn, _] : warm_) functions.push_back(fn);
+  std::sort(functions.begin(), functions.end());
+  std::erase_if(functions,
+                [&](FunctionId fn) { return warm_count(fn, now) == 0; });
+  return functions;
 }
 
 std::size_t Invoker::total_warm(TimeMs now) const {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster_index.hpp"
 #include "common/types.hpp"
 
 namespace esg::cluster {
@@ -135,6 +136,10 @@ class Invoker {
   /// Total unexpired warm containers across functions (for reporting).
   [[nodiscard]] std::size_t total_warm(TimeMs now) const;
 
+  /// Functions with at least one unexpired warm container at `now`, sorted
+  /// (for the index invariant checker; prunes lazily like any warm query).
+  [[nodiscard]] std::vector<FunctionId> warm_functions(TimeMs now) const;
+
   /// Installs the keep-alive tracing observer (empty = disabled).
   void set_warm_span_callback(WarmSpanCallback callback) {
     warm_callback_ = std::move(callback);
@@ -143,6 +148,10 @@ class Invoker {
   /// Reports every still-parked warm container as an open window ending at
   /// `now` (end-of-run trace flush). The containers stay usable.
   void flush_warm_spans(TimeMs now) const;
+
+  /// Installs the shared cluster state index (see cluster_index.hpp). Called
+  /// by Cluster; the pointer must outlive the invoker's mutations.
+  void attach_index(ClusterStateIndex* index) { index_ = index; }
 
  private:
   struct WarmEntry {
@@ -160,8 +169,10 @@ class Invoker {
   // Mutable: const queries prune expired entries lazily.
   mutable std::unordered_map<FunctionId, std::vector<WarmEntry>> warm_;
   WarmSpanCallback warm_callback_;
+  ClusterStateIndex* index_ = nullptr;  // owned by Cluster; null when detached
 
   void prune_expired(FunctionId function, TimeMs now) const;
+  void index_erase_warm();
 };
 
 }  // namespace esg::cluster

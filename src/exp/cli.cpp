@@ -28,6 +28,32 @@ SchedulerKind parse_scheduler(std::string_view v) {
       "' (esg|infless|fast-gshare|orion|aquatope|mqfq-sticky)");
 }
 
+/// `--scheduler` accepts a comma list (sweep mode): `esg,infless,orion`.
+/// Duplicates and empty entries are errors.
+std::vector<SchedulerKind> parse_scheduler_list(std::string_view v) {
+  std::vector<SchedulerKind> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = v.find(',', pos);
+    const std::string_view item =
+        comma == std::string_view::npos ? v.substr(pos)
+                                        : v.substr(pos, comma - pos);
+    if (item.empty()) {
+      throw std::invalid_argument(
+          "--scheduler list must not have empty entries");
+    }
+    const SchedulerKind kind = parse_scheduler(item);
+    if (std::find(out.begin(), out.end(), kind) != out.end()) {
+      throw std::invalid_argument("--scheduler list repeats '" +
+                                  std::string(item) + "'");
+    }
+    out.push_back(kind);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 workload::LoadSetting parse_load(std::string_view v) {
   if (v == "light") return workload::LoadSetting::kLight;
   if (v == "normal") return workload::LoadSetting::kNormal;
@@ -241,7 +267,25 @@ usage: esg_sim [flags]
                          mqfq-sticky runs ESG planning under multi-queue
                          fair queueing: per-tenant virtual-time dispatch,
                          throttling, and sticky device placement (needs
-                         --tenants or a multi-tenant trace)
+                         --tenants or a multi-tenant trace); with --sweep
+                         a comma list runs several schedulers (e.g.
+                         esg,infless,orion)
+  --engine     heap|calendar  event-queue engine        (default calendar)
+                         both engines fire events in identical order, so
+                         every artefact is byte-identical; the binary heap
+                         stays selectable for cross-checking (CI cmp-asserts
+                         the calendar queue against it)
+  --sweep                run the (scheduler x seed) cross product in
+                         parallel on the work-stealing pool and print a
+                         per-cell table plus per-scheduler aggregates.
+                         File-producing flags (--csv-dir, --trace-out, ...)
+                         are rejected: cells would race on the files
+  --jobs       <n>       worker threads for --sweep and multi-seed replica
+                         runs (default 0 = hardware concurrency); results
+                         are byte-identical for any value
+  --sweep-out  <path>    write the sweep result table as deterministic JSON
+                         (esg.sweep.v1; wall-clock fields excluded so the
+                         file is byte-identical across --jobs counts)
   --load       light|normal|heavy                       (default light)
   --slo        strict|moderate|relaxed                  (default strict)
   --arrivals   <spec>    arrival process                (default synthetic)
@@ -369,13 +413,29 @@ CliOptions parse_cli(std::span<const char* const> args) {
       opts.perf_summary = true;
       continue;
     }
+    if (key == "--sweep") {
+      opts.sweep = true;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       throw std::invalid_argument("missing value for " + std::string(key));
     }
     const std::string_view value = args[++i];
 
     if (key == "--scheduler") {
-      opts.scenario.scheduler = parse_scheduler(value);
+      opts.schedulers = parse_scheduler_list(value);
+      opts.scenario.scheduler = opts.schedulers.front();
+    } else if (key == "--engine") {
+      const auto engine = sim::parse_engine(value);
+      if (!engine) {
+        throw std::invalid_argument("unknown --engine '" + std::string(value) +
+                                    "' (heap|calendar)");
+      }
+      opts.scenario.engine = *engine;
+    } else if (key == "--jobs") {
+      opts.jobs = static_cast<unsigned>(parse_unsigned(key, value));
+    } else if (key == "--sweep-out") {
+      opts.sweep_out = std::string(value);
     } else if (key == "--load") {
       opts.scenario.load = parse_load(value);
     } else if (key == "--slo") {
@@ -453,6 +513,33 @@ CliOptions parse_cli(std::span<const char* const> args) {
     throw std::invalid_argument(
         "--elastic forecast needs --forecast (the policy has no signal "
         "without a forecaster)");
+  }
+  if (!opts.sweep) {
+    if (opts.schedulers.size() > 1) {
+      throw std::invalid_argument(
+          "--scheduler with a comma list needs --sweep");
+    }
+    if (!opts.sweep_out.empty()) {
+      throw std::invalid_argument("--sweep-out needs --sweep");
+    }
+  } else {
+    // Sweep replicas run concurrently and share no file paths, so every
+    // file-producing flag is rejected loudly rather than silently dropped.
+    if (!opts.csv_dir.empty()) {
+      throw std::invalid_argument(
+          "--csv-dir is not supported with --sweep (cells would race on the "
+          "files); run cells individually for CSVs");
+    }
+    if (opts.scenario.trace.enabled()) {
+      throw std::invalid_argument(
+          "--trace-out/--stats-out/--report-out/--perf-out are not supported "
+          "with --sweep (cells would race on the files)");
+    }
+    if (opts.perf_summary) {
+      throw std::invalid_argument(
+          "--perf-summary is not supported with --sweep (the profiler scope "
+          "tree is per-process, not per-cell)");
+    }
   }
 
   return opts;

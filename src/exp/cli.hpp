@@ -16,6 +16,17 @@ struct CliOptions {
   std::vector<std::uint64_t> seeds{42};
   /// Directory to write completions/tasks/summary CSVs into (empty = none).
   std::string csv_dir;
+  /// --sweep: run the (scheduler × seed) cross product on the work-stealing
+  /// pool instead of the single-scheduler replica path.
+  bool sweep = false;
+  /// --jobs: worker threads for --sweep and the multi-seed replica runner
+  /// (0 = hardware concurrency). Results are byte-identical for any value.
+  unsigned jobs = 0;
+  /// --sweep-out: deterministic sweep-result JSON path (empty = none).
+  std::string sweep_out;
+  /// Schedulers named by --scheduler. A comma list is only valid with
+  /// --sweep; front() always mirrors scenario.scheduler.
+  std::vector<SchedulerKind> schedulers{SchedulerKind::kEsg};
   bool help = false;
   /// Print the per-seed self-profiling summary (counters + scope tree) after
   /// each run. Forces sequential seed execution like the traced path.

@@ -1,7 +1,6 @@
 #include "exp/scenario.hpp"
 
 #include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +16,7 @@
 #include "perf/profiler.hpp"
 #include "perf/report.hpp"
 #include "sim/simulator.hpp"
+#include "sweep/thread_pool.hpp"
 #include "tenant/fair_queue.hpp"
 #include "tenant/mqfq_scheduler.hpp"
 
@@ -255,7 +255,7 @@ RunOutput run_scenario(const Scenario& scenario_in,
         std::make_unique<tenant::FairQueue>(tenant_spec, cluster_nodes, mqfq);
   }
 
-  sim::Simulator sim;
+  sim::Simulator sim(scenario.engine);
   cluster::Cluster cluster(cluster_nodes);
   const auto scheduler =
       make_scheduler(scenario, apps, profiles, rng, fair_queue.get());
@@ -416,7 +416,25 @@ RunOutput run_scenario(const Scenario& scenario_in,
   for (const auto& app : apps) app_ids.push_back(app.id());
   const auto source = make_arrival_source(scenario, std::move(app_ids), rng);
   controller.inject(source->generate_until(scenario.horizon_ms));
-  controller.run_to_completion();
+  bool truncated = false;
+  if (scenario.wall_budget_ms <= 0.0) {
+    controller.run_to_completion();
+  } else {
+    // Budgeted run (bench rows): fire events until the wall-clock budget is
+    // spent. The clock check is batched per 1024 events so the steady-state
+    // loop stays as hot as run_to_completion.
+    const auto deadline =
+        wall_start +
+        std::chrono::duration<double, std::milli>(scenario.wall_budget_ms);
+    std::uint64_t fired = 0;
+    while (sim.step()) {
+      if ((++fired & 0x3FFu) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+    }
+    truncated = !sim.empty();
+  }
 
   if (tracing) {
     cluster.flush_warm_spans(sim.now());
@@ -439,35 +457,31 @@ RunOutput run_scenario(const Scenario& scenario_in,
       out.forecast_accuracy.push_back(forecast_service->accuracy(a));
     }
   }
+  out.truncated = truncated;
   return out;
 }
 
 std::vector<RunOutput> run_replicas(const Scenario& base,
                                     std::span<const std::uint64_t> seeds,
                                     unsigned max_threads) {
+  std::vector<RunOutput> outputs(seeds.size());
+  if (seeds.empty()) return outputs;
   if (max_threads == 0) {
     max_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  std::vector<RunOutput> outputs(seeds.size());
-  std::atomic<std::size_t> next{0};
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(max_threads, seeds.size()));
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= seeds.size()) return;
-          Scenario scenario = base;
-          scenario.seed = seeds[i];
-          scenario.trace = TraceConfig{};  // replicas would race on the files
-          outputs[i] = run_scenario(scenario);
-        }
-      });
-    }
+  // Each replica writes only its own slot, so the merged outputs are ordered
+  // like `seeds` (and byte-identical) for any worker count.
+  sweep::ThreadPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(max_threads, seeds.size())));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    pool.submit([&base, &seeds, &outputs, i] {
+      Scenario scenario = base;
+      scenario.seed = seeds[i];
+      scenario.trace = TraceConfig{};  // replicas would race on the files
+      outputs[i] = run_scenario(scenario);
+    });
   }
+  pool.wait_idle();
   return outputs;
 }
 

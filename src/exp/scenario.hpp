@@ -22,6 +22,7 @@
 #include "perf/counters.hpp"
 #include "platform/controller.hpp"
 #include "profile/profile_table.hpp"
+#include "sim/simulator.hpp"
 #include "tenant/tenant_spec.hpp"
 #include "trace/replay.hpp"
 #include "workload/applications.hpp"
@@ -104,6 +105,15 @@ struct Scenario {
   /// identically and is not what the paper's Figures 6-8 report).
   TimeMs warmup_ms = 0.0;
   std::uint64_t seed = 42;
+  /// Event-queue engine backing the run's Simulator (--engine). Both engines
+  /// fire in identical (when, seq) order, so every artefact is byte-identical
+  /// across them (DESIGN.md §15); heap stays selectable for cross-checking.
+  sim::EngineKind engine = sim::EngineKind::kCalendar;
+  /// Wall-clock budget for the event loop in milliseconds (0 = unlimited).
+  /// A budgeted run stops firing events once the budget is spent and sets
+  /// RunOutput::truncated; the bench suite uses this to bound per-row cost
+  /// (ESG_BENCH_CORE_BUDGET_MS). Metrics then cover only the fired prefix.
+  double wall_budget_ms = 0.0;
 
   platform::ControllerOptions controller;
   TraceConfig trace;
@@ -161,6 +171,10 @@ struct RunOutput {
   /// Per-app forecast accuracy over the run's closed bins; empty unless the
   /// scenario ran with a forecaster.
   std::vector<forecast::AppAccuracy> forecast_accuracy;
+  /// True when a wall-budgeted run (Scenario::wall_budget_ms) stopped before
+  /// the event queue drained. Truncated metrics cover only the fired prefix
+  /// and are NOT comparable across engines or code versions.
+  bool truncated = false;
 };
 
 /// Builds the arrival source a scenario asks for. Synthetic and bursty
@@ -182,10 +196,12 @@ struct RunOutput {
 [[nodiscard]] RunOutput run_scenario(const Scenario& scenario,
                                      obs::TraceRecorder* recorder);
 
-/// Runs one scenario per seed, in parallel (up to `max_threads` jthreads;
-/// 0 = hardware concurrency). Outputs are ordered like `seeds`.
-/// scenario.trace is ignored here — replicas would race on the output
-/// files; run traced seeds sequentially through run_scenario instead.
+/// Runs one scenario per seed on the work-stealing pool (src/sweep; up to
+/// `max_threads` workers, 0 = hardware concurrency). Outputs are ordered
+/// like `seeds` regardless of execution interleaving, so results are
+/// byte-identical for any thread count. scenario.trace is ignored here —
+/// replicas would race on the output files; run traced seeds sequentially
+/// through run_scenario instead.
 [[nodiscard]] std::vector<RunOutput> run_replicas(const Scenario& base,
                                                   std::span<const std::uint64_t> seeds,
                                                   unsigned max_threads = 0);

@@ -305,9 +305,44 @@ void Controller::enqueue_job(RequestId request, AppId app,
   job.request_arrival_ms = requests_.at(request).arrival_ms;
   job.enqueue_ms = now;
   job.input_location = input_location;
-  queue.jobs.push_back(job);
+  queue.push_back_job(std::move(job));
 
   ensure_scan_scheduled();
+}
+
+void Controller::AfwQueue::push_back_job(Job job) {
+  enqueue_times.insert(job.enqueue_ms);
+  arrival_times.insert(job.request_arrival_ms);
+  jobs.push_back(std::move(job));
+}
+
+void Controller::AfwQueue::push_front_job(Job job) {
+  enqueue_times.insert(job.enqueue_ms);
+  arrival_times.insert(job.request_arrival_ms);
+  jobs.push_front(std::move(job));
+}
+
+Job Controller::AfwQueue::pop_front_job() {
+  Job job = std::move(jobs.front());
+  jobs.pop_front();
+  enqueue_times.erase(enqueue_times.find(job.enqueue_ms));
+  arrival_times.erase(arrival_times.find(job.request_arrival_ms));
+  return job;
+}
+
+std::size_t Controller::AfwQueue::erase_request_jobs(RequestId request) {
+  std::size_t removed = 0;
+  for (const Job& job : jobs) {
+    if (job.request != request) continue;
+    enqueue_times.erase(enqueue_times.find(job.enqueue_ms));
+    arrival_times.erase(arrival_times.find(job.request_arrival_ms));
+    ++removed;
+  }
+  if (removed > 0) {
+    std::erase_if(jobs,
+                  [request](const Job& j) { return j.request == request; });
+  }
+  return removed;
 }
 
 void Controller::ensure_scan_scheduled() {
@@ -381,10 +416,11 @@ QueueView Controller::make_view(const AfwQueue& queue) const {
   view.now_ms = sim_.now();
   view.head_wait_ms = 0.0;
   view.oldest_elapsed_ms = 0.0;
-  for (const Job& job : queue.jobs) {
-    view.head_wait_ms = std::max(view.head_wait_ms, sim_.now() - job.enqueue_ms);
-    view.oldest_elapsed_ms =
-        std::max(view.oldest_elapsed_ms, sim_.now() - job.request_arrival_ms);
+  if (!queue.jobs.empty()) {
+    // max(now - stamp) over the queue == now - min(stamp); both stamps are
+    // <= now, so the O(1) multiset minimum reproduces the old full rescan.
+    view.head_wait_ms = sim_.now() - *queue.enqueue_times.begin();
+    view.oldest_elapsed_ms = sim_.now() - *queue.arrival_times.begin();
   }
   if (forecast_ != nullptr) {
     view.forecast_rate_per_s = forecast_->predicted_rate(
@@ -565,8 +601,26 @@ void Controller::process_queue(std::size_t qi) {
         }
         if (fits_warm(ctx.home_invoker)) return ctx.home_invoker;
       }
-      for (const auto& inv : cluster_.invokers()) {
-        if (fits_warm(inv.id())) return inv.id();
+      // Fleet scan through the warm-pool index: candidates come back in
+      // ascending id order, reproducing the historical whole-fleet first
+      // fit without visiting nodes that never parked a container. Stale
+      // candidates (keep-alive expired, crashed, drained) are dropped as
+      // they are observed — they can only re-enter via add_warm.
+      const std::set<InvokerId>& warm_ids =
+          cluster_.warm_candidates(queue.function);
+      for (auto it = warm_ids.begin(); it != warm_ids.end();) {
+        const InvokerId id = *it;
+        ++it;  // advance before the erase below invalidates `id`'s position
+        if (!cluster_.invoker(id).has_warm(queue.function, sim_.now())) {
+          cluster_.drop_warm_candidate(queue.function, id);
+          continue;
+        }
+        if (ctx.excluded_invoker.valid() && id == ctx.excluded_invoker) {
+          continue;
+        }
+        if (cluster_.invoker(id).can_fit(config.vcpus, config.vgpus)) {
+          return id;
+        }
       }
       return std::nullopt;
     }();
@@ -647,8 +701,7 @@ void Controller::dispatch(AfwQueue& queue, const profile::Config& config,
   task.invoker = invoker_id;
   task.dispatch_ms = sim_.now();
   for (std::uint16_t i = 0; i < config.batch; ++i) {
-    task.jobs.push_back(queue.jobs.front());
-    queue.jobs.pop_front();
+    task.jobs.push_back(queue.pop_front_job());
   }
   if (fq_ != nullptr) fq_->on_dequeue(queue.tenant, task.jobs.size());
 
@@ -1005,7 +1058,7 @@ void Controller::requeue_job(const Job& job) {
   AfwQueue& queue = queues_[queue_of(job.app, job.stage, req.tenant)];
   if (fq_ != nullptr) fq_->on_enqueue(queue.tenant);
   // Front of the queue: the retried job is the oldest work this stage has.
-  queue.jobs.push_front(job);
+  queue.push_front_job(job);
   queue.planned_length = AfwQueue::kNoPlan;
   ensure_scan_scheduled();
 }
@@ -1019,14 +1072,10 @@ void Controller::abort_request(RequestId request, workload::NodeIndex stage,
   // Drop the request's queued jobs everywhere (parallel DAG branches may
   // have siblings waiting at other stages).
   for (AfwQueue& queue : queues_) {
-    const std::size_t before = queue.jobs.size();
-    std::erase_if(queue.jobs,
-                  [request](const Job& j) { return j.request == request; });
-    if (queue.jobs.size() != before) {
+    const std::size_t removed = queue.erase_request_jobs(request);
+    if (removed > 0) {
       queue.planned_length = AfwQueue::kNoPlan;
-      if (fq_ != nullptr) {
-        fq_->on_dequeue(queue.tenant, before - queue.jobs.size());
-      }
+      if (fq_ != nullptr) fq_->on_dequeue(queue.tenant, removed);
     }
   }
 
@@ -1299,8 +1348,14 @@ void Controller::provision_container(InvokerId invoker, FunctionId function) {
 bool Controller::function_active_anywhere(FunctionId function) const {
   auto it = active_by_function_.find(function);
   if (it != active_by_function_.end() && it->second > 0) return true;
-  for (const auto& inv : cluster_.invokers()) {
-    if (inv.has_warm(function, sim_.now())) return true;
+  // Warm-pool index instead of a fleet scan; stale candidates are dropped
+  // as observed (same lazy contract as the placement path).
+  const std::set<InvokerId>& warm_ids = cluster_.warm_candidates(function);
+  for (auto cit = warm_ids.begin(); cit != warm_ids.end();) {
+    const InvokerId id = *cit;
+    ++cit;
+    if (cluster_.invoker(id).has_warm(function, sim_.now())) return true;
+    cluster_.drop_warm_candidate(function, id);
   }
   return false;
 }

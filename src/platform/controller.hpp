@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <memory>
+#include <set>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -159,6 +160,20 @@ class Controller {
     std::uint32_t tenant = 0;  ///< owning flow (always 0 without fair queueing)
     std::deque<Job> jobs;
     int placement_failures = 0;  ///< consecutive recheck rounds
+
+    // Incremental min-trackers over the queued jobs (DESIGN.md §15): multiset
+    // mirrors of the enqueue/arrival stamps make make_view O(1) instead of
+    // rescanning the deque per plan. The deque is not sorted by either stamp
+    // once fault retries push_front at interleaved backoffs, hence explicit
+    // tracking. Every jobs mutation must go through the helpers below.
+    std::multiset<TimeMs> enqueue_times;
+    std::multiset<TimeMs> arrival_times;
+
+    void push_back_job(Job job);
+    void push_front_job(Job job);
+    Job pop_front_job();
+    /// Removes every job of `request`; returns how many were dropped.
+    std::size_t erase_request_jobs(RequestId request);
 
     // Cached plan (cleared on dispatch or when the queue length changes).
     std::vector<profile::Config> pending_candidates;

@@ -1,0 +1,137 @@
+#include "sim/calendar_queue.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace esg::sim {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+
+bool item_less(const CalendarItem& a, const CalendarItem& b) {
+  if (a.when != b.when) return a.when < b.when;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+void CalendarQueue::push(CalendarItem item) {
+  const std::uint64_t day = day_of(item.when);
+  // Keep cur_day_ a lower bound over every pending item's day: run_until may
+  // drop a cancelled entry past its deadline, after which the caller can
+  // legally schedule earlier than the last popped item.
+  if (day < cur_day_) cur_day_ = day;
+  const std::size_t b = bucket_of(day);
+  buckets_[b].push_back(std::move(item));
+  ++size_;
+  if (min_cached_ &&
+      item_less(buckets_[b].back(), buckets_[min_bucket_][min_pos_])) {
+    min_bucket_ = b;
+    min_pos_ = buckets_[b].size() - 1;
+  }
+  if (size_ > buckets_.size() * 2) resize(buckets_.size() * 2);
+}
+
+const CalendarItem* CalendarQueue::peek() {
+  if (size_ == 0) return nullptr;
+  locate_min();
+  return &buckets_[min_bucket_][min_pos_];
+}
+
+CalendarItem CalendarQueue::pop_min() {
+  check(size_ > 0, "CalendarQueue: pop_min on empty queue");
+  locate_min();
+  std::vector<CalendarItem>& bucket = buckets_[min_bucket_];
+  CalendarItem item = std::move(bucket[min_pos_]);
+  if (min_pos_ + 1 != bucket.size()) bucket[min_pos_] = std::move(bucket.back());
+  bucket.pop_back();
+  --size_;
+  min_cached_ = false;
+  cur_day_ = day_of(item.when);
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+    resize(buckets_.size() / 2);
+  }
+  return item;
+}
+
+void CalendarQueue::locate_min() {
+  if (min_cached_) return;
+  check(size_ > 0, "CalendarQueue: locate_min on empty queue");
+  const std::size_t n = buckets_.size();
+  // One calendar lap starting at the lower-bound day: the first day that owns
+  // an item owns the minimum, and within that day the lowest (when, seq) wins.
+  std::uint64_t day = cur_day_;
+  for (std::size_t lap = 0; lap < n; ++lap, ++day) {
+    const std::vector<CalendarItem>& bucket = buckets_[bucket_of(day)];
+    bool found = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (day_of(bucket[i].when) != day) continue;  // a later lap's item
+      if (!found || item_less(bucket[i], bucket[best])) {
+        best = i;
+        found = true;
+      }
+    }
+    if (found) {
+      min_bucket_ = bucket_of(day);
+      min_pos_ = best;
+      min_cached_ = true;
+      cur_day_ = day;
+      return;
+    }
+  }
+  // Every pending item lies more than one lap ahead (a quiet stretch wider
+  // than the whole calendar): fall back to a direct search over all items.
+  bool found = false;
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::vector<CalendarItem>& bucket = buckets_[b];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (!found || item_less(bucket[i], buckets_[min_bucket_][min_pos_])) {
+        min_bucket_ = b;
+        min_pos_ = i;
+        found = true;
+      }
+    }
+  }
+  check(found, "CalendarQueue: direct search found no item");
+  min_cached_ = true;
+  cur_day_ = day_of(buckets_[min_bucket_][min_pos_].when);
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  // Re-estimate the day width from the live spread so an average day holds a
+  // handful of items regardless of event density; identical input sequences
+  // resize identically, preserving determinism.
+  TimeMs lo = 0.0;
+  TimeMs hi = 0.0;
+  bool first = true;
+  for (const std::vector<CalendarItem>& bucket : buckets_) {
+    for (const CalendarItem& item : bucket) {
+      if (first || item.when < lo) lo = item.when;
+      if (first || item.when > hi) hi = item.when;
+      first = false;
+    }
+  }
+  if (size_ >= 2 && hi > lo) {
+    const TimeMs avg_gap = (hi - lo) / static_cast<TimeMs>(size_);
+    width_ = avg_gap * 4.0;
+    if (width_ < 1e-9) width_ = 1e-9;
+  }
+  std::vector<std::vector<CalendarItem>> old = std::move(buckets_);
+  buckets_.assign(nbuckets, {});
+  mask_ = static_cast<std::uint64_t>(nbuckets) - 1;
+  min_cached_ = false;
+  cur_day_ = first ? 0 : day_of(lo);
+  for (std::vector<CalendarItem>& bucket : old) {
+    for (CalendarItem& item : bucket) {
+      buckets_[bucket_of(day_of(item.when))].push_back(std::move(item));
+    }
+  }
+}
+
+}  // namespace esg::sim

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/check.hpp"
 #include "perf/profiler.hpp"
 
 namespace esg::sim {
+
+const char* engine_name(EngineKind engine) {
+  return engine == EngineKind::kHeap ? "heap" : "calendar";
+}
+
+std::optional<EngineKind> parse_engine(std::string_view name) {
+  if (name == "heap") return EngineKind::kHeap;
+  if (name == "calendar") return EngineKind::kCalendar;
+  return std::nullopt;
+}
 
 EventHandle Simulator::schedule_in(TimeMs delay, Action action) {
   if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
@@ -17,8 +28,12 @@ EventHandle Simulator::schedule_at(TimeMs when, Action action) {
   if (when < now_) throw std::invalid_argument("Simulator: schedule in the past");
   if (!action) throw std::invalid_argument("Simulator: empty action");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(action)});
-  live_.insert(seq);
+  if (engine_ == EngineKind::kHeap) {
+    heap_.push(Entry{when, seq, std::move(action)});
+  } else {
+    calendar_.push(CalendarItem{when, seq, std::move(action)});
+  }
+  seq_state_.push_back(kSeqLive);  // index seq - 1: seqs are dense from 1
   ++counters_.events_scheduled;
   ++counters_.heap_pushes;
   return EventHandle(seq);
@@ -26,47 +41,69 @@ EventHandle Simulator::schedule_at(TimeMs when, Action action) {
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  // A handle whose event already fired (or was never scheduled here) has no
-  // heap entry; recording it would make pending() undercount forever.
-  if (live_.find(handle.seq_) == live_.end()) return;
-  if (is_cancelled(handle.seq_)) return;
-  cancelled_seqs_.push_back(handle.seq_);
+  // A handle whose event already fired (or was cancelled before) must stay a
+  // no-op; recording it again would make pending() undercount forever.
+  if (handle.seq_ > seq_state_.size()) return;
+  std::uint8_t& state = seq_state_[handle.seq_ - 1];
+  if (state != kSeqLive) return;
+  state = kSeqCancelled;
   ++cancelled_;
   ++counters_.events_cancelled;
 }
 
-bool Simulator::is_cancelled(std::uint64_t seq) const {
-  return std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), seq) !=
-         cancelled_seqs_.end();
-}
-
-void Simulator::forget_cancelled(std::uint64_t seq) {
-  auto it = std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), seq);
-  if (it != cancelled_seqs_.end()) {
-    cancelled_seqs_.erase(it);
-    check(cancelled_ > 0, "cancelled counter underflow");
-    --cancelled_;
-  }
-}
-
-bool Simulator::step() {
-  ESG_PROF_SCOPE("sim/step");
-  while (!heap_.empty()) {
+bool Simulator::pop_next(TimeMs& when, std::uint64_t& seq, Action& action) {
+  if (engine_ == EngineKind::kHeap) {
+    if (heap_.empty()) return false;
     // priority_queue::top is const; the entry is copied cheaply except for
     // the action, which we move out via const_cast before popping — the
     // entry is removed immediately after, so the moved-from state is never
     // observed.
     Entry& top = const_cast<Entry&>(heap_.top());
-    const TimeMs when = top.when;
-    const std::uint64_t seq = top.seq;
-    Action action = std::move(top.action);
+    when = top.when;
+    seq = top.seq;
+    action = std::move(top.action);
     heap_.pop();
-    live_.erase(seq);
-    ++counters_.heap_pops;
-    if (is_cancelled(seq)) {
-      forget_cancelled(seq);
-      continue;
-    }
+  } else {
+    if (calendar_.empty()) return false;
+    CalendarItem item = calendar_.pop_min();
+    when = item.when;
+    seq = item.seq;
+    action = std::move(item.action);
+  }
+  ++counters_.heap_pops;
+  return true;
+}
+
+bool Simulator::peek_next(TimeMs& when, std::uint64_t& seq) {
+  if (engine_ == EngineKind::kHeap) {
+    if (heap_.empty()) return false;
+    when = heap_.top().when;
+    seq = heap_.top().seq;
+    return true;
+  }
+  const CalendarItem* item = calendar_.peek();
+  if (item == nullptr) return false;
+  when = item->when;
+  seq = item->seq;
+  return true;
+}
+
+bool Simulator::consume_cancelled(std::uint64_t seq) {
+  const std::uint8_t state =
+      std::exchange(seq_state_[seq - 1], static_cast<std::uint8_t>(kSeqDone));
+  if (state != kSeqCancelled) return false;
+  check(cancelled_ > 0, "cancelled counter underflow");
+  --cancelled_;
+  return true;
+}
+
+bool Simulator::step() {
+  ESG_PROF_SCOPE("sim/step");
+  TimeMs when = 0.0;
+  std::uint64_t seq = 0;
+  Action action;
+  while (pop_next(when, seq, action)) {
+    if (consume_cancelled(seq)) continue;
     check(when >= now_, "event queue went backwards in time");
     now_ = when;
     ++counters_.events_fired;
@@ -86,15 +123,17 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(TimeMs deadline) {
   ESG_PROF_SCOPE("sim/run_until");
   std::size_t fired = 0;
-  while (!heap_.empty()) {
-    // Peek: drop cancelled entries so the time check sees a live event.
-    while (!heap_.empty() && is_cancelled(heap_.top().seq)) {
-      forget_cancelled(heap_.top().seq);
-      live_.erase(heap_.top().seq);
-      heap_.pop();
-      ++counters_.heap_pops;
+  TimeMs when = 0.0;
+  std::uint64_t seq = 0;
+  while (peek_next(when, seq)) {
+    // Drop cancelled entries at the top so the time check sees a live event.
+    if (seq_state_[seq - 1] == kSeqCancelled) {
+      Action discarded;
+      pop_next(when, seq, discarded);
+      consume_cancelled(seq);
+      continue;
     }
-    if (heap_.empty() || heap_.top().when > deadline) break;
+    if (when > deadline) break;
     if (step()) ++fired;
   }
   now_ = std::max(now_, deadline);

@@ -4,18 +4,36 @@
 // by insertion order (a monotonically increasing sequence number), so a run
 // is bit-reproducible for a fixed seed. Handlers may schedule further events
 // and may cancel previously scheduled ones via the returned handle.
+//
+// Two interchangeable priority structures back the queue (DESIGN.md §15): a
+// binary min-heap and a calendar queue with O(1) amortized schedule/fire.
+// Both fire in identical (when, seq) order and maintain identical counters,
+// so every artefact is byte-identical across engines.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
 #include "perf/counters.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace esg::sim {
+
+/// Which priority structure backs the event queue. The calendar queue is the
+/// default; the heap stays selectable (--engine heap) so historic artefacts
+/// remain reproducible and CI can cross-check byte-identity.
+enum class EngineKind { kHeap, kCalendar };
+
+/// "heap" or "calendar" (stable CLI/artefact spelling).
+[[nodiscard]] const char* engine_name(EngineKind engine);
+
+/// Parses the CLI spelling; nullopt when unrecognised.
+[[nodiscard]] std::optional<EngineKind> parse_engine(std::string_view name);
 
 /// Handle for cancelling a scheduled event. Default-constructed = invalid.
 class EventHandle {
@@ -33,6 +51,11 @@ class EventHandle {
 class Simulator {
  public:
   using Action = std::function<void()>;
+
+  explicit Simulator(EngineKind engine = EngineKind::kCalendar)
+      : engine_(engine) {}
+
+  [[nodiscard]] EngineKind engine() const { return engine_; }
 
   /// Current simulated time in milliseconds.
   [[nodiscard]] TimeMs now() const { return now_; }
@@ -56,7 +79,9 @@ class Simulator {
   /// Fires the single earliest event. Returns false if the queue is empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
+  [[nodiscard]] std::size_t pending() const {
+    return queue_size() - cancelled_;
+  }
   [[nodiscard]] bool empty() const { return pending() == 0; }
 
   /// Always-on hot-path counters for the event loop (DESIGN.md §13).
@@ -66,7 +91,7 @@ class Simulator {
   struct Entry {
     TimeMs when;
     std::uint64_t seq;
-    Action action;  // empty after cancellation
+    Action action;
 
     bool operator>(const Entry& other) const {
       if (when != other.when) return when > other.when;
@@ -74,20 +99,29 @@ class Simulator {
     }
   };
 
-  // Min-heap over (when, seq). Cancellation is lazy: the handle's seq is
-  // recorded and the entry dropped when it reaches the top. `live_` holds the
-  // seqs still in the heap so cancelling a fired (or already-cancelled) handle
-  // is a true no-op and cannot skew the pending() count.
+  // Per-event lifecycle, indexed by seq - 1 (seqs are dense from 1). One byte
+  // per event ever scheduled buys O(1) cancel and cancelled-drop checks;
+  // cancellation stays lazy — the queue entry is dropped when it surfaces.
+  enum SeqState : std::uint8_t { kSeqLive = 0, kSeqCancelled = 1, kSeqDone = 2 };
+
+  [[nodiscard]] std::size_t queue_size() const {
+    return engine_ == EngineKind::kHeap ? heap_.size() : calendar_.size();
+  }
+  /// Removes the minimum entry (counts a heap_pop). False when empty.
+  bool pop_next(TimeMs& when, std::uint64_t& seq, Action& action);
+  /// Reads the minimum entry's key without removing it. False when empty.
+  bool peek_next(TimeMs& when, std::uint64_t& seq);
+  /// Marks `seq` done; true (and bookkeeping updated) if it was cancelled.
+  bool consume_cancelled(std::uint64_t seq);
+
+  EngineKind engine_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> live_;
-  std::vector<std::uint64_t> cancelled_seqs_;
+  CalendarQueue calendar_;
+  std::vector<std::uint8_t> seq_state_;
   std::size_t cancelled_ = 0;
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   perf::Counters counters_;
-
-  [[nodiscard]] bool is_cancelled(std::uint64_t seq) const;
-  void forget_cancelled(std::uint64_t seq);
 };
 
 }  // namespace esg::sim

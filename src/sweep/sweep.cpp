@@ -1,0 +1,53 @@
+#include "sweep/sweep.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "sweep/thread_pool.hpp"
+
+namespace esg::sweep {
+
+std::vector<SweepCellResult> run_sweep(std::vector<SweepTask> tasks,
+                                       const SweepOptions& options) {
+  std::vector<SweepCellResult> results(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    results[i].label = tasks[i].label;
+  }
+  ThreadPool pool(options.jobs);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // Each closure owns its scenario and writes only its own result slot;
+    // the pool's wait_idle() is the only cross-thread synchronisation.
+    pool.submit([&tasks, &results, i] {
+      try {
+        results[i].output = exp::run_scenario(tasks[i].scenario);
+      } catch (const std::exception& e) {
+        results[i].failed = true;
+        results[i].error = e.what();
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+std::vector<SweepTask> cross_product(
+    const exp::Scenario& base, std::span<const exp::SchedulerKind> schedulers,
+    std::span<const std::uint64_t> seeds) {
+  std::vector<SweepTask> tasks;
+  tasks.reserve(schedulers.size() * seeds.size());
+  for (const exp::SchedulerKind scheduler : schedulers) {
+    for (const std::uint64_t seed : seeds) {
+      SweepTask task;
+      task.scenario = base;
+      task.scenario.scheduler = scheduler;
+      task.scenario.seed = seed;
+      task.scenario.trace = exp::TraceConfig{};
+      task.label = std::string(exp::to_string(scheduler)) + "/seed" +
+                   std::to_string(seed);
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace esg::sweep

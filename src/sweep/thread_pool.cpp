@@ -1,0 +1,81 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace esg::sweep {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads != 0
+                         ? threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[submit_cursor_ % queues_.size()].push_back(std::move(task));
+    ++submit_cursor_;
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::uint64_t ThreadPool::steals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Task task;
+    if (!queues_[self].empty()) {
+      // Own work LIFO: the most recently dealt task is the cache-warmest.
+      task = std::move(queues_[self].back());
+      queues_[self].pop_back();
+    } else {
+      // Steal FIFO from the first non-empty sibling: taking the oldest task
+      // leaves the victim its recent (cache-warm) work.
+      for (std::size_t k = 1; k < queues_.size(); ++k) {
+        std::deque<Task>& victim = queues_[(self + k) % queues_.size()];
+        if (victim.empty()) continue;
+        task = std::move(victim.front());
+        victim.pop_front();
+        ++steals_;
+        break;
+      }
+    }
+    if (task) {
+      lock.unlock();
+      task();
+      lock.lock();
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace esg::sweep

@@ -1,0 +1,64 @@
+// Work-stealing thread pool for independent simulation replicas
+// (DESIGN.md §15).
+//
+// Each worker owns a deque: it pops its own work LIFO (back) and steals the
+// oldest task (front) from a sibling when its deque runs dry. Submissions are
+// dealt round-robin across the deques. One mutex guards all queue state —
+// replicas are whole simulation runs (seconds each), so queue operations are
+// noise; the plain lock keeps the pool trivially ThreadSanitizer-clean.
+//
+// Tasks must not throw (a throwing task terminates the process); wrap
+// fallible work in a catch-all closure.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace esg::sweep {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `threads` workers (0 = hardware concurrency, minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Runs every queued task to completion, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (round-robin across the worker deques).
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(queues_.size());
+  }
+
+  /// Tasks a worker took from a sibling's deque (observability/tests).
+  [[nodiscard]] std::uint64_t steals() const;
+
+ private:
+  void worker_loop(unsigned self);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signalled on submit/shutdown
+  std::condition_variable idle_cv_;   ///< signalled when in_flight_ hits 0
+  std::vector<std::deque<Task>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t submit_cursor_ = 0;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::uint64_t steals_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace esg::sweep

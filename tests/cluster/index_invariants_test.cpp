@@ -1,0 +1,189 @@
+// Incremental cluster-state index invariants (DESIGN.md §15): the
+// function-keyed warm-candidate index must stay a superset of the true warm
+// state and the free-resource running sums must match a full fleet scan,
+// across every lifecycle transition — allocate/release, warm add/acquire/
+// lazy expiry, crash/rejoin, drain/retire, and elastic begin_warming/
+// activate. check_index_invariants() is the cross-validating scan.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+
+namespace esg::cluster {
+namespace {
+
+FunctionId fn(std::uint32_t v) { return FunctionId{v}; }
+InvokerId inv(std::uint32_t v) { return InvokerId{v}; }
+
+std::size_t scan_free_vcpus(const Cluster& cluster) {
+  std::size_t total = 0;
+  for (const auto& node : cluster.invokers()) {
+    if (node.state() != NodeState::kRetired) total += node.free_vcpus();
+  }
+  return total;
+}
+
+std::size_t scan_free_vgpus(const Cluster& cluster) {
+  std::size_t total = 0;
+  for (const auto& node : cluster.invokers()) {
+    if (node.state() != NodeState::kRetired) total += node.free_vgpus();
+  }
+  return total;
+}
+
+TEST(ClusterIndex, FreshClusterSeedsTotalsFromCapacity) {
+  Cluster cluster(4);
+  EXPECT_EQ(cluster.total_free_vcpus(), 4u * 16u);
+  EXPECT_EQ(cluster.total_free_vgpus(), 4u * 7u);
+  cluster.check_index_invariants(0.0);
+}
+
+TEST(ClusterIndex, AllocateReleaseKeepTotalsExact) {
+  Cluster cluster(3);
+  cluster.invoker(inv(0)).allocate(4, 2);
+  cluster.invoker(inv(1)).allocate(16, 0);
+  cluster.check_index_invariants(0.0);
+  EXPECT_EQ(cluster.total_free_vcpus(), scan_free_vcpus(cluster));
+  EXPECT_EQ(cluster.total_free_vgpus(), scan_free_vgpus(cluster));
+  cluster.invoker(inv(0)).release(4, 2);
+  cluster.invoker(inv(1)).release(16, 0);
+  cluster.check_index_invariants(0.0);
+  EXPECT_EQ(cluster.total_free_vcpus(), 3u * 16u);
+}
+
+TEST(ClusterIndex, WarmAddMakesNodeACandidate) {
+  Cluster cluster(4);
+  cluster.invoker(inv(2)).add_warm(fn(7), 0.0);
+  cluster.invoker(inv(0)).add_warm(fn(7), 1.0);
+  const std::set<InvokerId>& candidates = cluster.warm_candidates(fn(7));
+  ASSERT_EQ(candidates.size(), 2u);
+  // Ascending-id order reproduces the historical whole-fleet first-fit.
+  EXPECT_EQ(*candidates.begin(), inv(0));
+  EXPECT_EQ(*std::next(candidates.begin()), inv(2));
+  EXPECT_TRUE(cluster.warm_candidates(fn(8)).empty());
+  cluster.check_index_invariants(1.0);
+}
+
+TEST(ClusterIndex, AcquireLeavesLazySupersetIntact) {
+  Cluster cluster(2);
+  cluster.invoker(inv(1)).add_warm(fn(3), 0.0);
+  EXPECT_TRUE(cluster.invoker(inv(1)).acquire_warm(fn(3), 5.0));
+  // The index may still list the node (lazy superset); the invariant only
+  // demands it contains every node with has_warm == true.
+  cluster.check_index_invariants(5.0);
+  EXPECT_FALSE(cluster.invoker(inv(1)).has_warm(fn(3), 5.0));
+  cluster.drop_warm_candidate(fn(3), inv(1));
+  EXPECT_TRUE(cluster.warm_candidates(fn(3)).empty());
+  cluster.check_index_invariants(5.0);
+}
+
+TEST(ClusterIndex, LazyExpiryObservedThenDropped) {
+  Cluster cluster(2);
+  cluster.invoker(inv(0)).add_warm(fn(1), 0.0, /*keep_alive=*/100.0);
+  cluster.check_index_invariants(50.0);
+  // Past expiry the entry is gone from the true state but may linger in the
+  // candidate set until a caller observes has_warm == false and drops it.
+  EXPECT_FALSE(cluster.invoker(inv(0)).has_warm(fn(1), 200.0));
+  cluster.check_index_invariants(200.0);
+  cluster.drop_warm_candidate(fn(1), inv(0));
+  cluster.check_index_invariants(200.0);
+  // Re-parking after the drop re-inserts the candidate.
+  cluster.invoker(inv(0)).add_warm(fn(1), 300.0);
+  EXPECT_EQ(cluster.warm_candidates(fn(1)).count(inv(0)), 1u);
+  cluster.check_index_invariants(300.0);
+}
+
+TEST(ClusterIndex, CrashErasesCandidatesEagerly) {
+  Cluster cluster(3);
+  cluster.invoker(inv(1)).add_warm(fn(4), 0.0);
+  cluster.invoker(inv(1)).add_warm(fn(5), 0.0);
+  cluster.invoker(inv(2)).add_warm(fn(4), 0.0);
+  cluster.invoker(inv(1)).crash(10.0);
+  // A crashed node must not be offered as a warm candidate for any function.
+  EXPECT_EQ(cluster.warm_candidates(fn(4)).count(inv(1)), 0u);
+  EXPECT_EQ(cluster.warm_candidates(fn(5)).count(inv(1)), 0u);
+  EXPECT_EQ(cluster.warm_candidates(fn(4)).count(inv(2)), 1u);
+  cluster.check_index_invariants(10.0);
+  cluster.invoker(inv(1)).rejoin();
+  cluster.check_index_invariants(10.0);
+  cluster.invoker(inv(1)).add_warm(fn(4), 11.0);
+  EXPECT_EQ(cluster.warm_candidates(fn(4)).count(inv(1)), 1u);
+  cluster.check_index_invariants(11.0);
+}
+
+TEST(ClusterIndex, DrainRetireRemovesCapacityAndCandidates) {
+  Cluster cluster(3);
+  cluster.invoker(inv(0)).add_warm(fn(2), 0.0);
+  cluster.invoker(inv(0)).begin_drain();
+  // Draining nodes keep their warm pool (in-flight work may still land
+  // warm); retiring releases everything.
+  cluster.check_index_invariants(1.0);
+  cluster.invoker(inv(0)).retire(2.0);
+  EXPECT_EQ(cluster.warm_candidates(fn(2)).count(inv(0)), 0u);
+  EXPECT_EQ(cluster.total_free_vcpus(), 2u * 16u);
+  EXPECT_EQ(cluster.total_free_vgpus(), 2u * 7u);
+  EXPECT_EQ(cluster.total_free_vcpus(), scan_free_vcpus(cluster));
+  cluster.check_index_invariants(2.0);
+}
+
+TEST(ClusterIndex, WarmingNodeRejoinsTotalsBeforeActivation) {
+  Cluster cluster(2);
+  cluster.invoker(inv(1)).begin_drain();
+  cluster.invoker(inv(1)).retire(0.0);
+  EXPECT_EQ(cluster.total_free_vcpus(), 16u);
+  cluster.check_index_invariants(0.0);
+  // Elastic re-acquisition: Warming already contributes free capacity (the
+  // scan counts every non-retired node), so the hook must add it back at
+  // begin_warming, not at activate.
+  cluster.invoker(inv(1)).begin_warming();
+  EXPECT_EQ(cluster.total_free_vcpus(), 2u * 16u);
+  EXPECT_EQ(cluster.total_free_vcpus(), scan_free_vcpus(cluster));
+  cluster.check_index_invariants(1.0);
+  cluster.invoker(inv(1)).activate();
+  EXPECT_EQ(cluster.total_free_vcpus(), 2u * 16u);
+  cluster.check_index_invariants(2.0);
+}
+
+TEST(ClusterIndex, FullLifecycleChurnStaysConsistent) {
+  Cluster cluster(5);
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    const TimeMs now = 100.0 * round;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      cluster.invoker(inv(i)).add_warm(fn(i % 3), now, 150.0);
+    }
+    cluster.invoker(inv(round % 5)).allocate(2, 1);
+    cluster.check_index_invariants(now);
+    cluster.invoker(inv((round + 1) % 5)).crash(now + 10.0);
+    cluster.check_index_invariants(now + 10.0);
+    cluster.invoker(inv((round + 1) % 5)).rejoin();
+    cluster.invoker(inv(round % 5)).release(2, 1);
+    cluster.check_index_invariants(now + 20.0);
+  }
+  // Scale the fleet down and back up through drain/retire/warming.
+  cluster.invoker(inv(4)).begin_drain();
+  cluster.check_index_invariants(500.0);
+  cluster.invoker(inv(4)).retire(510.0);
+  cluster.check_index_invariants(510.0);
+  cluster.invoker(inv(4)).begin_warming();
+  cluster.invoker(inv(4)).activate();
+  cluster.invoker(inv(4)).add_warm(fn(0), 520.0);
+  cluster.check_index_invariants(520.0);
+  EXPECT_EQ(cluster.total_free_vcpus(), scan_free_vcpus(cluster));
+  EXPECT_EQ(cluster.total_free_vgpus(), scan_free_vgpus(cluster));
+}
+
+TEST(ClusterIndex, MovedClusterKeepsWorkingIndex) {
+  Cluster original(2);
+  original.invoker(inv(0)).add_warm(fn(9), 0.0);
+  Cluster moved(std::move(original));
+  // The index is heap-allocated, so invoker back-pointers survive the move.
+  EXPECT_EQ(moved.warm_candidates(fn(9)).count(inv(0)), 1u);
+  moved.invoker(inv(1)).add_warm(fn(9), 1.0);
+  EXPECT_EQ(moved.warm_candidates(fn(9)).size(), 2u);
+  moved.check_index_invariants(1.0);
+}
+
+}  // namespace
+}  // namespace esg::cluster

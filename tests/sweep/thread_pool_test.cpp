@@ -1,0 +1,103 @@
+// Work-stealing thread pool tests (DESIGN.md §15): task completion across
+// worker counts, wait_idle as a full barrier, work stealing under skewed
+// submission, and destructor draining.
+#include "sweep/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace esg::sweep {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.steals(), 0u);  // nobody to steal from
+}
+
+TEST(ThreadPool, WaitIdleIsABarrier) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 12; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 12);
+  // The pool is reusable after an idle barrier.
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 13);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, StealsWhenSubmissionIsSkewed) {
+  // Round-robin dealing spreads tasks across per-worker deques; slow tasks
+  // on some workers force the fast ones to steal. With tasks >> workers and
+  // real imbalance, at least one steal is effectively certain.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&done, i] {
+      if (i % 4 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 200);
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must run everything already submitted.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace esg::sweep

@@ -13,7 +13,114 @@
 #include "metrics/export.hpp"
 #include "perf/profiler.hpp"
 #include "perf/report.hpp"
+#include "sweep/sweep.hpp"
 #include "tenant/tenant_spec.hpp"
+
+namespace {
+
+/// --sweep: run the (scheduler × seed) cross product on the pool, print a
+/// per-cell table plus per-scheduler aggregates, optionally dump the result
+/// table as deterministic JSON (esg.sweep.v1 — wall-clock fields excluded,
+/// so the file is byte-identical for any --jobs count).
+int run_sweep_cli(const esg::exp::CliOptions& opts) {
+  using namespace esg;
+  sweep::SweepOptions sweep_opts;
+  sweep_opts.jobs = opts.jobs;
+  const std::vector<sweep::SweepCellResult> results = sweep::run_sweep(
+      sweep::cross_product(opts.scenario, opts.schedulers, opts.seeds),
+      sweep_opts);
+
+  bool any_failed = false;
+  AsciiTable table({"cell", "requests", "SLO hit rate", "cost ($)",
+                    "cold starts", "mean wait (ms)"});
+  for (const auto& cell : results) {
+    if (cell.failed) {
+      any_failed = true;
+      table.add_row({cell.label, "-", "failed", "-", "-", "-"});
+      std::fprintf(stderr, "esg_sim: cell %s failed: %s\n", cell.label.c_str(),
+                   cell.error.c_str());
+      continue;
+    }
+    const auto& m = cell.output.metrics;
+    table.add_row({cell.label, std::to_string(m.requests()),
+                   AsciiTable::pct(m.slo_hit_rate()),
+                   AsciiTable::num(m.total_cost, 4),
+                   std::to_string(m.cold_starts),
+                   AsciiTable::num(m.mean_job_wait_ms(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-scheduler aggregates: cross_product is scheduler-major, so each
+  // scheduler's seeds are the contiguous slice [s*seeds, (s+1)*seeds).
+  const std::size_t n_seeds = opts.seeds.size();
+  for (std::size_t s = 0; s < opts.schedulers.size(); ++s) {
+    std::vector<exp::RunOutput> outs;
+    for (std::size_t k = 0; k < n_seeds; ++k) {
+      const auto& cell = results[s * n_seeds + k];
+      if (!cell.failed) outs.push_back(cell.output);
+    }
+    const auto agg = exp::aggregate(outs);
+    std::printf("%-12s hit rate %5.1f%%  mean cost $%.4f  mean wait %.1f ms  "
+                "(%zu/%zu seeds)\n",
+                std::string(exp::to_string(opts.schedulers[s])).c_str(),
+                100.0 * agg.slo_hit_rate, agg.total_cost, agg.mean_job_wait_ms,
+                outs.size(), n_seeds);
+  }
+
+  if (!opts.sweep_out.empty()) {
+    std::FILE* file = std::fopen(opts.sweep_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "esg_sim: cannot open sweep-out file '%s'\n",
+                   opts.sweep_out.c_str());
+      return 1;
+    }
+    std::fprintf(file, "{\n  \"schema\": \"esg.sweep.v1\",\n  \"cells\": [");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& cell = results[i];
+      const auto scheduler = exp::to_string(opts.schedulers[i / n_seeds]);
+      std::fprintf(file, "%s\n    {\"scheduler\": \"%.*s\", \"seed\": %llu",
+                   i == 0 ? "" : ",", static_cast<int>(scheduler.size()),
+                   scheduler.data(),
+                   static_cast<unsigned long long>(opts.seeds[i % n_seeds]));
+      if (cell.failed) {
+        std::fprintf(file, ", \"failed\": true}");
+        continue;
+      }
+      const auto& m = cell.output.metrics;
+      std::fprintf(file,
+                   ", \"requests\": %zu, \"slo_hit_rate\": %.17g, "
+                   "\"total_cost\": %.17g, \"cold_starts\": %zu, "
+                   "\"mean_job_wait_ms\": %.17g, \"events_fired\": %llu}",
+                   m.requests(), m.slo_hit_rate(), m.total_cost, m.cold_starts,
+                   m.mean_job_wait_ms(),
+                   static_cast<unsigned long long>(
+                       cell.output.counters.events_fired));
+    }
+    std::fprintf(file, "\n  ],\n  \"aggregates\": [");
+    for (std::size_t s = 0; s < opts.schedulers.size(); ++s) {
+      std::vector<exp::RunOutput> outs;
+      for (std::size_t k = 0; k < n_seeds; ++k) {
+        const auto& cell = results[s * n_seeds + k];
+        if (!cell.failed) outs.push_back(cell.output);
+      }
+      const auto agg = exp::aggregate(outs);
+      const auto scheduler = exp::to_string(opts.schedulers[s]);
+      std::fprintf(file,
+                   "%s\n    {\"scheduler\": \"%.*s\", \"seeds\": %zu, "
+                   "\"slo_hit_rate\": %.17g, \"total_cost\": %.17g, "
+                   "\"mean_job_wait_ms\": %.17g}",
+                   s == 0 ? "" : ",", static_cast<int>(scheduler.size()),
+                   scheduler.data(), outs.size(), agg.slo_hit_rate,
+                   agg.total_cost, agg.mean_job_wait_ms);
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    std::fclose(file);
+    std::printf("sweep results written to %s\n", opts.sweep_out.c_str());
+  }
+  return any_failed ? 1 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace esg;
@@ -70,14 +177,40 @@ int main(int argc, char** argv) {
   if (!tenants.inert()) {
     elastic_desc += " tenants=" + tenant::to_string(tenants);
   }
+  // Same suppression for --engine: default-engine stdout stays unchanged
+  // (and the calendar/heap artefact cmp never trips on the header line).
+  if (opts.scenario.engine != sim::EngineKind::kCalendar) {
+    elastic_desc +=
+        std::string(" engine=") + sim::engine_name(opts.scenario.engine);
+  }
+  // Sweep header lists every scheduler in the cross product. --jobs is
+  // deliberately NOT printed: stdout must be byte-identical across worker
+  // counts (CI cmp-asserts --jobs 4 against --jobs 1).
+  std::string scheduler_desc(exp::to_string(opts.scenario.scheduler));
+  if (opts.sweep) {
+    scheduler_desc.clear();
+    for (std::size_t s = 0; s < opts.schedulers.size(); ++s) {
+      if (s != 0) scheduler_desc += ",";
+      scheduler_desc += std::string(exp::to_string(opts.schedulers[s]));
+    }
+  }
   std::printf("scheduler=%s load=%s slo=%s arrivals=%s horizon=%.0fms "
               "warmup=%.0fms nodes=%zu seeds=%zu%s\n\n",
-              std::string(exp::to_string(opts.scenario.scheduler)).c_str(),
+              scheduler_desc.c_str(),
               std::string(workload::to_string(opts.scenario.load)).c_str(),
               std::string(workload::to_string(opts.scenario.slo)).c_str(),
               arrivals.c_str(), opts.scenario.horizon_ms,
               opts.scenario.warmup_ms, opts.scenario.nodes, opts.seeds.size(),
               elastic_desc.c_str());
+
+  if (opts.sweep) {
+    try {
+      return run_sweep_cli(opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esg_sim: %s\n", e.what());
+      return 1;
+    }
+  }
 
   // With tracing (or a perf summary) the seeds run sequentially, each into
   // its own file; the untraced path keeps the parallel replica runner.
@@ -131,7 +264,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   } else {
-    outputs = exp::run_replicas(opts.scenario, opts.seeds);
+    outputs = exp::run_replicas(opts.scenario, opts.seeds, opts.jobs);
   }
   } catch (const std::invalid_argument& e) {
     // Scenario validation that only runs inside run_scenario (fault/elastic
